@@ -1,0 +1,191 @@
+// Command hyperlab regenerates the tables and figures of "Why Do My
+// Blockchain Transactions Fail? A Study of Hyperledger Fabric"
+// (SIGMOD 2021) from the simulated testbed.
+//
+// Usage:
+//
+//	hyperlab -list                      list all experiments
+//	hyperlab -exp fig7                  quick regime (30 virtual s, 1 seed)
+//	hyperlab -exp fig7 -full            paper regime (3 virtual min, 3 seeds)
+//	hyperlab -exp all                   run everything (quick unless -full)
+//	hyperlab -run -chaincode ehr -rate 100 -block 50 -db leveldb -system fabric++
+//	                                    one ad-hoc run with a report line
+//	hyperlab -render                    emit a generated genChain chaincode
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	lab "repro"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/gen"
+	"repro/internal/statedb"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list experiments and exit")
+		exp       = flag.String("exp", "", "experiment id (table2, table4, fig4..fig26, or 'all')")
+		full      = flag.Bool("full", false, "paper regime: 3 virtual minutes x 3 seeds (default: quick)")
+		render    = flag.Bool("render", false, "print a generated genChain chaincode and exit")
+		run       = flag.Bool("run", false, "run one ad-hoc configuration")
+		ccName    = flag.String("chaincode", "ehr", "ad-hoc run: ehr|dv|scm|drm|genchain")
+		rate      = flag.Float64("rate", 100, "ad-hoc run: arrival rate in tps")
+		blockSize = flag.Int("block", 100, "ad-hoc run: block size")
+		db        = flag.String("db", "couchdb", "ad-hoc run: couchdb|leveldb")
+		system    = flag.String("system", "fabric", "ad-hoc run: fabric|fabric++|streamchain|fabricsharp")
+		cluster   = flag.String("cluster", "C1", "ad-hoc run: C1|C2")
+		skew      = flag.Float64("skew", 1, "ad-hoc run: Zipfian key skew")
+		duration  = flag.Duration("duration", 30*time.Second, "ad-hoc run: virtual send window")
+		seed      = flag.Int64("seed", 1, "ad-hoc run: random seed")
+		dump      = flag.Int("dump", 0, "ad-hoc run: print JSON summaries of the first N blocks")
+		verbose   = flag.Bool("v", false, "print per-seed progress")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Println("Available experiments (paper table/figure -> id):")
+		for _, e := range lab.Experiments() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+	case *render:
+		src, err := lab.RenderChaincode(lab.GenChainSpec(), true)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(src)
+	case *exp != "":
+		runExperiments(*exp, *full, *verbose)
+	case *run:
+		adhoc(*ccName, *rate, *blockSize, *db, *system, *cluster, *skew, *duration, *seed, *dump)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hyperlab:", err)
+	os.Exit(1)
+}
+
+func runExperiments(id string, full, verbose bool) {
+	opts := lab.QuickOptions()
+	regime := "quick regime (30 virtual s, 1 seed)"
+	if full {
+		opts = lab.FullOptions()
+		regime = "paper regime (3 virtual min, 3 seeds)"
+	}
+	if verbose {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+	}
+	var exps []lab.Experiment
+	if id == "all" {
+		exps = lab.Experiments()
+	} else {
+		e, err := lab.LookupExperiment(id)
+		if err != nil {
+			fatal(err)
+		}
+		exps = []lab.Experiment{e}
+	}
+	for _, e := range exps {
+		start := time.Now()
+		fmt.Printf("== %s: %s [%s]\n", e.ID, e.Title, regime)
+		out, err := e.Run(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+		fmt.Printf("(%s took %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func adhoc(ccName string, rate float64, blockSize int, db, system, cluster string, skew float64, duration time.Duration, seed int64, dump int) {
+	cfg := fabric.DefaultConfig()
+
+	switch strings.ToUpper(cluster) {
+	case "C1":
+		core.C1.Apply(&cfg)
+	case "C2":
+		core.C2.Apply(&cfg)
+	default:
+		fatal(fmt.Errorf("unknown cluster %q", cluster))
+	}
+
+	switch strings.ToLower(db) {
+	case "couchdb":
+		cfg.DBKind = statedb.CouchDB
+	case "leveldb":
+		cfg.DBKind = statedb.LevelDB
+	default:
+		fatal(fmt.Errorf("unknown database %q", db))
+	}
+
+	var sys core.System
+	switch strings.ToLower(system) {
+	case "fabric", "fabric-1.4":
+		sys = core.Fabric14
+	case "fabric++", "fabricpp":
+		sys = core.FabricPP
+	case "streamchain":
+		sys = core.Streamchain
+	case "fabricsharp", "fabric#":
+		sys = core.FabricSharp
+	default:
+		fatal(fmt.Errorf("unknown system %q", system))
+	}
+	cfg.Variant = sys.Variant()
+
+	switch strings.ToLower(ccName) {
+	case "genchain":
+		spec := gen.GenChainSpec()
+		cfg.Chaincode = gen.MustChaincode(spec)
+		cfg.Workload = gen.NewWorkload(spec, gen.UpdateHeavy, skew)
+	default:
+		f, err := core.UseCase(strings.ToLower(ccName))
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Chaincode = f.New()
+		cfg.Workload = f.Workload(skew)
+	}
+
+	cfg.Rate = rate
+	cfg.BlockSize = blockSize
+	cfg.Duration = duration
+	cfg.Drain = duration
+	cfg.Seed = seed
+	// Keep full transaction payloads so the hash chain can be
+	// re-verified after the run.
+	cfg.StripAfterCommit = false
+
+	nw, err := fabric.NewNetwork(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	rep := nw.Run()
+	fmt.Printf("%s on %s, %s, rate %.0f tps, block %d, db %s, skew %.1f (%v virtual, %v real)\n",
+		sys, cluster, ccName, rate, blockSize, cfg.DBKind, skew,
+		duration, time.Since(start).Round(time.Millisecond))
+	fmt.Println(rep)
+	if err := nw.Chain().Verify(); err != nil {
+		fatal(fmt.Errorf("chain verification failed: %w", err))
+	}
+	fmt.Printf("chain: %d blocks, %d transactions, hash chain verified\n",
+		nw.Chain().Height(), nw.Chain().TxCount())
+	for n := uint64(1); n <= uint64(dump) && n < nw.Chain().Height(); n++ {
+		summary, err := nw.Chain().Block(n).MarshalSummary()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(summary))
+	}
+}

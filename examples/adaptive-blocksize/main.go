@@ -1,0 +1,76 @@
+// Adaptive-blocksize demonstrates the paper's proposed research
+// direction (§6.2): "it would be useful to monitor the system and
+// adapt the block size dynamically."
+//
+// An EHR network is driven through a daily load profile (quiet →
+// business hours → evening peak → quiet). A static block size is
+// compared against the adaptive controller from internal/adaptive,
+// which estimates the arrival rate with an EWMA and retunes the
+// orderer's batch size every few seconds.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	lab "repro"
+	"repro/internal/adaptive"
+	"repro/internal/fabric"
+)
+
+func profile() []fabric.RatePhase {
+	return []fabric.RatePhase{
+		{Duration: 30 * time.Second, Rate: 15},  // night
+		{Duration: 30 * time.Second, Rate: 80},  // business hours
+		{Duration: 30 * time.Second, Rate: 180}, // evening peak
+		{Duration: 30 * time.Second, Rate: 40},  // wind-down
+	}
+}
+
+func run(seed int64, adapt bool) (lab.Report, *adaptive.Controller) {
+	cfg := lab.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Duration = 2 * time.Minute
+	cfg.Drain = 30 * time.Second
+	cfg.BlockSize = 10 // tuned for the quiet phase
+	cfg.RateSchedule = profile()
+	cfg.Rate = 40
+	cfg.Chaincode = lab.EHRChaincode()
+	cfg.Workload = lab.EHRWorkload(1)
+	nw, err := lab.NewNetwork(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ctl *adaptive.Controller
+	if adapt {
+		ctl = adaptive.Attach(nw, adaptive.DefaultConfig())
+	}
+	return nw.Run(), ctl
+}
+
+func main() {
+	fmt.Println("Load profile: 15 -> 80 -> 180 -> 40 tps over 2 virtual minutes.")
+	fmt.Println()
+
+	static, _ := run(1, false)
+	adaptiveRep, ctl := run(1, true)
+
+	fmt.Printf("%-10s %-12s %-12s %-12s\n", "mode", "failures %", "latency", "p95")
+	fmt.Printf("%-10s %-12.2f %-12v %-12v\n", "static", static.FailurePct,
+		static.AvgLatency.Round(time.Millisecond), static.P95Latency.Round(time.Millisecond))
+	fmt.Printf("%-10s %-12.2f %-12v %-12v\n", "adaptive", adaptiveRep.FailurePct,
+		adaptiveRep.AvgLatency.Round(time.Millisecond), adaptiveRep.P95Latency.Round(time.Millisecond))
+
+	fmt.Println("\nController trace (virtual time -> estimated rate -> block size):")
+	for i, d := range ctl.History {
+		if i%3 != 0 { // every ~15s
+			continue
+		}
+		fmt.Printf("  t=%-8v rate=%-7.1f block size=%d\n",
+			time.Duration(d.At).Round(time.Second), d.Rate, d.BlockSize)
+	}
+	fmt.Println("\nThe controller follows the load: small blocks while quiet (no")
+	fmt.Println("batching delay), large blocks at the peak (less per-block overhead),")
+	fmt.Println("which is exactly the Fig 4 relation applied online.")
+}

@@ -1,0 +1,81 @@
+// Blocksize-tuning demonstrates the paper's headline recommendation
+// (#1, §6.1) and its "adaptive block size" research direction (§6.2):
+// the best block size depends on the transaction arrival rate, so a
+// deployment should monitor its load and re-tune.
+//
+// The example plays a supply-chain seasonality scenario: off-season
+// (20 tps) and holiday-season (150 tps) SCM traffic, each swept over
+// block sizes. It prints the failure/latency surface, picks the best
+// block size per season, and shows how much a statically mis-tuned
+// block size costs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	lab "repro"
+)
+
+func run(rate float64, blockSize int, seed int64) lab.Report {
+	cfg := lab.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Duration = 45 * time.Second
+	cfg.Drain = 30 * time.Second
+	cfg.Rate = rate
+	cfg.BlockSize = blockSize
+	cfg.Chaincode = lab.SCMChaincode()
+	cfg.Workload = lab.SCMWorkload(1)
+	nw, err := lab.NewNetwork(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return nw.Run()
+}
+
+func main() {
+	blockSizes := []int{10, 50, 100, 150, 200}
+	seasons := []struct {
+		name string
+		rate float64
+	}{
+		{"off-season (20 tps)", 20},
+		{"holiday season (150 tps)", 150},
+	}
+
+	best := map[string]int{}
+	worst := map[string]int{}
+	for _, season := range seasons {
+		fmt.Printf("== SCM, %s\n", season.name)
+		fmt.Printf("%-12s %-12s %-12s\n", "block size", "failures %", "latency")
+		bestPct, worstPct := 101.0, -1.0
+		for _, bs := range blockSizes {
+			rep := run(season.rate, bs, 1)
+			fmt.Printf("%-12d %-12.2f %-12v\n", bs, rep.FailurePct,
+				rep.AvgLatency.Round(time.Millisecond))
+			if rep.FailurePct < bestPct {
+				bestPct, best[season.name] = rep.FailurePct, bs
+			}
+			if rep.FailurePct > worstPct {
+				worstPct, worst[season.name] = rep.FailurePct, bs
+			}
+		}
+		reduction := 100 * (worstPct - bestPct) / worstPct
+		fmt.Printf("-> best block size %d (%.2f%% failures); worst %d (%.2f%%); tuning saves %.0f%% of failures\n\n",
+			best[season.name], bestPct, worst[season.name], worstPct, reduction)
+	}
+
+	fmt.Println("== Adaptive policy")
+	fmt.Printf("Monitor the arrival rate and switch the orderer's BatchSize:\n")
+	for _, season := range seasons {
+		fmt.Printf("  %-26s -> block size %d\n", season.name, best[season.name])
+	}
+	fmt.Println("\nA static mis-tune (using the off-season size during the holidays):")
+	static := run(150, best[seasons[0].name], 2)
+	tuned := run(150, best[seasons[1].name], 2)
+	fmt.Printf("  static  block %3d: %.2f%% failures, latency %v\n",
+		best[seasons[0].name], static.FailurePct, static.AvgLatency.Round(time.Millisecond))
+	fmt.Printf("  adapted block %3d: %.2f%% failures, latency %v\n",
+		best[seasons[1].name], tuned.FailurePct, tuned.AvgLatency.Round(time.Millisecond))
+}

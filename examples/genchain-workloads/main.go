@@ -1,0 +1,89 @@
+// Genchain-workloads drives the paper's chaincode/workload generator
+// (§4.4): it declares a custom chaincode spec, renders it to Go
+// source, runs the five "x-heavy" workloads against both state
+// databases, and demonstrates recommendation #3 (§6.1) — avoid rich
+// and range queries so LevelDB can be used.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	lab "repro"
+)
+
+func run(db lab.Config, mix lab.Mix, spec lab.ChaincodeSpec, kind string) lab.Report {
+	cfg := db
+	cc, err := lab.GenerateChaincode(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Chaincode = cc
+	cfg.Workload = lab.GenWorkload(spec, mix, 1)
+	if kind == "leveldb" {
+		cfg.DBKind = lab.LevelDB
+	} else {
+		cfg.DBKind = lab.CouchDB
+	}
+	nw, err := lab.NewNetwork(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return nw.Run()
+}
+
+func main() {
+	// A custom generated chaincode: three functions over 20k keys.
+	spec := lab.ChaincodeSpec{
+		Name: "inventory",
+		Keys: 20000,
+		Functions: []lab.FunctionSpec{
+			{Name: "audit", Reads: 3},
+			{Name: "restock", Reads: 1, Updates: 2},
+			{Name: "scan", RangeReads: 1},
+		},
+	}
+	src, err := lab.RenderChaincode(spec, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Generated chaincode source (%d lines, parses as valid Go):\n",
+		strings.Count(src, "\n"))
+	for _, line := range strings.SplitN(src, "\n", 8)[:7] {
+		fmt.Println("  " + line)
+	}
+	fmt.Println("  ...")
+
+	base := lab.DefaultConfig()
+	base.Duration = 30 * time.Second
+	base.Drain = 30 * time.Second
+	base.Rate = 50
+
+	// The paper's genChain spec with the five canonical mixes.
+	gspec := lab.GenChainSpec()
+	gspec.Keys = 20000
+	mixes := []struct {
+		name string
+		mix  lab.Mix
+	}{
+		{"read-heavy", lab.ReadHeavy},
+		{"insert-heavy", lab.InsertHeavy},
+		{"update-heavy", lab.UpdateHeavy},
+		{"range-heavy", lab.RangeHeavy},
+		{"delete-heavy", lab.DeleteHeavy},
+	}
+	fmt.Printf("\n%-14s %-10s %-12s %-12s\n", "workload", "db", "failures %", "latency")
+	for _, m := range mixes {
+		for _, kind := range []string{"couchdb", "leveldb"} {
+			rep := run(base, m.mix, gspec, kind)
+			fmt.Printf("%-14s %-10s %-12.2f %-12v\n",
+				m.name, kind, rep.FailurePct, rep.AvgLatency.Round(time.Millisecond))
+		}
+	}
+	fmt.Println("\nTakeaways (§5.1.2/§5.1.5): LevelDB beats CouchDB everywhere;")
+	fmt.Println("range-heavy load on CouchDB is catastrophic (the full range is")
+	fmt.Println("re-read at validation for phantom detection); insert/delete-heavy")
+	fmt.Println("workloads touch unique keys and barely fail.")
+}

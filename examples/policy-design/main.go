@@ -1,0 +1,72 @@
+// Policy-design explores the paper's recommendation #2 (§6.1): fewer
+// organizations, fewer endorsement signatures and fewer sub-policies
+// mean fewer endorsement policy failures.
+//
+// It runs the EHR chaincode under the four endorsement policies of
+// Table 5 and across growing consortium sizes, printing how latency
+// and endorsement failures react — the Fig 12/13 experiments as a
+// design aid.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	lab "repro"
+	"repro/internal/policy"
+)
+
+func run(orgs int, p policy.Name, seed int64) lab.Report {
+	cfg := lab.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Duration = 45 * time.Second
+	cfg.Drain = 30 * time.Second
+	cfg.Orgs = orgs
+	cfg.PeersPerOrg = 2
+	cfg.Policy = p
+	cfg.Chaincode = lab.EHRChaincode()
+	cfg.Workload = lab.EHRWorkload(1)
+	nw, err := lab.NewNetwork(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return nw.Run()
+}
+
+func main() {
+	fmt.Println("== Endorsement policies over 8 organizations (Table 5)")
+	fmt.Printf("%-6s %-46s %-12s %-14s %s\n",
+		"name", "policy", "latency", "endorse fail%", "signatures")
+	orgNames := make([]string, 8)
+	for i := range orgNames {
+		orgNames[i] = fmt.Sprintf("Org%d", i)
+	}
+	for _, name := range policy.AllNames() {
+		p := policy.Build(name, orgNames)
+		rep := run(8, name, 1)
+		fmt.Printf("%-6s %-46s %-12v %-14.2f %d required, %d sub-policies\n",
+			name, trim(p.String(), 44), rep.AvgLatency.Round(time.Millisecond),
+			rep.EndorsementPct, len(p.RequiredEndorsers(0)), p.SubPolicies())
+	}
+
+	fmt.Println("\n== Consortium size under P0 (all orgs endorse)")
+	fmt.Printf("%-6s %-8s %-12s %s\n", "orgs", "peers", "latency", "endorse fail%")
+	for _, orgs := range []int{2, 4, 6, 8, 10} {
+		rep := run(orgs, policy.P0, 2)
+		fmt.Printf("%-6d %-8d %-12v %.2f\n", orgs, orgs*2,
+			rep.AvgLatency.Round(time.Millisecond), rep.EndorsementPct)
+	}
+
+	fmt.Println("\nDesign guidance (§6.1): group branches into fewer organizations,")
+	fmt.Println("require fewer signatures (P1-style), and flatten sub-policies —")
+	fmt.Println(`"4-of": ["2-of": [Org0, Org1], "2-of": [Org2, Org3]] can be written`)
+	fmt.Println(`as "4-of": [Org0, Org1, Org2, Org3] with one search space less.`)
+}
+
+func trim(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

@@ -1,0 +1,207 @@
+// Package hyperledgerlab is a faithful, laptop-scale reproduction of
+// "Why Do My Blockchain Transactions Fail? A Study of Hyperledger
+// Fabric" (Chacko, Mayer, Jacobsen — SIGMOD 2021).
+//
+// It bundles a deterministic discrete-event simulation of a complete
+// Fabric 1.4 network — endorsing peers with versioned world-state
+// replicas (LevelDB- and CouchDB-style backends), a Kafka/Raft/solo
+// ordering service with a block cutter, clients, VSCC/MVCC/phantom
+// validation — together with the paper's four use-case chaincodes
+// (EHR, DV, SCM, DRM), its chaincode/workload generator (genChain),
+// the three research forks it evaluates (Fabric++, Streamchain,
+// FabricSharp), and an experiment harness that regenerates every
+// table and figure of the evaluation.
+//
+// Quick start:
+//
+//	cfg := hyperledgerlab.DefaultConfig()
+//	cfg.Chaincode = hyperledgerlab.EHRChaincode()
+//	cfg.Workload = hyperledgerlab.EHRWorkload(1)
+//	nw, err := hyperledgerlab.NewNetwork(cfg)
+//	if err != nil { ... }
+//	report := nw.Run()
+//	fmt.Println(report)
+//
+// Failure semantics follow the paper's §3 exactly: endorsement policy
+// failures (Eq. 1), MVCC read conflicts split into intra-block
+// (Eq. 3) and inter-block (Eq. 4), and phantom read conflicts
+// (Eq. 5). No failure rate is scripted — every failure emerges from
+// the Execute-Order-Validate protocol running against the calibrated
+// cost model.
+package hyperledgerlab
+
+import (
+	"repro/internal/chaincode"
+	"repro/internal/chaincodes/drm"
+	"repro/internal/chaincodes/dv"
+	"repro/internal/chaincodes/ehr"
+	"repro/internal/chaincodes/scm"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/gen"
+	"repro/internal/ledger"
+	"repro/internal/metrics"
+	"repro/internal/netem"
+	"repro/internal/policy"
+	"repro/internal/statedb"
+	"repro/internal/workload"
+)
+
+// Core simulation types.
+type (
+	// Config describes one experiment run (topology, ordering
+	// parameters, database type, endorsement policy, load, variant).
+	Config = fabric.Config
+	// Network is a fully wired simulated Fabric deployment.
+	Network = fabric.Network
+	// Report is the run summary: failure percentages by type,
+	// latency, committed throughput.
+	Report = metrics.Report
+	// Variant is a pluggable Fabric fork (Fabric++, Streamchain,
+	// FabricSharp); nil means stock Fabric 1.4.
+	Variant = fabric.Variant
+	// Chaincode is the smart-contract interface.
+	Chaincode = chaincode.Chaincode
+	// Stub is the world-state access object handed to chaincodes.
+	Stub = chaincode.Stub
+	// WorkloadGenerator produces the invocation stream of a run.
+	WorkloadGenerator = workload.Generator
+	// Invocation is one chaincode call.
+	Invocation = workload.Invocation
+	// ValidationCode is the per-transaction outcome on the chain.
+	ValidationCode = ledger.ValidationCode
+	// NetworkLink is a latency distribution for netem injection.
+	NetworkLink = netem.Link
+)
+
+// Validation codes (§3 of the paper).
+const (
+	Valid                    = ledger.Valid
+	MVCCConflictInterBlock   = ledger.MVCCConflictInterBlock
+	MVCCConflictIntraBlock   = ledger.MVCCConflictIntraBlock
+	PhantomReadConflict      = ledger.PhantomReadConflict
+	EndorsementPolicyFailure = ledger.EndorsementPolicyFailure
+	AbortedInOrdering        = ledger.AbortedInOrdering
+)
+
+// Database backends (§5.1.2).
+const (
+	LevelDB = statedb.LevelDB
+	CouchDB = statedb.CouchDB
+)
+
+// Endorsement policies (Table 5).
+const (
+	P0 = policy.P0
+	P1 = policy.P1
+	P2 = policy.P2
+	P3 = policy.P3
+)
+
+// DefaultConfig returns the paper's Table 3 defaults on the C1
+// cluster. Chaincode and Workload must still be set.
+func DefaultConfig() Config { return fabric.DefaultConfig() }
+
+// NewNetwork validates the config and builds the deployment.
+func NewNetwork(cfg Config) (*Network, error) { return fabric.NewNetwork(cfg) }
+
+// Use-case chaincodes (§4.3, Table 2).
+
+// EHRChaincode returns the Electronic Health Records contract.
+func EHRChaincode() Chaincode { return ehr.New() }
+
+// EHRWorkload returns the EHR invocation stream with the given
+// Zipfian skew.
+func EHRWorkload(skew float64) WorkloadGenerator { return ehr.NewWorkload(skew) }
+
+// DVChaincode returns the Digital Voting contract.
+func DVChaincode() Chaincode { return dv.New() }
+
+// DVWorkload returns the DV invocation stream.
+func DVWorkload(skew float64) WorkloadGenerator { return dv.NewWorkload(skew) }
+
+// SCMChaincode returns the Supply Chain Management contract.
+func SCMChaincode() Chaincode { return scm.New() }
+
+// SCMWorkload returns the SCM invocation stream.
+func SCMWorkload(skew float64) WorkloadGenerator { return scm.NewWorkload(skew) }
+
+// DRMChaincode returns the Digital Rights Management contract.
+func DRMChaincode() Chaincode { return drm.New() }
+
+// DRMWorkload returns the DRM invocation stream.
+func DRMWorkload(skew float64) WorkloadGenerator { return drm.NewWorkload(skew) }
+
+// Generated chaincodes and workloads (§4.4).
+type (
+	// ChaincodeSpec declares a generated chaincode.
+	ChaincodeSpec = gen.ChaincodeSpec
+	// FunctionSpec declares one generated function.
+	FunctionSpec = gen.FunctionSpec
+	// Mix is a transaction-type distribution.
+	Mix = gen.Mix
+)
+
+// Workload mixes of §4.4.
+var (
+	ReadHeavy   = gen.ReadHeavy
+	InsertHeavy = gen.InsertHeavy
+	UpdateHeavy = gen.UpdateHeavy
+	DeleteHeavy = gen.DeleteHeavy
+	RangeHeavy  = gen.RangeHeavy
+	UniformRU   = gen.UniformRU
+)
+
+// GenChainSpec returns the paper's default generated chaincode: five
+// functions, 100k keys.
+func GenChainSpec() ChaincodeSpec { return gen.GenChainSpec() }
+
+// GenerateChaincode compiles a spec into an executable chaincode.
+func GenerateChaincode(spec ChaincodeSpec) (Chaincode, error) { return gen.NewChaincode(spec) }
+
+// RenderChaincode emits the generated chaincode as Go source.
+func RenderChaincode(spec ChaincodeSpec, richQueries bool) (string, error) {
+	return gen.Render(spec, richQueries)
+}
+
+// GenWorkload builds the generated workload stream.
+func GenWorkload(spec ChaincodeSpec, mix Mix, skew float64) WorkloadGenerator {
+	return gen.NewWorkload(spec, mix, skew)
+}
+
+// The compared systems (§4.5) and the experiment harness.
+type (
+	// System selects a Fabric build for comparison runs.
+	System = core.System
+	// Cluster is one of the two testbeds of §4.2.
+	Cluster = core.Cluster
+	// Options scales an experiment (virtual duration, seeds).
+	Options = core.Options
+	// Experiment reproduces one table or figure.
+	Experiment = core.Experiment
+	// Result is a seed-averaged run summary.
+	Result = core.Result
+)
+
+// Systems and clusters.
+const (
+	Fabric14         = core.Fabric14
+	FabricPP         = core.FabricPP
+	Streamchain      = core.Streamchain
+	StreamchainNoRAM = core.StreamchainNoRAM
+	FabricSharp      = core.FabricSharp
+	C1               = core.C1
+	C2               = core.C2
+)
+
+// Experiments lists every reproducible table and figure.
+func Experiments() []Experiment { return core.Experiments() }
+
+// LookupExperiment finds an experiment by id (e.g. "fig7").
+func LookupExperiment(id string) (Experiment, error) { return core.Lookup(id) }
+
+// FullOptions is the paper's regime (3 virtual minutes, 3 seeds).
+func FullOptions() Options { return core.FullOptions() }
+
+// QuickOptions is a fast smoke regime (30 virtual seconds, 1 seed).
+func QuickOptions() Options { return core.QuickOptions() }

@@ -1,0 +1,117 @@
+package hyperledgerlab
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func quickCfg(seed int64) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.Duration = 10 * time.Second
+	cfg.Drain = 15 * time.Second
+	cfg.Rate = 50
+	cfg.Chaincode = EHRChaincode()
+	cfg.Workload = EHRWorkload(1)
+	return cfg
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	nw, err := NewNetwork(quickCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := nw.Run()
+	if rep.Total == 0 || rep.Valid == 0 {
+		t.Fatalf("empty run: %v", rep)
+	}
+	if rep.Counts[Valid] != rep.Valid {
+		t.Error("code constants not wired to the report")
+	}
+}
+
+func TestAllChaincodeFactories(t *testing.T) {
+	ccs := []struct {
+		cc Chaincode
+		wl WorkloadGenerator
+	}{
+		{EHRChaincode(), EHRWorkload(1)},
+		{DVChaincode(), DVWorkload(1)},
+		{SCMChaincode(), SCMWorkload(1)},
+		{DRMChaincode(), DRMWorkload(1)},
+	}
+	for _, c := range ccs {
+		cfg := quickCfg(2)
+		cfg.Duration = 5 * time.Second
+		cfg.Rate = 20
+		cfg.Chaincode = c.cc
+		cfg.Workload = c.wl
+		nw, err := NewNetwork(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.cc.Name(), err)
+		}
+		rep := nw.Run()
+		if rep.Valid == 0 {
+			t.Errorf("%s: no valid transactions (%v)", c.cc.Name(), rep)
+		}
+	}
+}
+
+func TestGeneratedChaincodeRoundTrip(t *testing.T) {
+	spec := GenChainSpec()
+	spec.Keys = 2000
+	cc, err := GenerateChaincode(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg(3)
+	cfg.DBKind = LevelDB
+	cfg.Chaincode = cc
+	cfg.Workload = GenWorkload(spec, UpdateHeavy, 1)
+	nw, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := nw.Run(); rep.Valid == 0 {
+		t.Fatalf("generated chaincode run failed: %v", rep)
+	}
+	src, err := RenderChaincode(spec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "package genChain") {
+		t.Error("rendered source lacks package clause")
+	}
+}
+
+func TestVariantsViaFacade(t *testing.T) {
+	for _, sys := range []System{Fabric14, FabricPP, Streamchain, FabricSharp} {
+		cfg := quickCfg(4)
+		cfg.Duration = 5 * time.Second
+		cfg.Rate = 20
+		cfg.Variant = sys.Variant()
+		nw, err := NewNetwork(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", sys, err)
+		}
+		if rep := nw.Run(); rep.Valid == 0 {
+			t.Errorf("%v: no valid transactions", sys)
+		}
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	if len(Experiments()) != 25 {
+		t.Errorf("%d experiments exposed, want 25", len(Experiments()))
+	}
+	if _, err := LookupExperiment("fig26"); err != nil {
+		t.Error(err)
+	}
+	if FullOptions().Duration != 3*time.Minute {
+		t.Error("full options should use the paper's 3-minute window")
+	}
+	if QuickOptions().Duration >= FullOptions().Duration {
+		t.Error("quick options should be shorter than full")
+	}
+}

@@ -1,0 +1,106 @@
+// Package adaptive implements the paper's first proposed research
+// direction (§6.2, "Adaptive block size"): a controller that monitors
+// the transaction arrival rate at the ordering service and retunes the
+// block size while the system runs.
+//
+// The paper establishes (Fig 4) that the best block size grows with
+// the arrival rate and differs per chaincode, and recommends (§6.1
+// recommendation #1) monitoring the rate trend and adapting. The
+// controller does exactly that: every interval it estimates the
+// arrival rate from the orderer's total-order counter and sets
+//
+//	blockSize = clamp(rate × TargetFill, Min, Max)
+//
+// so that a block fills in roughly TargetFill at the current load —
+// the "linear relation between increasing transaction arrival rate
+// and the best block size" the study measures.
+package adaptive
+
+import (
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// Config tunes the controller.
+type Config struct {
+	// Interval between rate observations.
+	Interval time.Duration
+	// TargetFill is the time a block should take to fill at the
+	// observed rate. Fig 4's best sizes correspond to roughly half a
+	// second to one second of fill.
+	TargetFill time.Duration
+	// Min and Max clamp the chosen block size.
+	Min, Max int
+	// Smoothing is the exponential moving-average weight of the
+	// newest observation (0 < Smoothing <= 1).
+	Smoothing float64
+}
+
+// DefaultConfig returns a controller tuned for the paper's rate range
+// (10–200 tps).
+func DefaultConfig() Config {
+	return Config{
+		Interval:   5 * time.Second,
+		TargetFill: 700 * time.Millisecond,
+		Min:        10,
+		Max:        200,
+		Smoothing:  0.5,
+	}
+}
+
+// Controller retunes a network's block size while it runs.
+type Controller struct {
+	cfg     Config
+	nw      *fabric.Network
+	lastCnt uint64
+	ewma    float64
+	// History records every decision for analysis.
+	History []Decision
+}
+
+// Decision is one controller step.
+type Decision struct {
+	At        sim.Time
+	Rate      float64 // smoothed arrival estimate, tps
+	BlockSize int
+}
+
+// Attach installs the controller on the network's engine. Call before
+// nw.Run().
+func Attach(nw *fabric.Network, cfg Config) *Controller {
+	if cfg.Interval <= 0 || cfg.TargetFill <= 0 || cfg.Min < 1 || cfg.Max < cfg.Min {
+		panic("adaptive: invalid controller config")
+	}
+	if cfg.Smoothing <= 0 || cfg.Smoothing > 1 {
+		panic("adaptive: smoothing must be in (0,1]")
+	}
+	c := &Controller{cfg: cfg, nw: nw}
+	nw.Engine().Tick(cfg.Interval, c.step)
+	return c
+}
+
+func (c *Controller) step() {
+	cnt := c.nw.Orderer().OrderedCount()
+	rate := float64(cnt-c.lastCnt) / c.cfg.Interval.Seconds()
+	c.lastCnt = cnt
+	if c.ewma == 0 {
+		c.ewma = rate
+	} else {
+		c.ewma = c.cfg.Smoothing*rate + (1-c.cfg.Smoothing)*c.ewma
+	}
+	size := int(c.ewma * c.cfg.TargetFill.Seconds())
+	if size < c.cfg.Min {
+		size = c.cfg.Min
+	}
+	if size > c.cfg.Max {
+		size = c.cfg.Max
+	}
+	c.nw.Orderer().SetBlockSize(size)
+	c.History = append(c.History, Decision{
+		At:        c.nw.Engine().Now(),
+		Rate:      c.ewma,
+		BlockSize: size,
+	})
+}

@@ -1,0 +1,122 @@
+package adaptive
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/chaincodes/ehr"
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+)
+
+// rampConfig is an EHR run whose arrival rate ramps 20 -> 150 tps.
+func rampConfig(seed int64) fabric.Config {
+	cfg := fabric.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Duration = 60 * time.Second
+	cfg.Drain = 30 * time.Second
+	cfg.RateSchedule = []fabric.RatePhase{
+		{Duration: 30 * time.Second, Rate: 20},
+		{Duration: 30 * time.Second, Rate: 150},
+	}
+	cfg.Rate = 150 // fallback past the schedule
+	cfg.Chaincode = ehr.New()
+	cfg.Workload = ehr.NewWorkload(1)
+	return cfg
+}
+
+func runWith(t *testing.T, cfg fabric.Config, attach bool) (metrics.Report, *Controller) {
+	t.Helper()
+	nw, err := fabric.NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c *Controller
+	if attach {
+		c = Attach(nw, DefaultConfig())
+	}
+	rep := nw.Run()
+	return rep, c
+}
+
+func TestControllerTracksRateRamp(t *testing.T) {
+	_, c := runWith(t, rampConfig(1), true)
+	if len(c.History) < 5 {
+		t.Fatalf("only %d decisions", len(c.History))
+	}
+	// Pick decisions by virtual time: one inside the 20 tps phase,
+	// one at the end of the 150 tps phase (before the drain).
+	var early, late Decision
+	for _, d := range c.History {
+		if d.At <= 25*1e9 {
+			early = d
+		}
+		if d.At <= 60*1e9 {
+			late = d
+		}
+	}
+	if late.BlockSize <= early.BlockSize {
+		t.Errorf("block size did not grow with the rate: early %d (%.0f tps) late %d (%.0f tps)",
+			early.BlockSize, early.Rate, late.BlockSize, late.Rate)
+	}
+	if early.Rate > 60 || late.Rate < 80 {
+		t.Errorf("rate estimates off: early %.1f late %.1f", early.Rate, late.Rate)
+	}
+}
+
+func TestAdaptiveBeatsMistunedStatic(t *testing.T) {
+	// Static block size tuned for the low phase, run under the ramp.
+	staticCfg := rampConfig(2)
+	staticCfg.BlockSize = 10
+	staticRep, _ := runWith(t, staticCfg, false)
+
+	adaptiveCfg := rampConfig(2)
+	adaptiveCfg.BlockSize = 10 // same starting point
+	adaptiveRep, _ := runWith(t, adaptiveCfg, true)
+
+	if adaptiveRep.AvgLatency >= staticRep.AvgLatency {
+		t.Errorf("adaptive latency %v >= static %v",
+			adaptiveRep.AvgLatency, staticRep.AvgLatency)
+	}
+	t.Logf("static   %v", staticRep)
+	t.Logf("adaptive %v", adaptiveRep)
+}
+
+func TestClampingAndDefaults(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Min < 1 || cfg.Max < cfg.Min || cfg.Smoothing <= 0 {
+		t.Fatalf("bad defaults %+v", cfg)
+	}
+	// Very low rate clamps to Min.
+	low := rampConfig(3)
+	low.RateSchedule = nil
+	low.Rate = 2
+	low.Duration = 30 * time.Second
+	_, c := runWith(t, low, true)
+	last := c.History[len(c.History)-1]
+	if last.BlockSize != DefaultConfig().Min {
+		t.Errorf("block size %d at 2 tps, want clamp to %d", last.BlockSize, DefaultConfig().Min)
+	}
+}
+
+func TestAttachValidation(t *testing.T) {
+	nw, err := fabric.NewNetwork(rampConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{
+		{Interval: 0, TargetFill: time.Second, Min: 1, Max: 10, Smoothing: 0.5},
+		{Interval: time.Second, TargetFill: 0, Min: 1, Max: 10, Smoothing: 0.5},
+		{Interval: time.Second, TargetFill: time.Second, Min: 10, Max: 5, Smoothing: 0.5},
+		{Interval: time.Second, TargetFill: time.Second, Min: 1, Max: 10, Smoothing: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v accepted", bad)
+				}
+			}()
+			Attach(nw, bad)
+		}()
+	}
+}

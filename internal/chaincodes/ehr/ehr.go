@@ -1,0 +1,259 @@
+// Package ehr implements the Electronic Health Records chaincode of
+// the paper (§4.3, Table 2): access-credential management for patient
+// profiles and health records. Every patient owns two entities — a
+// profile and an EHR — and medical actors are granted or revoked
+// access to either. Only credentials and logical connections live on
+// chain; the records themselves are off-chain.
+//
+// The paper populates 100 profiles and 100 EHRs and reports >40 %
+// failed transactions for this chaincode under default settings — the
+// small hot key space is intentional.
+package ehr
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/chaincode"
+	"repro/internal/dist"
+	"repro/internal/workload"
+)
+
+// Name is the chaincode identifier.
+const Name = "ehr"
+
+// Patients is the number of patients seeded by Init (100 profiles +
+// 100 EHRs, §4.3).
+const Patients = 100
+
+// Actors is the number of medical actors that request access.
+const Actors = 50
+
+type profile struct {
+	PatientID string          `json:"patientId"`
+	Access    map[string]bool `json:"access"` // actor -> granted
+	Updates   int             `json:"updates"`
+}
+
+type record struct {
+	PatientID string          `json:"patientId"`
+	Access    map[string]bool `json:"access"`
+	Entries   int             `json:"entries"`
+}
+
+// Chaincode is the EHR contract. The zero value is ready to use.
+type Chaincode struct{}
+
+// New returns the contract.
+func New() *Chaincode { return &Chaincode{} }
+
+// Name implements chaincode.Chaincode.
+func (c *Chaincode) Name() string { return Name }
+
+// ProfileKey is the world-state key of a patient's profile.
+func ProfileKey(patient int) string { return fmt.Sprintf("profile_%03d", patient) }
+
+// RecordKey is the world-state key of a patient's EHR.
+func RecordKey(patient int) string { return fmt.Sprintf("ehr_%03d", patient) }
+
+func actorName(i int) string { return fmt.Sprintf("actor%02d", i) }
+
+// Init seeds the 100 profiles and 100 EHRs.
+func (c *Chaincode) Init(stub *chaincode.Stub) error {
+	for p := 0; p < Patients; p++ {
+		if err := putJSON(stub, ProfileKey(p), &profile{
+			PatientID: fmt.Sprint(p), Access: map[string]bool{},
+		}); err != nil {
+			return err
+		}
+		if err := putJSON(stub, RecordKey(p), &record{
+			PatientID: fmt.Sprint(p), Access: map[string]bool{},
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Invoke dispatches the functions of Table 2.
+func (c *Chaincode) Invoke(stub *chaincode.Stub, fn string, args []string) error {
+	switch fn {
+	case "initLedger": // 2xW: (re)create one patient's pair
+		patient, err := patientArg(args)
+		if err != nil {
+			return err
+		}
+		if err := putJSON(stub, ProfileKey(patient), &profile{
+			PatientID: fmt.Sprint(patient), Access: map[string]bool{},
+		}); err != nil {
+			return err
+		}
+		return putJSON(stub, RecordKey(patient), &record{
+			PatientID: fmt.Sprint(patient), Access: map[string]bool{},
+		})
+	case "addEhr": // 2xR, 2xW
+		patient, err := patientArg(args)
+		if err != nil {
+			return err
+		}
+		var p profile
+		if err := getJSON(stub, ProfileKey(patient), &p); err != nil {
+			return err
+		}
+		var r record
+		if err := getJSON(stub, RecordKey(patient), &r); err != nil {
+			return err
+		}
+		r.Entries++
+		p.Updates++
+		if err := putJSON(stub, RecordKey(patient), &r); err != nil {
+			return err
+		}
+		return putJSON(stub, ProfileKey(patient), &p)
+	case "grantProfileAccess", "revokeProfileAccess": // 1xR, 1xW
+		patient, actor, err := patientActorArgs(args)
+		if err != nil {
+			return err
+		}
+		var p profile
+		if err := getJSON(stub, ProfileKey(patient), &p); err != nil {
+			return err
+		}
+		if p.Access == nil {
+			p.Access = map[string]bool{}
+		}
+		if fn == "grantProfileAccess" {
+			p.Access[actor] = true
+		} else {
+			delete(p.Access, actor)
+		}
+		return putJSON(stub, ProfileKey(patient), &p)
+	case "grantEhrAccess", "revokeEhrAccess": // 2xR, 2xW
+		patient, actor, err := patientActorArgs(args)
+		if err != nil {
+			return err
+		}
+		var p profile
+		if err := getJSON(stub, ProfileKey(patient), &p); err != nil {
+			return err
+		}
+		var r record
+		if err := getJSON(stub, RecordKey(patient), &r); err != nil {
+			return err
+		}
+		if p.Access == nil {
+			p.Access = map[string]bool{}
+		}
+		if r.Access == nil {
+			r.Access = map[string]bool{}
+		}
+		if fn == "grantEhrAccess" {
+			r.Access[actor] = true
+			p.Access[actor] = true
+		} else {
+			delete(r.Access, actor)
+			delete(p.Access, actor)
+		}
+		if err := putJSON(stub, RecordKey(patient), &r); err != nil {
+			return err
+		}
+		return putJSON(stub, ProfileKey(patient), &p)
+	case "readProfile", "viewPartialProfile": // 1xR
+		patient, err := patientArg(args)
+		if err != nil {
+			return err
+		}
+		_, err = stub.GetState(ProfileKey(patient))
+		return err
+	case "viewEHR", "queryEHR": // 1xR
+		patient, err := patientArg(args)
+		if err != nil {
+			return err
+		}
+		_, err = stub.GetState(RecordKey(patient))
+		return err
+	default:
+		return fmt.Errorf("ehr: unknown function %q", fn)
+	}
+}
+
+func patientArg(args []string) (int, error) {
+	if len(args) < 1 {
+		return 0, fmt.Errorf("ehr: missing patient argument")
+	}
+	var p int
+	if _, err := fmt.Sscanf(args[0], "%d", &p); err != nil || p < 0 {
+		return 0, fmt.Errorf("ehr: bad patient %q", args[0])
+	}
+	return p % Patients, nil
+}
+
+func patientActorArgs(args []string) (int, string, error) {
+	p, err := patientArg(args)
+	if err != nil {
+		return 0, "", err
+	}
+	if len(args) < 2 {
+		return 0, "", fmt.Errorf("ehr: missing actor argument")
+	}
+	return p, args[1], nil
+}
+
+func getJSON(stub *chaincode.Stub, key string, out interface{}) error {
+	raw, err := stub.GetState(key)
+	if err != nil {
+		return err
+	}
+	if raw == nil {
+		return nil // upsert semantics: absent entity starts zeroed
+	}
+	return json.Unmarshal(raw, out)
+}
+
+func putJSON(stub *chaincode.Stub, key string, v interface{}) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return stub.PutState(key, raw)
+}
+
+// Functions lists the invocable functions with their operation counts
+// (reads, writes, range reads) exactly as in Table 2.
+func Functions() []workload.FunctionInfo {
+	return []workload.FunctionInfo{
+		{Name: "initLedger", Reads: 0, Writes: 2},
+		{Name: "addEhr", Reads: 2, Writes: 2},
+		{Name: "grantProfileAccess", Reads: 1, Writes: 1},
+		{Name: "readProfile", Reads: 1},
+		{Name: "revokeProfileAccess", Reads: 1, Writes: 1},
+		{Name: "viewPartialProfile", Reads: 1},
+		{Name: "revokeEhrAccess", Reads: 2, Writes: 2},
+		{Name: "viewEHR", Reads: 1},
+		{Name: "grantEhrAccess", Reads: 2, Writes: 2},
+		{Name: "queryEHR", Reads: 1},
+	}
+}
+
+// NewWorkload returns the uniform EHR workload: all nine post-init
+// functions invoked equally often, patients drawn with the given
+// Zipfian skew (Table 3 default: skew 1).
+func NewWorkload(skew float64) workload.Generator {
+	z := dist.NewZipfian(Patients, skew)
+	fns := []string{
+		"addEhr", "grantProfileAccess", "readProfile", "revokeProfileAccess",
+		"viewPartialProfile", "revokeEhrAccess", "viewEHR", "grantEhrAccess",
+		"queryEHR",
+	}
+	return workload.Func(func(rng *rand.Rand) workload.Invocation {
+		fn := fns[rng.Intn(len(fns))]
+		patient := z.Next(rng)
+		args := []string{fmt.Sprint(patient)}
+		switch fn {
+		case "grantProfileAccess", "revokeProfileAccess", "grantEhrAccess", "revokeEhrAccess":
+			args = append(args, actorName(rng.Intn(Actors)))
+		}
+		return workload.Invocation{Chaincode: Name, Function: fn, Args: args}
+	})
+}

@@ -1,0 +1,183 @@
+package ehr
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cctest"
+	"repro/internal/statedb"
+)
+
+func TestInitSeedsAllEntities(t *testing.T) {
+	db, err := cctest.InitState(New(), statedb.LevelDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2*Patients {
+		t.Fatalf("seeded %d keys, want %d", db.Len(), 2*Patients)
+	}
+	if db.Get(ProfileKey(0)) == nil || db.Get(RecordKey(Patients-1)) == nil {
+		t.Fatal("expected profile/ehr keys missing")
+	}
+}
+
+// TestTable2OpCounts verifies every function's read/write/range counts
+// against the paper's Table 2.
+func TestTable2OpCounts(t *testing.T) {
+	db, err := cctest.InitState(New(), statedb.LevelDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	argsFor := func(fn string) []string {
+		switch fn {
+		case "grantProfileAccess", "revokeProfileAccess", "grantEhrAccess", "revokeEhrAccess":
+			return []string{"7", "actor01"}
+		case "addEhr", "readProfile", "viewPartialProfile", "viewEHR", "queryEHR", "initLedger":
+			return []string{"7"}
+		}
+		return nil
+	}
+	for _, info := range Functions() {
+		stub, err := cctest.Invoke(New(), db, info.Name, argsFor(info.Name)...)
+		if err != nil {
+			t.Fatalf("%s: %v", info.Name, err)
+		}
+		if err := cctest.CheckOps(info, stub); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestGrantThenRevokeRoundTrip(t *testing.T) {
+	cc := New()
+	db, err := cctest.InitState(cc, statedb.LevelDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub, err := cctest.Invoke(cc, db, "grantProfileAccess", "3", "actor09")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cctest.Commit(db, stub, 1); err != nil {
+		t.Fatal(err)
+	}
+	var p struct {
+		Access map[string]bool `json:"access"`
+	}
+	if err := json.Unmarshal(db.Get(ProfileKey(3)).Value, &p); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Access["actor09"] {
+		t.Fatal("grant not persisted")
+	}
+	stub, err = cctest.Invoke(cc, db, "revokeProfileAccess", "3", "actor09")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cctest.Commit(db, stub, 2); err != nil {
+		t.Fatal(err)
+	}
+	p.Access = nil // json.Unmarshal merges into an existing map
+	if err := json.Unmarshal(db.Get(ProfileKey(3)).Value, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Access["actor09"] {
+		t.Fatal("revoke not persisted")
+	}
+}
+
+func TestAddEhrIncrementsCounters(t *testing.T) {
+	cc := New()
+	db, err := cctest.InitState(cc, statedb.LevelDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		stub, err := cctest.Invoke(cc, db, "addEhr", "5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cctest.Commit(db, stub, uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var r struct {
+		Entries int `json:"entries"`
+	}
+	if err := json.Unmarshal(db.Get(RecordKey(5)).Value, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Entries != 3 {
+		t.Fatalf("entries = %d, want 3", r.Entries)
+	}
+}
+
+func TestUnknownFunctionAndBadArgs(t *testing.T) {
+	cc := New()
+	db, err := cctest.InitState(cc, statedb.LevelDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cctest.Invoke(cc, db, "nope"); err == nil {
+		t.Error("unknown function accepted")
+	}
+	if _, err := cctest.Invoke(cc, db, "readProfile"); err == nil {
+		t.Error("missing patient accepted")
+	}
+	if _, err := cctest.Invoke(cc, db, "readProfile", "xyz"); err == nil {
+		t.Error("non-numeric patient accepted")
+	}
+	if _, err := cctest.Invoke(cc, db, "grantProfileAccess", "1"); err == nil {
+		t.Error("missing actor accepted")
+	}
+}
+
+func TestWorkloadProducesValidInvocations(t *testing.T) {
+	cc := New()
+	db, err := cctest.InitState(cc, statedb.LevelDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := NewWorkload(1)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		inv := gen.Next(rng)
+		if inv.Chaincode != Name {
+			t.Fatalf("invocation for %q", inv.Chaincode)
+		}
+		if _, err := cctest.Invoke(cc, db, inv.Function, inv.Args...); err != nil {
+			t.Fatalf("%s(%v): %v", inv.Function, inv.Args, err)
+		}
+	}
+}
+
+func TestWorkloadSkewFavoursHighPatients(t *testing.T) {
+	gen := NewWorkload(2)
+	rng := rand.New(rand.NewSource(10))
+	high, low := 0, 0
+	for i := 0; i < 2000; i++ {
+		inv := gen.Next(rng)
+		var p int
+		if _, err := sscan(inv.Args[0], &p); err != nil {
+			t.Fatal(err)
+		}
+		if p >= Patients/2 {
+			high++
+		} else {
+			low++
+		}
+	}
+	if high <= low {
+		t.Errorf("skew 2: high=%d low=%d, want high > low", high, low)
+	}
+}
+
+func sscan(s string, p *int) (int, error) {
+	n := 0
+	for _, r := range s {
+		n = n*10 + int(r-'0')
+	}
+	*p = n
+	return 1, nil
+}

@@ -1,0 +1,352 @@
+// Package conflictgraph provides the dependency-graph machinery shared
+// by the Fabric++ and FabricSharp reimplementations: building the
+// within-block conflict graph from read/write sets, Tarjan strongly
+// connected components, a greedy approximation of the minimum feedback
+// vertex set (cycle removal — the MFVS problem is NP-hard, §5.2.3),
+// and deterministic topological serialization.
+package conflictgraph
+
+import (
+	"sort"
+
+	"repro/internal/ledger"
+)
+
+// Graph is a directed graph over transaction indices 0..N-1.
+type Graph struct {
+	n   int
+	adj [][]int
+}
+
+// NewGraph returns an empty graph over n nodes.
+func NewGraph(n int) *Graph {
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the directed edge u -> v (u must precede v).
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	g.adj[u] = append(g.adj[u], v)
+}
+
+// Succ returns u's successors.
+func (g *Graph) Succ(u int) []int { return g.adj[u] }
+
+// Edges counts directed edges.
+func (g *Graph) Edges() int {
+	n := 0
+	for _, a := range g.adj {
+		n += len(a)
+	}
+	return n
+}
+
+// Lookups is the number of read-key hash probes performed while
+// building the last graph — Fabric++'s dominant reordering cost, used
+// by the cost model to price the ordering phase (large range reads
+// make this explode, §5.2.3).
+type BuildResult struct {
+	Graph   *Graph
+	Lookups int
+}
+
+// Build constructs the within-block conflict graph: an edge Ti -> Tj
+// means Ti must be ordered before Tj. Fabric validates a block's
+// transactions against the pre-block state plus earlier in-block
+// writes, so a transaction that reads key k must precede any
+// transaction that writes k — edge reader -> writer. Unchecked (rich
+// query) range observations create no constraints.
+func Build(rwsets []*ledger.RWSet) BuildResult {
+	g := NewGraph(len(rwsets))
+	writers := map[string][]int{}
+	for i, rw := range rwsets {
+		for _, w := range rw.Writes {
+			writers[w.Key] = append(writers[w.Key], i)
+		}
+	}
+	lookups := 0
+	addReaderEdges := func(i int, key string) {
+		lookups++
+		for _, j := range writers[key] {
+			if j != i {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	for i, rw := range rwsets {
+		for _, r := range rw.Reads {
+			addReaderEdges(i, r.Key)
+		}
+		for _, rq := range rw.RangeQueries {
+			if rq.Unchecked {
+				continue
+			}
+			for _, r := range rq.Reads {
+				addReaderEdges(i, r.Key)
+			}
+			// Writers inserting into the scanned interval would
+			// change the phantom re-execution, so the scanner must
+			// also precede them.
+			for key, ws := range writers {
+				if key >= rq.StartKey && (rq.EndKey == "" || key < rq.EndKey) {
+					lookups++
+					for _, j := range ws {
+						if j != i {
+							g.AddEdge(i, j)
+						}
+					}
+				}
+			}
+		}
+	}
+	return BuildResult{Graph: g, Lookups: lookups}
+}
+
+// SCCs returns the strongly connected components in reverse
+// topological order (Tarjan). Components are sorted internally for
+// determinism.
+func (g *Graph) SCCs() [][]int {
+	index := make([]int, g.n)
+	low := make([]int, g.n)
+	onStack := make([]bool, g.n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var out [][]int
+	next := 0
+	// Iterative Tarjan to survive large blocks without stack overflow.
+	type frame struct {
+		v, ei int
+	}
+	for start := 0; start < g.n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		frames := []frame{{v: start}}
+		index[start], low[start] = next, next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(g.adj[f.v]) {
+				w := g.adj[f.v][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// post-visit
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Ints(comp)
+				out = append(out, comp)
+			}
+		}
+	}
+	return out
+}
+
+// BreakCycles removes nodes until the graph is acyclic, using the
+// greedy MFVS approximation Fabric++ describes: within every strongly
+// connected component of size > 1, repeatedly drop the node with the
+// highest internal degree. Returns the removed node set (aborted
+// transactions), deterministically.
+func (g *Graph) BreakCycles() []int {
+	removed := map[int]bool{}
+	var aborted []int
+	comps := g.SCCs()
+	for _, comp := range comps {
+		if len(comp) == 1 {
+			v := comp[0]
+			if !hasSelfLoop(g, v) {
+				continue
+			}
+		}
+		// Work on the subgraph induced by comp, removing greedily.
+		in := map[int]bool{}
+		for _, v := range comp {
+			in[v] = true
+		}
+		for {
+			sub := subgraph(g, in, removed)
+			if sub.acyclic() {
+				break
+			}
+			v := sub.maxDegreeNode()
+			removed[v] = true
+			aborted = append(aborted, v)
+		}
+	}
+	sort.Ints(aborted)
+	return aborted
+}
+
+func hasSelfLoop(g *Graph, v int) bool {
+	for _, w := range g.adj[v] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// sub is an induced subgraph view used during cycle breaking.
+type sub struct {
+	nodes []int
+	adj   map[int][]int
+}
+
+func subgraph(g *Graph, in map[int]bool, removed map[int]bool) *sub {
+	s := &sub{adj: map[int][]int{}}
+	for v := range in {
+		if removed[v] {
+			continue
+		}
+		s.nodes = append(s.nodes, v)
+	}
+	sort.Ints(s.nodes)
+	member := map[int]bool{}
+	for _, v := range s.nodes {
+		member[v] = true
+	}
+	for _, v := range s.nodes {
+		for _, w := range g.adj[v] {
+			if member[w] && w != v {
+				s.adj[v] = append(s.adj[v], w)
+			}
+		}
+	}
+	return s
+}
+
+func (s *sub) acyclic() bool {
+	indeg := map[int]int{}
+	for _, v := range s.nodes {
+		indeg[v] += 0
+		for _, w := range s.adj[v] {
+			indeg[w]++
+		}
+	}
+	queue := []int{}
+	for _, v := range s.nodes {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, w := range s.adj[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	return seen == len(s.nodes)
+}
+
+func (s *sub) maxDegreeNode() int {
+	best, bestDeg := -1, -1
+	indeg := map[int]int{}
+	for _, v := range s.nodes {
+		for _, w := range s.adj[v] {
+			indeg[w]++
+		}
+	}
+	for _, v := range s.nodes {
+		deg := len(s.adj[v]) + indeg[v]
+		if deg > bestDeg {
+			best, bestDeg = v, deg
+		}
+	}
+	return best
+}
+
+// TopoOrder returns a deterministic topological order of the graph
+// with the given nodes removed. It must only be called once the
+// remaining graph is acyclic (after BreakCycles); it panics otherwise.
+// Ties are broken by original index, so the serialization is stable.
+func (g *Graph) TopoOrder(removed []int) []int {
+	gone := map[int]bool{}
+	for _, v := range removed {
+		gone[v] = true
+	}
+	indeg := make([]int, g.n)
+	for u := 0; u < g.n; u++ {
+		if gone[u] {
+			continue
+		}
+		for _, v := range g.adj[u] {
+			if !gone[v] && v != u {
+				indeg[v]++
+			}
+		}
+	}
+	// Min-heap by index for stability; a sorted slice suffices here.
+	var ready []int
+	for v := 0; v < g.n; v++ {
+		if !gone[v] && indeg[v] == 0 {
+			ready = append(ready, v)
+		}
+	}
+	var order []int
+	for len(ready) > 0 {
+		sort.Ints(ready)
+		v := ready[0]
+		ready = ready[1:]
+		order = append(order, v)
+		for _, w := range g.adj[v] {
+			if gone[w] || w == v {
+				continue
+			}
+			indeg[w]--
+			if indeg[w] == 0 {
+				ready = append(ready, w)
+			}
+		}
+	}
+	want := 0
+	for v := 0; v < g.n; v++ {
+		if !gone[v] {
+			want++
+		}
+	}
+	if len(order) != want {
+		panic("conflictgraph: TopoOrder called on a cyclic graph")
+	}
+	return order
+}

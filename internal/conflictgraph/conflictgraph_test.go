@@ -1,0 +1,230 @@
+package conflictgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ledger"
+)
+
+func rw(reads []string, writes []string) *ledger.RWSet {
+	s := &ledger.RWSet{}
+	for _, k := range reads {
+		s.Reads = append(s.Reads, ledger.KVRead{Key: k})
+	}
+	for _, k := range writes {
+		s.Writes = append(s.Writes, ledger.KVWrite{Key: k})
+	}
+	return s
+}
+
+func TestBuildReaderBeforeWriter(t *testing.T) {
+	// T0 reads a; T1 writes a  =>  edge 0 -> 1.
+	res := Build([]*ledger.RWSet{
+		rw([]string{"a"}, nil),
+		rw(nil, []string{"a"}),
+	})
+	g := res.Graph
+	if g.Edges() != 1 || len(g.Succ(0)) != 1 || g.Succ(0)[0] != 1 {
+		t.Fatalf("edges wrong: %+v", g.adj)
+	}
+	if res.Lookups == 0 {
+		t.Error("lookups not counted")
+	}
+}
+
+func TestBuildRangeConstraint(t *testing.T) {
+	// T0 scans [k1,k5); T1 writes k3 (inside), T2 writes k9 (outside).
+	scan := &ledger.RWSet{RangeQueries: []ledger.RangeQueryInfo{{
+		StartKey: "k1", EndKey: "k5",
+		Reads: []ledger.KVRead{{Key: "k2"}},
+	}}}
+	res := Build([]*ledger.RWSet{
+		scan,
+		rw(nil, []string{"k3"}),
+		rw(nil, []string{"k9"}),
+	})
+	succ := res.Graph.Succ(0)
+	if len(succ) != 1 || succ[0] != 1 {
+		t.Fatalf("scan edges = %v, want [1]", succ)
+	}
+}
+
+func TestUncheckedRangeNoConstraint(t *testing.T) {
+	scan := &ledger.RWSet{RangeQueries: []ledger.RangeQueryInfo{{
+		StartKey: "a", EndKey: "z", Unchecked: true,
+		Reads: []ledger.KVRead{{Key: "m"}},
+	}}}
+	res := Build([]*ledger.RWSet{scan, rw(nil, []string{"m"})})
+	if res.Graph.Edges() != 0 {
+		t.Fatal("unchecked range produced constraints")
+	}
+}
+
+func TestRMWPairIsCycle(t *testing.T) {
+	// Two read-modify-writes of the same key form a 2-cycle.
+	res := Build([]*ledger.RWSet{
+		rw([]string{"a"}, []string{"a"}),
+		rw([]string{"a"}, []string{"a"}),
+	})
+	aborted := res.Graph.BreakCycles()
+	if len(aborted) != 1 {
+		t.Fatalf("aborted = %v, want exactly one", aborted)
+	}
+	order := res.Graph.TopoOrder(aborted)
+	if len(order) != 1 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestDisjointTxsNoCycles(t *testing.T) {
+	var sets []*ledger.RWSet
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("k%d", i)
+		sets = append(sets, rw([]string{k}, []string{k}))
+	}
+	res := Build(sets)
+	if got := res.Graph.BreakCycles(); len(got) != 0 {
+		t.Fatalf("disjoint txs aborted: %v", got)
+	}
+	if order := res.Graph.TopoOrder(nil); len(order) != 10 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestReorderableChainKept(t *testing.T) {
+	// T0 reads a; T1 writes a; T2 reads b; T3 writes b. No cycles:
+	// everyone survives, readers ordered before writers.
+	res := Build([]*ledger.RWSet{
+		rw([]string{"a"}, nil),
+		rw(nil, []string{"a"}),
+		rw([]string{"b"}, nil),
+		rw(nil, []string{"b"}),
+	})
+	if ab := res.Graph.BreakCycles(); len(ab) != 0 {
+		t.Fatalf("aborted %v from an acyclic graph", ab)
+	}
+	order := res.Graph.TopoOrder(nil)
+	pos := map[int]int{}
+	for i, v := range order {
+		pos[v] = i
+	}
+	if pos[0] > pos[1] || pos[2] > pos[3] {
+		t.Fatalf("order %v violates reader-before-writer", order)
+	}
+}
+
+func TestSCCsFindCycle(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	comps := g.SCCs()
+	var big []int
+	for _, c := range comps {
+		if len(c) > 1 {
+			big = c
+		}
+	}
+	if len(big) != 3 || big[0] != 0 || big[2] != 2 {
+		t.Fatalf("SCCs = %v", comps)
+	}
+}
+
+func TestTopoOrderPanicsOnCycle(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TopoOrder on a cycle did not panic")
+		}
+	}()
+	g.TopoOrder(nil)
+}
+
+func TestSelfLoopIgnoredByAddEdge(t *testing.T) {
+	g := NewGraph(1)
+	g.AddEdge(0, 0)
+	if g.Edges() != 0 {
+		t.Fatal("self edge stored")
+	}
+}
+
+// Property: after BreakCycles, TopoOrder succeeds (graph acyclic) and
+// respects every remaining edge.
+func TestBreakCyclesProperty(t *testing.T) {
+	f := func(edges []struct{ U, V uint8 }) bool {
+		const n = 12
+		g := NewGraph(n)
+		for _, e := range edges {
+			g.AddEdge(int(e.U)%n, int(e.V)%n)
+		}
+		aborted := g.BreakCycles()
+		gone := map[int]bool{}
+		for _, v := range aborted {
+			gone[v] = true
+		}
+		order := g.TopoOrder(aborted) // panics -> quick reports failure
+		pos := map[int]int{}
+		for i, v := range order {
+			pos[v] = i
+		}
+		for u := 0; u < n; u++ {
+			if gone[u] {
+				continue
+			}
+			for _, v := range g.Succ(u) {
+				if gone[v] || v == u {
+					continue
+				}
+				if pos[u] > pos[v] {
+					return false
+				}
+			}
+		}
+		return len(order)+len(aborted) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(41))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Build lookups grows with read-set size (the Fabric++ cost
+// driver).
+func TestLookupsScaleWithReads(t *testing.T) {
+	mk := func(reads int) int {
+		var sets []*ledger.RWSet
+		for i := 0; i < 20; i++ {
+			var rs []string
+			for j := 0; j < reads; j++ {
+				rs = append(rs, fmt.Sprintf("k%d", j))
+			}
+			sets = append(sets, rw(rs, []string{fmt.Sprintf("w%d", i)}))
+		}
+		return Build(sets).Lookups
+	}
+	small, large := mk(2), mk(100)
+	if large <= small {
+		t.Errorf("lookups small=%d large=%d, want growth", small, large)
+	}
+}
+
+func BenchmarkBuildAndBreak100Txs(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var sets []*ledger.RWSet
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k%d", rng.Intn(50))
+		k2 := fmt.Sprintf("k%d", rng.Intn(50))
+		sets = append(sets, rw([]string{k}, []string{k2}))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Build(sets)
+		ab := res.Graph.BreakCycles()
+		res.Graph.TopoOrder(ab)
+	}
+}

@@ -1,0 +1,54 @@
+// Package consensus implements the ordering service's total-order
+// broadcast substrates. Fabric 1.4 supports Solo and Kafka; the paper
+// uses Kafka because "Solo is not used in production" (§4.2). Raft
+// (which replaced Kafka in later Fabric releases) is also provided.
+// All three run on the discrete-event engine and deliver submitted
+// payloads exactly once, in a single total order, to a registered
+// callback.
+package consensus
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Consenter is a total-order broadcast. Submit may be called from any
+// component; the commit callback fires once per payload, in order, at
+// the virtual time the payload becomes final.
+type Consenter interface {
+	// Name identifies the protocol ("solo", "kafka", "raft").
+	Name() string
+	// Submit enqueues a payload for ordering.
+	Submit(payload interface{})
+	// OnCommit registers the delivery callback. Must be set before
+	// the first Submit.
+	OnCommit(fn func(payload interface{}))
+}
+
+// Solo is the single-node ordering used in development setups: every
+// submission commits after a fixed small processing delay.
+type Solo struct {
+	eng   *sim.Engine
+	delay time.Duration
+	fn    func(interface{})
+}
+
+// NewSolo returns a solo consenter with the given commit delay.
+func NewSolo(eng *sim.Engine, delay time.Duration) *Solo {
+	return &Solo{eng: eng, delay: delay}
+}
+
+// Name implements Consenter.
+func (s *Solo) Name() string { return "solo" }
+
+// OnCommit implements Consenter.
+func (s *Solo) OnCommit(fn func(interface{})) { s.fn = fn }
+
+// Submit implements Consenter.
+func (s *Solo) Submit(payload interface{}) {
+	if s.fn == nil {
+		panic("consensus: Submit before OnCommit")
+	}
+	s.eng.After(s.delay, func() { s.fn(payload) })
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/gen"
+)
+
+// tinyOptions keeps harness tests fast.
+func tinyOptions() Options {
+	return Options{
+		Duration: 8 * time.Second,
+		Drain:    12 * time.Second,
+		Seeds:    []int64{1},
+		GenKeys:  3000,
+	}
+}
+
+func TestClusterPresets(t *testing.T) {
+	cfg := fabric.DefaultConfig()
+	C1.Apply(&cfg)
+	if cfg.Orgs != 2 || cfg.PeersPerOrg != 2 || cfg.Clients != 5 {
+		t.Errorf("C1 = %+v", cfg)
+	}
+	C2.Apply(&cfg)
+	if cfg.Orgs != 8 || cfg.PeersPerOrg != 4 || cfg.Clients != 25 {
+		t.Errorf("C2 = %+v", cfg)
+	}
+	if C1.String() != "C1" || C2.String() != "C2" {
+		t.Error("cluster names wrong")
+	}
+}
+
+func TestSystemVariants(t *testing.T) {
+	names := map[System]string{
+		Fabric14:         "fabric-1.4",
+		FabricPP:         "fabric++",
+		Streamchain:      "streamchain",
+		StreamchainNoRAM: "streamchain-noramdisk",
+		FabricSharp:      "fabricsharp",
+	}
+	for sys, want := range names {
+		if got := sys.Variant().Name(); got != want {
+			t.Errorf("%v variant = %q, want %q", sys, got, want)
+		}
+	}
+	if len(AllSystems()) != 4 {
+		t.Error("AllSystems should list the four compared systems")
+	}
+}
+
+func TestUseCaseFactories(t *testing.T) {
+	for _, name := range []string{"ehr", "dv", "scm", "drm"} {
+		f, err := UseCase(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.New().Name() != name {
+			t.Errorf("factory %q built %q", name, f.New().Name())
+		}
+		if f.Workload(1) == nil {
+			t.Errorf("factory %q has no workload", name)
+		}
+	}
+	if _, err := UseCase("nope"); err == nil {
+		t.Error("unknown chaincode accepted")
+	}
+}
+
+func TestGenChainFactory(t *testing.T) {
+	f := GenChain(gen.UpdateHeavy, 500)
+	if f.New().Name() != "genChain" {
+		t.Errorf("genChain factory name = %q", f.New().Name())
+	}
+}
+
+func TestRunAveragesSeeds(t *testing.T) {
+	o := tinyOptions()
+	o.Seeds = []int64{1, 2}
+	cc, err := UseCase("ehr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Run(func(seed int64) fabric.Config {
+		cfg := baseConfig(C1, cc, 1, Fabric14)(seed)
+		cfg.Rate = 30
+		return cfg
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total < 100 {
+		t.Errorf("averaged total %.0f too small", res.Total)
+	}
+	if res.FailurePct <= 0 || res.LatencySec <= 0 {
+		t.Errorf("suspicious result %+v", res)
+	}
+}
+
+func TestRunRequiresSeeds(t *testing.T) {
+	o := tinyOptions()
+	o.Seeds = nil
+	if _, err := o.Run(nil); err == nil {
+		t.Fatal("no-seed options accepted")
+	}
+}
+
+func TestBestWorst(t *testing.T) {
+	row := map[int]Result{
+		10:  {FailurePct: 30},
+		50:  {FailurePct: 10},
+		100: {FailurePct: 50},
+		150: {FailurePct: 20},
+		200: {FailurePct: 40},
+	}
+	best, worst, least, most := bestWorst(row)
+	if best != 50 || worst != 100 || least != 10 || most != 50 {
+		t.Errorf("bestWorst = %d %d %.0f %.0f", best, worst, least, most)
+	}
+}
+
+func TestTable2IsStatic(t *testing.T) {
+	out, err := Table2(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"addEhr", "vote", "queryASN", "calcRevenue", "*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 missing %q", want)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("fig7"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("fig99"); err == nil {
+		t.Fatal("unknown experiment found")
+	}
+	seen := map[string]bool{}
+	for _, e := range Experiments() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if len(seen) != 25 {
+		t.Errorf("%d experiments, want 25 (2 tables + 23 figures)", len(seen))
+	}
+}
+
+// TestFig7ShapeQuick checks the inverse relation of inter vs
+// intra-block conflicts with block size on a reduced sweep.
+func TestFig7ShapeQuick(t *testing.T) {
+	cc, err := UseCase("ehr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := tinyOptions()
+	o.Duration = 15 * time.Second
+	runBS := func(bs int) Result {
+		res, err := o.Run(func(seed int64) fabric.Config {
+			cfg := baseConfig(C1, cc, 1, Fabric14)(seed)
+			cfg.Rate = 100
+			cfg.BlockSize = bs
+			return cfg
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// Compare block sizes that actually fill before the batch timeout
+	// at 100 tps, so the classification shift (not the timeout wait)
+	// drives the difference.
+	small, large := runBS(10), runBS(100)
+	if large.IntraPct <= small.IntraPct {
+		t.Errorf("intra-block: bs10=%.2f%% bs200=%.2f%%, want increase with block size",
+			small.IntraPct, large.IntraPct)
+	}
+	if large.InterPct >= small.InterPct {
+		t.Errorf("inter-block: bs10=%.2f%% bs200=%.2f%%, want decrease with block size",
+			small.InterPct, large.InterPct)
+	}
+}
+
+// TestFig15ShapeQuick checks failures grow with skew.
+func TestFig15ShapeQuick(t *testing.T) {
+	o := tinyOptions()
+	runSkew := func(skew float64) Result {
+		cc := GenChain(gen.UniformRU, o.GenKeys)
+		res, err := o.Run(func(seed int64) fabric.Config {
+			cfg := baseConfig(C1, cc, skew, Fabric14)(seed)
+			cfg.Rate = 50
+			return cfg
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	s0, s2 := runSkew(0), runSkew(2)
+	if s2.FailurePct <= s0.FailurePct {
+		t.Errorf("failures: skew0=%.2f%% skew2=%.2f%%, want growth with skew",
+			s0.FailurePct, s2.FailurePct)
+	}
+}

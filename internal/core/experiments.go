@@ -1,0 +1,423 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/chaincodes/drm"
+	"repro/internal/chaincodes/dv"
+	"repro/internal/chaincodes/ehr"
+	"repro/internal/chaincodes/scm"
+	"repro/internal/costmodel"
+	"repro/internal/fabric"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/netem"
+	"repro/internal/policy"
+	"repro/internal/statedb"
+	"repro/internal/workload"
+)
+
+// Rates is the paper's transaction-arrival-rate sweep (Fig 4/5).
+var Rates = []float64{10, 50, 100, 150, 200}
+
+// BlockSizes is the paper's block-size sweep.
+var BlockSizes = []int{10, 50, 100, 150, 200}
+
+// Table2 prints the chaincode functions and their operation profiles.
+func Table2(Options) (string, error) {
+	t := metrics.NewTable("chaincode", "function", "reads", "writes", "range reads", "unchecked")
+	rows := []struct {
+		cc  string
+		fns []workload.FunctionInfo
+	}{
+		{"EHR", ehr.Functions()}, {"DV", dv.Functions()},
+		{"SCM", scm.Functions()}, {"DRM", drm.Functions()},
+	}
+	for _, r := range rows {
+		for _, f := range r.fns {
+			star := ""
+			if f.Unchecked {
+				star = "*"
+			}
+			t.AddRow(r.cc, f.Name, f.Reads, f.Writes, f.RangeReads, star)
+		}
+	}
+	return t.String(), nil
+}
+
+// Table4 reproduces the database-type study: average latency and
+// failure percentage per workload on CouchDB vs LevelDB, plus the
+// calibrated per-function-call latencies.
+func Table4(o Options) (string, error) {
+	var sb strings.Builder
+	t := metrics.NewTable("workload", "db", "avg latency (s)", "failures %")
+	for _, wl := range []string{"RH", "IH", "UH", "RaH", "DH"} {
+		mix, err := gen.MixByName(wl)
+		if err != nil {
+			return "", err
+		}
+		for _, kind := range []statedb.Kind{statedb.CouchDB, statedb.LevelDB} {
+			kind := kind
+			cc := GenChain(mix, o.GenKeys)
+			res, err := o.Run(func(seed int64) fabric.Config {
+				cfg := baseConfig(C1, cc, 1, Fabric14)(seed)
+				cfg.DBKind = kind
+				return cfg
+			})
+			if err != nil {
+				return "", err
+			}
+			t.AddRow(wl, kind.String(), fmt.Sprintf("%.2f", res.LatencySec), res.FailurePct)
+		}
+	}
+	sb.WriteString(t.String())
+	sb.WriteString("\nFunction call latency (cost model, calibrated to the paper):\n")
+	ft := metrics.NewTable("function", "CouchDB (ms)", "LevelDB (ms)")
+	cdb, ldb := costmodel.ForKind(statedb.CouchDB), costmodel.ForKind(statedb.LevelDB)
+	ms := func(d time.Duration) string { return fmt.Sprintf("%.1f", float64(d)/float64(time.Millisecond)) }
+	ft.AddRow("GetState", ms(cdb.Get), ms(ldb.Get))
+	ft.AddRow("PutState", ms(cdb.Put), ms(ldb.Put))
+	ft.AddRow("GetRange", ms(cdb.RangeBase), ms(ldb.RangeBase))
+	ft.AddRow("DeleteState", ms(cdb.Delete), ms(ldb.Delete))
+	sb.WriteString(ft.String())
+	return sb.String(), nil
+}
+
+// blockSizeSweep runs one chaincode on one cluster over rates × block
+// sizes and returns the result grid.
+func blockSizeSweep(o Options, cluster Cluster, ccName string, sys System) (map[float64]map[int]Result, error) {
+	cc, err := UseCase(ccName)
+	if err != nil {
+		return nil, err
+	}
+	grid := map[float64]map[int]Result{}
+	for _, rate := range Rates {
+		grid[rate] = map[int]Result{}
+		for _, bs := range BlockSizes {
+			rate, bs := rate, bs
+			res, err := o.Run(func(seed int64) fabric.Config {
+				cfg := baseConfig(cluster, cc, 1, sys)(seed)
+				cfg.Rate = rate
+				cfg.BlockSize = bs
+				return cfg
+			})
+			if err != nil {
+				return nil, err
+			}
+			grid[rate][bs] = res
+		}
+	}
+	return grid, nil
+}
+
+// bestWorst extracts the block sizes with the fewest and most failed
+// transactions at one rate (§5.1.1's "best/worst block size").
+func bestWorst(row map[int]Result) (bestBS, worstBS int, least, most float64) {
+	first := true
+	for _, bs := range BlockSizes {
+		r, ok := row[bs]
+		if !ok {
+			continue
+		}
+		if first || r.FailurePct < least {
+			bestBS, least = bs, r.FailurePct
+		}
+		if first || r.FailurePct > most {
+			worstBS, most = bs, r.FailurePct
+		}
+		first = false
+	}
+	return bestBS, worstBS, least, most
+}
+
+// Fig4 prints the best block size at each arrival rate for EHR, DV
+// and DRM on both clusters.
+func Fig4(o Options) (string, error) {
+	t := metrics.NewTable("chaincode", "cluster", "rate (tps)", "best block size", "failures %")
+	for _, ccName := range []string{"ehr", "dv", "drm"} {
+		for _, cluster := range []Cluster{C1, C2} {
+			grid, err := blockSizeSweep(o, cluster, ccName, Fabric14)
+			if err != nil {
+				return "", err
+			}
+			for _, rate := range Rates {
+				best, _, least, _ := bestWorst(grid[rate])
+				t.AddRow(ccName, cluster, rate, best, least)
+			}
+		}
+	}
+	return t.String(), nil
+}
+
+// Fig5 prints the minimum and maximum failure percentages over the
+// block-size sweep at each rate on C2.
+func Fig5(o Options) (string, error) {
+	t := metrics.NewTable("chaincode", "rate (tps)", "least failures %", "most failures %", "reduction %")
+	for _, ccName := range []string{"ehr", "dv", "drm"} {
+		grid, err := blockSizeSweep(o, C2, ccName, Fabric14)
+		if err != nil {
+			return "", err
+		}
+		for _, rate := range Rates {
+			_, _, least, most := bestWorst(grid[rate])
+			reduction := 0.0
+			if most > 0 {
+				reduction = 100 * (most - least) / most
+			}
+			t.AddRow(ccName, rate, least, most, reduction)
+		}
+	}
+	return t.String(), nil
+}
+
+// Fig6 prints latency and committed throughput vs block size (EHR at
+// 100 tps on C2).
+func Fig6(o Options) (string, error) {
+	cc, err := UseCase("ehr")
+	if err != nil {
+		return "", err
+	}
+	t := metrics.NewTable("block size", "avg latency (s)", "throughput (tps)", "failures %")
+	for _, bs := range BlockSizes {
+		bs := bs
+		res, err := o.Run(func(seed int64) fabric.Config {
+			cfg := baseConfig(C2, cc, 1, Fabric14)(seed)
+			cfg.BlockSize = bs
+			return cfg
+		})
+		if err != nil {
+			return "", err
+		}
+		t.AddRow(bs, fmt.Sprintf("%.2f", res.LatencySec), res.Throughput, res.FailurePct)
+	}
+	return t.String(), nil
+}
+
+// Fig7 prints inter- vs intra-block MVCC conflicts vs block size
+// (EHR, C2, 100 tps).
+func Fig7(o Options) (string, error) {
+	cc, err := UseCase("ehr")
+	if err != nil {
+		return "", err
+	}
+	t := metrics.NewTable("block size", "inter-block %", "intra-block %")
+	for _, bs := range BlockSizes {
+		bs := bs
+		res, err := o.Run(func(seed int64) fabric.Config {
+			cfg := baseConfig(C2, cc, 1, Fabric14)(seed)
+			cfg.BlockSize = bs
+			return cfg
+		})
+		if err != nil {
+			return "", err
+		}
+		t.AddRow(bs, res.InterPct, res.IntraPct)
+	}
+	return t.String(), nil
+}
+
+// Fig8 prints inter- vs intra-block MVCC conflicts vs arrival rate
+// (EHR, C2, block size 100).
+func Fig8(o Options) (string, error) {
+	cc, err := UseCase("ehr")
+	if err != nil {
+		return "", err
+	}
+	t := metrics.NewTable("rate (tps)", "inter-block %", "intra-block %")
+	for _, rate := range Rates {
+		rate := rate
+		res, err := o.Run(func(seed int64) fabric.Config {
+			cfg := baseConfig(C2, cc, 1, Fabric14)(seed)
+			cfg.Rate = rate
+			return cfg
+		})
+		if err != nil {
+			return "", err
+		}
+		t.AddRow(rate, res.InterPct, res.IntraPct)
+	}
+	return t.String(), nil
+}
+
+// Fig9 prints endorsement policy failures vs block size (EHR, C2).
+func Fig9(o Options) (string, error) {
+	cc, err := UseCase("ehr")
+	if err != nil {
+		return "", err
+	}
+	t := metrics.NewTable("block size", "endorsement failures %")
+	for _, bs := range BlockSizes {
+		bs := bs
+		res, err := o.Run(func(seed int64) fabric.Config {
+			cfg := baseConfig(C2, cc, 1, Fabric14)(seed)
+			cfg.BlockSize = bs
+			return cfg
+		})
+		if err != nil {
+			return "", err
+		}
+		t.AddRow(bs, res.EndorsementPct)
+	}
+	return t.String(), nil
+}
+
+// Fig10 prints phantom read conflicts vs block size (SCM, C2).
+func Fig10(o Options) (string, error) {
+	cc, err := UseCase("scm")
+	if err != nil {
+		return "", err
+	}
+	t := metrics.NewTable("block size", "phantom read conflicts %")
+	for _, bs := range BlockSizes {
+		bs := bs
+		res, err := o.Run(func(seed int64) fabric.Config {
+			cfg := baseConfig(C2, cc, 1, Fabric14)(seed)
+			cfg.BlockSize = bs
+			return cfg
+		})
+		if err != nil {
+			return "", err
+		}
+		t.AddRow(bs, res.PhantomPct)
+	}
+	return t.String(), nil
+}
+
+// Fig11 prints the database-type comparison on the EHR chaincode:
+// latency, endorsement failures, inter/intra MVCC conflicts.
+func Fig11(o Options) (string, error) {
+	cc, err := UseCase("ehr")
+	if err != nil {
+		return "", err
+	}
+	t := metrics.NewTable("db", "avg latency (s)", "endorsement %", "inter-block %", "intra-block %")
+	for _, kind := range []statedb.Kind{statedb.CouchDB, statedb.LevelDB} {
+		kind := kind
+		res, err := o.Run(func(seed int64) fabric.Config {
+			cfg := baseConfig(C2, cc, 1, Fabric14)(seed)
+			cfg.DBKind = kind
+			return cfg
+		})
+		if err != nil {
+			return "", err
+		}
+		t.AddRow(kind.String(), fmt.Sprintf("%.2f", res.LatencySec),
+			res.EndorsementPct, res.InterPct, res.IntraPct)
+	}
+	return t.String(), nil
+}
+
+// Fig12 prints the effect of the number of organizations (4 peers
+// each): latency and endorsement failures.
+func Fig12(o Options) (string, error) {
+	cc, err := UseCase("ehr")
+	if err != nil {
+		return "", err
+	}
+	t := metrics.NewTable("orgs", "peers", "avg latency (s)", "endorsement failures %")
+	for _, orgs := range []int{2, 4, 6, 8, 10} {
+		orgs := orgs
+		res, err := o.Run(func(seed int64) fabric.Config {
+			cfg := baseConfig(C2, cc, 1, Fabric14)(seed)
+			cfg.Orgs = orgs
+			cfg.PeersPerOrg = 4
+			return cfg
+		})
+		if err != nil {
+			return "", err
+		}
+		t.AddRow(orgs, orgs*4, fmt.Sprintf("%.2f", res.LatencySec), res.EndorsementPct)
+	}
+	return t.String(), nil
+}
+
+// Fig13 prints the effect of the endorsement policies P0–P3.
+func Fig13(o Options) (string, error) {
+	cc, err := UseCase("ehr")
+	if err != nil {
+		return "", err
+	}
+	t := metrics.NewTable("policy", "avg latency (s)", "endorsement failures %")
+	for _, p := range policy.AllNames() {
+		p := p
+		res, err := o.Run(func(seed int64) fabric.Config {
+			cfg := baseConfig(C2, cc, 1, Fabric14)(seed)
+			cfg.Policy = p
+			return cfg
+		})
+		if err != nil {
+			return "", err
+		}
+		t.AddRow(p.String(), fmt.Sprintf("%.2f", res.LatencySec), res.EndorsementPct)
+	}
+	return t.String(), nil
+}
+
+// Fig14 prints failures per workload mix (genChain, C2).
+func Fig14(o Options) (string, error) {
+	t := metrics.NewTable("workload", "failures %")
+	for _, wl := range []string{"RH", "IH", "UH", "RaH", "DH"} {
+		mix, err := gen.MixByName(wl)
+		if err != nil {
+			return "", err
+		}
+		cc := GenChain(mix, o.GenKeys)
+		res, err := o.Run(baseConfig(C2, cc, 1, Fabric14))
+		if err != nil {
+			return "", err
+		}
+		t.AddRow(wl, res.FailurePct)
+	}
+	return t.String(), nil
+}
+
+// Fig15 prints failures per Zipfian skew (genChain uniform
+// read/update mix, C2).
+func Fig15(o Options) (string, error) {
+	t := metrics.NewTable("zipf skew", "failures %")
+	for _, skew := range []float64{0, 1, 2} {
+		cc := GenChain(gen.UniformRU, o.GenKeys)
+		res, err := o.Run(baseConfig(C2, cc, skew, Fabric14))
+		if err != nil {
+			return "", err
+		}
+		t.AddRow(skew, res.FailurePct)
+	}
+	return t.String(), nil
+}
+
+// Fig16 prints the network-delay emulation: Fabric 1.4 with and
+// without 100±10 ms injected on one organization, at 10/50/100 tps.
+func Fig16(o Options) (string, error) {
+	cc, err := UseCase("ehr")
+	if err != nil {
+		return "", err
+	}
+	t := metrics.NewTable("rate (tps)", "delay", "avg latency (s)", "endorsement %", "MVCC %")
+	for _, rate := range []float64{10, 50, 100} {
+		for _, delayed := range []bool{false, true} {
+			rate, delayed := rate, delayed
+			res, err := o.Run(func(seed int64) fabric.Config {
+				cfg := baseConfig(C1, cc, 1, Fabric14)(seed)
+				cfg.Rate = rate
+				if delayed {
+					cfg.DelayOrg = 0
+					cfg.DelayLink = netem.Link{Base: 100 * time.Millisecond, Jitter: 10 * time.Millisecond}
+				}
+				return cfg
+			})
+			if err != nil {
+				return "", err
+			}
+			label := "no"
+			if delayed {
+				label = "100±10ms"
+			}
+			t.AddRow(rate, label, fmt.Sprintf("%.2f", res.LatencySec),
+				res.EndorsementPct, res.MVCCPct)
+		}
+	}
+	return t.String(), nil
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+)
+
+// Fig17 compares Fabric 1.4 and Fabric++ across block sizes (EHR):
+// total failures and endorsement failures.
+func Fig17(o Options) (string, error) {
+	cc, err := UseCase("ehr")
+	if err != nil {
+		return "", err
+	}
+	t := metrics.NewTable("system", "block size", "failures %", "endorsement %")
+	for _, sys := range []System{Fabric14, FabricPP} {
+		for _, bs := range []int{10, 50, 100} {
+			sys, bs := sys, bs
+			res, err := o.Run(func(seed int64) fabric.Config {
+				cfg := baseConfig(C1, cc, 1, sys)(seed)
+				cfg.BlockSize = bs
+				return cfg
+			})
+			if err != nil {
+				return "", err
+			}
+			t.AddRow(sys, bs, res.FailurePct, res.EndorsementPct)
+		}
+	}
+	return t.String(), nil
+}
+
+// Fig18 compares Fabric 1.4 and Fabric++ across the four use-case
+// chaincodes: latency and total failures. DV and SCM carry very large
+// range reads, which make Fabric++'s conflict graphs explode.
+func Fig18(o Options) (string, error) {
+	t := metrics.NewTable("chaincode", "system", "avg latency (s)", "failures %")
+	for _, ccName := range []string{"ehr", "dv", "scm", "drm"} {
+		cc, err := UseCase(ccName)
+		if err != nil {
+			return "", err
+		}
+		for _, sys := range []System{Fabric14, FabricPP} {
+			res, err := o.Run(baseConfig(C1, cc, 1, sys))
+			if err != nil {
+				return "", err
+			}
+			t.AddRow(ccName, sys, fmt.Sprintf("%.2f", res.LatencySec), res.FailurePct)
+		}
+	}
+	return t.String(), nil
+}
+
+// variantWorkloadSweep prints failures per workload mix and per skew
+// for one system vs stock Fabric (Figs 19, 22, 25).
+func variantWorkloadSweep(o Options, sys System, mixes []string) (string, error) {
+	t := metrics.NewTable("workload", "system", "failures %")
+	for _, wl := range mixes {
+		mix, err := gen.MixByName(wl)
+		if err != nil {
+			return "", err
+		}
+		for _, s := range []System{Fabric14, sys} {
+			cc := GenChain(mix, o.GenKeys)
+			res, err := o.Run(baseConfig(C2, cc, 1, s))
+			if err != nil {
+				return "", err
+			}
+			t.AddRow(wl, s, res.FailurePct)
+		}
+	}
+	skewT := metrics.NewTable("zipf skew", "system", "failures %")
+	for _, skew := range []float64{0, 1, 2} {
+		for _, s := range []System{Fabric14, sys} {
+			cc := GenChain(gen.UniformRU, o.GenKeys)
+			res, err := o.Run(baseConfig(C2, cc, skew, s))
+			if err != nil {
+				return "", err
+			}
+			skewT.AddRow(skew, s, res.FailurePct)
+		}
+	}
+	return t.String() + "\n" + skewT.String(), nil
+}
+
+// Fig19 compares Fabric++ across workloads and skews.
+func Fig19(o Options) (string, error) {
+	return variantWorkloadSweep(o, FabricPP, []string{"RH", "IH", "UH", "RaH", "DH"})
+}
+
+// Fig20 compares Streamchain and Fabric 1.4 at 10/50/100 tps on C1:
+// latency, endorsement failures, MVCC conflicts.
+func Fig20(o Options) (string, error) {
+	cc, err := UseCase("ehr")
+	if err != nil {
+		return "", err
+	}
+	t := metrics.NewTable("rate (tps)", "system", "avg latency (s)", "endorsement %", "MVCC %")
+	for _, rate := range []float64{10, 50, 100} {
+		for _, sys := range []System{Fabric14, Streamchain} {
+			rate, sys := rate, sys
+			res, err := o.Run(func(seed int64) fabric.Config {
+				cfg := baseConfig(C1, cc, 1, sys)(seed)
+				cfg.Rate = rate
+				cfg.BlockSize = 10
+				return cfg
+			})
+			if err != nil {
+				return "", err
+			}
+			t.AddRow(rate, sys, fmt.Sprintf("%.2f", res.LatencySec),
+				res.EndorsementPct, res.MVCCPct)
+		}
+	}
+	return t.String(), nil
+}
+
+// Fig21 prints committed transaction throughput at high rates: 150
+// and 200 tps on C1, 100 tps on C2.
+func Fig21(o Options) (string, error) {
+	cc, err := UseCase("ehr")
+	if err != nil {
+		return "", err
+	}
+	t := metrics.NewTable("cluster", "rate (tps)", "system", "committed throughput (tps)")
+	type point struct {
+		cluster Cluster
+		rate    float64
+	}
+	for _, pt := range []point{{C1, 150}, {C1, 200}, {C2, 100}} {
+		for _, sys := range []System{Fabric14, Streamchain} {
+			pt, sys := pt, sys
+			res, err := o.Run(func(seed int64) fabric.Config {
+				cfg := baseConfig(pt.cluster, cc, 1, sys)(seed)
+				cfg.Rate = pt.rate
+				cfg.BlockSize = 100
+				return cfg
+			})
+			if err != nil {
+				return "", err
+			}
+			t.AddRow(pt.cluster, pt.rate, sys, res.Throughput)
+		}
+	}
+	return t.String(), nil
+}
+
+// Fig22 compares Streamchain across workloads and skews (50 tps, C2).
+func Fig22(o Options) (string, error) {
+	t := metrics.NewTable("workload", "system", "failures %")
+	for _, wl := range []string{"RH", "IH", "UH", "RaH", "DH"} {
+		mix, err := gen.MixByName(wl)
+		if err != nil {
+			return "", err
+		}
+		for _, s := range []System{Fabric14, Streamchain} {
+			s := s
+			cc := GenChain(mix, o.GenKeys)
+			res, err := o.Run(func(seed int64) fabric.Config {
+				cfg := baseConfig(C2, cc, 1, s)(seed)
+				cfg.Rate = 50
+				return cfg
+			})
+			if err != nil {
+				return "", err
+			}
+			t.AddRow(wl, s, res.FailurePct)
+		}
+	}
+	skewT := metrics.NewTable("zipf skew", "system", "failures %")
+	for _, skew := range []float64{0, 1, 2} {
+		for _, s := range []System{Fabric14, Streamchain} {
+			s, skew := s, skew
+			cc := GenChain(gen.UniformRU, o.GenKeys)
+			res, err := o.Run(func(seed int64) fabric.Config {
+				cfg := baseConfig(C2, cc, skew, s)(seed)
+				cfg.Rate = 50
+				return cfg
+			})
+			if err != nil {
+				return "", err
+			}
+			skewT.AddRow(skew, s, res.FailurePct)
+		}
+	}
+	return t.String() + "\n" + skewT.String(), nil
+}
+
+// Fig23 is the RAM-disk ablation: Streamchain with and without it,
+// and Fabric 1.4, at 10 and 50 tps.
+func Fig23(o Options) (string, error) {
+	cc, err := UseCase("ehr")
+	if err != nil {
+		return "", err
+	}
+	t := metrics.NewTable("rate (tps)", "system", "avg latency (s)", "endorsement %", "MVCC %")
+	for _, rate := range []float64{10, 50} {
+		for _, sys := range []System{Fabric14, Streamchain, StreamchainNoRAM} {
+			rate, sys := rate, sys
+			res, err := o.Run(func(seed int64) fabric.Config {
+				cfg := baseConfig(C1, cc, 1, sys)(seed)
+				cfg.Rate = rate
+				cfg.BlockSize = 10
+				return cfg
+			})
+			if err != nil {
+				return "", err
+			}
+			t.AddRow(rate, sys, fmt.Sprintf("%.2f", res.LatencySec),
+				res.EndorsementPct, res.MVCCPct)
+		}
+	}
+	return t.String(), nil
+}
+
+// Fig24 compares FabricSharp and Fabric 1.4 at 10/50/100 tps: total
+// failures, endorsement failures and committed throughput.
+func Fig24(o Options) (string, error) {
+	cc, err := UseCase("ehr")
+	if err != nil {
+		return "", err
+	}
+	t := metrics.NewTable("rate (tps)", "system", "failures %", "endorsement %", "committed tput (tps)")
+	for _, rate := range []float64{10, 50, 100} {
+		for _, sys := range []System{Fabric14, FabricSharp} {
+			rate, sys := rate, sys
+			res, err := o.Run(func(seed int64) fabric.Config {
+				cfg := baseConfig(C1, cc, 1, sys)(seed)
+				cfg.Rate = rate
+				return cfg
+			})
+			if err != nil {
+				return "", err
+			}
+			t.AddRow(rate, sys, res.FailurePct, res.EndorsementPct, res.Throughput)
+		}
+	}
+	return t.String(), nil
+}
+
+// Fig25 compares FabricSharp across workloads (no range-heavy —
+// FabricSharp does not support range queries) and skews.
+func Fig25(o Options) (string, error) {
+	return variantWorkloadSweep(o, FabricSharp, []string{"RH", "IH", "UH", "DH"})
+}
+
+// Fig26 compares all four systems on the C1 cluster (EHR): latency,
+// endorsement failures and MVCC conflicts at 10/50/100 tps.
+func Fig26(o Options) (string, error) {
+	cc, err := UseCase("ehr")
+	if err != nil {
+		return "", err
+	}
+	t := metrics.NewTable("rate (tps)", "system", "avg latency (s)", "endorsement %", "MVCC %", "failures %")
+	for _, rate := range []float64{10, 50, 100} {
+		for _, sys := range AllSystems() {
+			rate, sys := rate, sys
+			res, err := o.Run(func(seed int64) fabric.Config {
+				cfg := baseConfig(C1, cc, 1, sys)(seed)
+				cfg.Rate = rate
+				return cfg
+			})
+			if err != nil {
+				return "", err
+			}
+			t.AddRow(rate, sys, fmt.Sprintf("%.2f", res.LatencySec),
+				res.EndorsementPct, res.MVCCPct, res.FailurePct)
+		}
+	}
+	return t.String(), nil
+}
+
+// Experiment is a runnable reproduction of one table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (string, error)
+}
+
+// Experiments lists every reproducible table and figure, in paper
+// order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table2", "Chaincode functions and operations", Table2},
+		{"table4", "Effect of database type (genChain workloads)", Table4},
+		{"fig4", "Best block size at different transaction arrival rates", Fig4},
+		{"fig5", "Minimum and maximum transaction failures", Fig5},
+		{"fig6", "Latency and throughput at different block size", Fig6},
+		{"fig7", "Inter/intra-block MVCC conflicts vs block size", Fig7},
+		{"fig8", "Inter/intra-block MVCC conflicts vs arrival rate", Fig8},
+		{"fig9", "Endorsement policy failures vs block size", Fig9},
+		{"fig10", "Phantom read conflicts vs block size (SCM)", Fig10},
+		{"fig11", "Effect of database type on latency and failures (EHR)", Fig11},
+		{"fig12", "Effect of the number of organizations", Fig12},
+		{"fig13", "Effect of endorsement policies P0-P3", Fig13},
+		{"fig14", "Effect of workload mix", Fig14},
+		{"fig15", "Effect of Zipfian key skew", Fig15},
+		{"fig16", "Fabric 1.4 with and without network delay", Fig16},
+		{"fig17", "Fabric++ vs Fabric 1.4: effect of block size", Fig17},
+		{"fig18", "Fabric++ vs Fabric 1.4: effect of chaincodes", Fig18},
+		{"fig19", "Fabric++ vs Fabric 1.4: workloads and skew", Fig19},
+		{"fig20", "Streamchain vs Fabric 1.4: latency and failures", Fig20},
+		{"fig21", "Streamchain vs Fabric 1.4: committed throughput", Fig21},
+		{"fig22", "Streamchain vs Fabric 1.4: workloads and skew", Fig22},
+		{"fig23", "Streamchain with and without a RAM disk", Fig23},
+		{"fig24", "FabricSharp vs Fabric 1.4: failures and throughput", Fig24},
+		{"fig25", "FabricSharp vs Fabric 1.4: workloads and skew", Fig25},
+		{"fig26", "Comparison of all Fabric systems (C1)", Fig26},
+	}
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("core: unknown experiment %q", id)
+}

@@ -1,0 +1,284 @@
+// Package core is the HyperLedgerLab experiment harness: cluster
+// presets (C1/C2, §4.2), system selection (Fabric 1.4, Fabric++,
+// Streamchain, FabricSharp), multi-seed averaged runs, and one
+// experiment function per table and figure of the paper's evaluation
+// (§5). The CLI (cmd/hyperlab) and the benchmark suite regenerate any
+// result through this package.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chaincode"
+	"repro/internal/chaincodes/drm"
+	"repro/internal/chaincodes/dv"
+	"repro/internal/chaincodes/ehr"
+	"repro/internal/chaincodes/scm"
+	"repro/internal/fabric"
+	"repro/internal/fabricpp"
+	"repro/internal/fabricsharp"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/streamchain"
+	"repro/internal/workload"
+)
+
+// Cluster is one of the paper's two testbeds (§4.2).
+type Cluster int
+
+const (
+	// C1: 3 workers, 4 peers (2 orgs × 2), 3 orderers, 5 clients.
+	C1 Cluster = iota
+	// C2: 32 workers, 32 peers (8 orgs × 4), 3 orderers, 25 clients.
+	C2
+)
+
+// String names the cluster.
+func (c Cluster) String() string {
+	if c == C2 {
+		return "C2"
+	}
+	return "C1"
+}
+
+// Apply sets the cluster topology on a config. C2's larger worker
+// pool shows up as a speed factor on fixed per-block costs.
+func (c Cluster) Apply(cfg *fabric.Config) {
+	switch c {
+	case C1:
+		cfg.Orgs = 2
+		cfg.PeersPerOrg = 2
+		cfg.Clients = 5
+		cfg.SpeedFactor = 1
+	case C2:
+		cfg.Orgs = 8
+		cfg.PeersPerOrg = 4
+		cfg.Clients = 25
+		cfg.SpeedFactor = 2.5
+	}
+}
+
+// System selects one of the four compared Fabric builds (§4.5).
+type System int
+
+const (
+	// Fabric14 is stock Fabric 1.4.
+	Fabric14 System = iota
+	// FabricPP is Fabric++ (within-block reordering + early abort).
+	FabricPP
+	// Streamchain streams transactions one-by-one with a RAM disk.
+	Streamchain
+	// StreamchainNoRAM is Streamchain's §5.3.3 ablation.
+	StreamchainNoRAM
+	// FabricSharp is the cross-block OCC scheduler.
+	FabricSharp
+)
+
+// String names the system like the paper's legends.
+func (s System) String() string {
+	switch s {
+	case FabricPP:
+		return "Fabric++"
+	case Streamchain:
+		return "Streamchain"
+	case StreamchainNoRAM:
+		return "Streamchain w/o ramdisk"
+	case FabricSharp:
+		return "FabricSharp"
+	default:
+		return "Fabric 1.4"
+	}
+}
+
+// Variant constructs a fresh variant instance for one run.
+func (s System) Variant() fabric.Variant {
+	switch s {
+	case FabricPP:
+		return fabricpp.New()
+	case Streamchain:
+		return streamchain.New()
+	case StreamchainNoRAM:
+		return streamchain.NewWithoutRAMDisk()
+	case FabricSharp:
+		return fabricsharp.New()
+	default:
+		return fabric.Vanilla{}
+	}
+}
+
+// AllSystems lists the four systems of Fig 26.
+func AllSystems() []System {
+	return []System{Fabric14, FabricPP, Streamchain, FabricSharp}
+}
+
+// CCFactory builds a chaincode and its default workload with a given
+// Zipfian skew.
+type CCFactory struct {
+	Name     string
+	New      func() chaincode.Chaincode
+	Workload func(skew float64) workload.Generator
+}
+
+// UseCase returns the factory for one of the paper's chaincodes
+// ("ehr", "dv", "scm", "drm").
+func UseCase(name string) (CCFactory, error) {
+	switch name {
+	case ehr.Name:
+		return CCFactory{Name: name,
+			New:      func() chaincode.Chaincode { return ehr.New() },
+			Workload: ehr.NewWorkload}, nil
+	case dv.Name:
+		return CCFactory{Name: name,
+			New:      func() chaincode.Chaincode { return dv.New() },
+			Workload: dv.NewWorkload}, nil
+	case scm.Name:
+		return CCFactory{Name: name,
+			New:      func() chaincode.Chaincode { return scm.New() },
+			Workload: scm.NewWorkload}, nil
+	case drm.Name:
+		return CCFactory{Name: name,
+			New:      func() chaincode.Chaincode { return drm.New() },
+			Workload: drm.NewWorkload}, nil
+	}
+	return CCFactory{}, fmt.Errorf("core: unknown chaincode %q", name)
+}
+
+// GenChain returns the genChain factory for a workload mix. keys
+// overrides the world-state size (0 = the paper's 100,000).
+func GenChain(mix gen.Mix, keys int) CCFactory {
+	spec := gen.GenChainSpec()
+	if keys > 0 {
+		spec.Keys = keys
+	}
+	return CCFactory{
+		Name:     spec.Name,
+		New:      func() chaincode.Chaincode { return gen.MustChaincode(spec) },
+		Workload: func(skew float64) workload.Generator { return gen.NewWorkload(spec, mix, skew) },
+	}
+}
+
+// Options scales an experiment: virtual send window and seeds.
+type Options struct {
+	Duration time.Duration
+	Drain    time.Duration
+	Seeds    []int64
+	// GenKeys shrinks genChain's world state for quick runs (0 keeps
+	// the paper's 100,000).
+	GenKeys int
+	// Progress, when non-nil, receives one line per completed run.
+	Progress func(string)
+}
+
+// FullOptions reproduces the paper's regime: 3 virtual minutes, 3
+// repetitions (§5).
+func FullOptions() Options {
+	return Options{Duration: 3 * time.Minute, Drain: time.Minute, Seeds: []int64{1, 2, 3}}
+}
+
+// QuickOptions is a fast regime for benchmarks and smoke runs: 30
+// virtual seconds, one seed, a 20k-key genChain.
+func QuickOptions() Options {
+	return Options{Duration: 30 * time.Second, Drain: 30 * time.Second,
+		Seeds: []int64{1}, GenKeys: 20000}
+}
+
+// Result is a seed-averaged run summary.
+type Result struct {
+	Total          float64
+	Committed      float64
+	FailurePct     float64
+	EndorsementPct float64
+	IntraPct       float64
+	InterPct       float64
+	MVCCPct        float64
+	PhantomPct     float64
+	AbortedPct     float64
+	LatencySec     float64
+	Throughput     float64
+}
+
+// Run executes build(seed) for every seed and averages the reports.
+// The build function must produce a complete config except Duration
+// and Drain, which the options control.
+func (o Options) Run(build func(seed int64) fabric.Config) (Result, error) {
+	if len(o.Seeds) == 0 {
+		return Result{}, fmt.Errorf("core: no seeds configured")
+	}
+	var acc Result
+	for _, seed := range o.Seeds {
+		cfg := build(seed)
+		cfg.Seed = seed
+		cfg.Duration = o.Duration
+		cfg.Drain = o.Drain
+		nw, err := fabric.NewNetwork(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		rep := nw.Run()
+		acc = acc.add(fromReport(rep))
+		if o.Progress != nil {
+			o.Progress(fmt.Sprintf("seed %d: %v", seed, rep))
+		}
+	}
+	return acc.scale(1 / float64(len(o.Seeds))), nil
+}
+
+func fromReport(r metrics.Report) Result {
+	return Result{
+		Total:          float64(r.Total),
+		Committed:      float64(r.Committed),
+		FailurePct:     r.FailurePct,
+		EndorsementPct: r.EndorsementPct,
+		IntraPct:       r.IntraBlockPct,
+		InterPct:       r.InterBlockPct,
+		MVCCPct:        r.MVCCPct,
+		PhantomPct:     r.PhantomPct,
+		AbortedPct:     r.AbortedPct,
+		LatencySec:     r.AvgLatency.Seconds(),
+		Throughput:     r.Throughput,
+	}
+}
+
+func (r Result) add(o Result) Result {
+	r.Total += o.Total
+	r.Committed += o.Committed
+	r.FailurePct += o.FailurePct
+	r.EndorsementPct += o.EndorsementPct
+	r.IntraPct += o.IntraPct
+	r.InterPct += o.InterPct
+	r.MVCCPct += o.MVCCPct
+	r.PhantomPct += o.PhantomPct
+	r.AbortedPct += o.AbortedPct
+	r.LatencySec += o.LatencySec
+	r.Throughput += o.Throughput
+	return r
+}
+
+func (r Result) scale(f float64) Result {
+	r.Total *= f
+	r.Committed *= f
+	r.FailurePct *= f
+	r.EndorsementPct *= f
+	r.IntraPct *= f
+	r.InterPct *= f
+	r.MVCCPct *= f
+	r.PhantomPct *= f
+	r.AbortedPct *= f
+	r.LatencySec *= f
+	r.Throughput *= f
+	return r
+}
+
+// baseConfig assembles the default config for a chaincode factory on a
+// cluster with the given skew.
+func baseConfig(cluster Cluster, cc CCFactory, skew float64, sys System) func(int64) fabric.Config {
+	return func(seed int64) fabric.Config {
+		cfg := fabric.DefaultConfig()
+		cluster.Apply(&cfg)
+		cfg.Chaincode = cc.New()
+		cfg.Workload = cc.Workload(skew)
+		cfg.Variant = sys.Variant()
+		return cfg
+	}
+}

@@ -1,0 +1,115 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ledger"
+	"repro/internal/statedb"
+)
+
+func TestCalibrationMatchesTable4(t *testing.T) {
+	cdb := ForKind(statedb.CouchDB)
+	ldb := ForKind(statedb.LevelDB)
+	// Table 4 function-call latencies: GetState 8.3/0.6 ms, PutState
+	// 0.8/0.5, GetRange 88/1.4 (base), DeleteState 1.2/0.6.
+	if cdb.Get != 8300*time.Microsecond || ldb.Get != 600*time.Microsecond {
+		t.Errorf("GetState calibration: %v / %v", cdb.Get, ldb.Get)
+	}
+	if cdb.Put != 800*time.Microsecond || ldb.Put != 500*time.Microsecond {
+		t.Errorf("PutState calibration: %v / %v", cdb.Put, ldb.Put)
+	}
+	if cdb.Delete != 1200*time.Microsecond || ldb.Delete != 600*time.Microsecond {
+		t.Errorf("DeleteState calibration: %v / %v", cdb.Delete, ldb.Delete)
+	}
+	if cdb.RangeBase != 80*time.Millisecond {
+		t.Errorf("CouchDB GetRange base: %v", cdb.RangeBase)
+	}
+	// Every CouchDB op must cost at least its LevelDB counterpart.
+	if cdb.Get < ldb.Get || cdb.Put < ldb.Put || cdb.Delete < ldb.Delete ||
+		cdb.RangeBase < ldb.RangeBase || cdb.CommitWrite < ldb.CommitWrite {
+		t.Error("CouchDB cheaper than LevelDB somewhere")
+	}
+	// Validation-side range costs must be far below the shim-side
+	// ones (no chaincode round trips).
+	if cdb.ValRangeBase >= cdb.RangeBase || ldb.ValRangeBase >= ldb.RangeBase {
+		t.Error("validation range cost not cheaper than endorsement range cost")
+	}
+}
+
+func TestEndorseCostComposition(t *testing.T) {
+	db := ForKind(statedb.LevelDB)
+	pc := DefaultPeerCosts()
+	base := EndorseCost(db, pc, OpTrace{})
+	if base != pc.EndorseBase {
+		t.Errorf("empty trace cost = %v, want %v", base, pc.EndorseBase)
+	}
+	withOps := EndorseCost(db, pc, OpTrace{Gets: 2, Puts: 1, Deletes: 1, Ranges: 1, RangeKeys: 10})
+	want := pc.EndorseBase + 2*db.Get + db.Put + db.Delete + db.RangeBase + 10*db.RangePerKey
+	if withOps != want {
+		t.Errorf("cost = %v, want %v", withOps, want)
+	}
+	// Rich queries price the scan over the whole db.
+	rich := EndorseCost(ForKind(statedb.CouchDB), pc, OpTrace{Queries: 1, ScannedLen: 1000})
+	if rich <= pc.EndorseBase+ForKind(statedb.CouchDB).QueryBase {
+		t.Error("rich query per-doc cost missing")
+	}
+}
+
+func TestValidateCostSkipsUncheckedRanges(t *testing.T) {
+	db := ForKind(statedb.CouchDB)
+	pc := DefaultPeerCosts()
+	checked := &ledger.RWSet{RangeQueries: []ledger.RangeQueryInfo{{
+		Reads: make([]ledger.KVRead, 100),
+	}}}
+	unchecked := &ledger.RWSet{RangeQueries: []ledger.RangeQueryInfo{{
+		Unchecked: true, Reads: make([]ledger.KVRead, 100),
+	}}}
+	cChecked := ValidateCost(db, pc, 2, 0, checked)
+	cUnchecked := ValidateCost(db, pc, 2, 0, unchecked)
+	if cChecked <= cUnchecked {
+		t.Errorf("checked range %v not more expensive than unchecked %v", cChecked, cUnchecked)
+	}
+	if cUnchecked != 2*pc.SigVerify {
+		t.Errorf("unchecked validation = %v, want pure VSCC", cUnchecked)
+	}
+}
+
+func TestValidateCostGrowsWithSigsAndSubPolicies(t *testing.T) {
+	db := ForKind(statedb.LevelDB)
+	pc := DefaultPeerCosts()
+	rw := &ledger.RWSet{Reads: make([]ledger.KVRead, 3)}
+	c1 := ValidateCost(db, pc, 2, 0, rw)
+	c2 := ValidateCost(db, pc, 8, 0, rw)
+	c3 := ValidateCost(db, pc, 8, 2, rw)
+	if !(c1 < c2 && c2 < c3) {
+		t.Errorf("validate cost not monotone: %v %v %v", c1, c2, c3)
+	}
+}
+
+func TestCommitCost(t *testing.T) {
+	db := ForKind(statedb.LevelDB)
+	pc := DefaultPeerCosts()
+	c0 := CommitCost(db, pc, 0)
+	if c0 != pc.BlockBase+db.CommitBase {
+		t.Errorf("empty commit = %v", c0)
+	}
+	c100 := CommitCost(db, pc, 100)
+	if c100 != c0+100*db.CommitWrite {
+		t.Errorf("100-write commit = %v", c100)
+	}
+}
+
+func TestDefaultProfilesSane(t *testing.T) {
+	pc := DefaultPeerCosts()
+	if pc.Jitter <= 0 || pc.Jitter >= 1 {
+		t.Errorf("jitter %v out of (0,1)", pc.Jitter)
+	}
+	if pc.BlockBase <= 0 || pc.SigVerify <= 0 {
+		t.Error("zero peer costs")
+	}
+	oc := DefaultOrdererCosts()
+	if oc.PerTx <= 0 || oc.BlockCut <= 0 || oc.PerDeliver <= 0 {
+		t.Error("zero orderer costs")
+	}
+}

@@ -1,0 +1,326 @@
+// Package couchq implements a Mango-style JSON selector engine — the
+// "rich query" capability that distinguishes CouchDB from LevelDB in
+// the paper (§5.1.2). Chaincode values stored as JSON documents can be
+// filtered with CouchDB selector syntax:
+//
+//	{"selector": {"owner": "artist42", "plays": {"$gt": 10}}}
+//
+// Supported operators: $eq, $ne, $gt, $gte, $lt, $lte, $in, $nin,
+// $exists, $regex, and the combinators $and, $or, $not. Numeric
+// comparisons follow JSON semantics (all numbers are float64).
+package couchq
+
+import (
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Selector is a compiled query selector.
+type Selector struct {
+	root cond
+}
+
+type cond interface {
+	match(doc map[string]interface{}) bool
+}
+
+// Parse compiles a selector from its JSON representation. The input
+// may be either a bare selector object or a full query wrapper with a
+// "selector" field (as accepted by CouchDB's _find endpoint).
+func Parse(query []byte) (*Selector, error) {
+	var raw map[string]interface{}
+	if err := json.Unmarshal(query, &raw); err != nil {
+		return nil, fmt.Errorf("couchq: invalid query JSON: %w", err)
+	}
+	if sel, ok := raw["selector"].(map[string]interface{}); ok {
+		raw = sel
+	}
+	c, err := compileObject(raw)
+	if err != nil {
+		return nil, err
+	}
+	return &Selector{root: c}, nil
+}
+
+// MustParse is Parse for statically known selectors; it panics on
+// error.
+func MustParse(query string) *Selector {
+	s, err := Parse([]byte(query))
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Matches reports whether the JSON document satisfies the selector.
+// Invalid JSON never matches.
+func (s *Selector) Matches(doc []byte) bool {
+	var m map[string]interface{}
+	if err := json.Unmarshal(doc, &m); err != nil {
+		return false
+	}
+	return s.root.match(m)
+}
+
+// MatchesDoc reports whether an already-decoded document satisfies the
+// selector.
+func (s *Selector) MatchesDoc(doc map[string]interface{}) bool {
+	return s.root.match(doc)
+}
+
+// ---- compilation ----
+
+type andCond []cond
+
+func (a andCond) match(doc map[string]interface{}) bool {
+	for _, c := range a {
+		if !c.match(doc) {
+			return false
+		}
+	}
+	return true
+}
+
+type orCond []cond
+
+func (o orCond) match(doc map[string]interface{}) bool {
+	for _, c := range o {
+		if c.match(doc) {
+			return true
+		}
+	}
+	return false
+}
+
+type notCond struct{ inner cond }
+
+func (n notCond) match(doc map[string]interface{}) bool { return !n.inner.match(doc) }
+
+// fieldCond applies an operator to one (possibly dotted) field path.
+type fieldCond struct {
+	path []string
+	op   string
+	arg  interface{}
+	re   *regexp.Regexp // compiled for $regex
+}
+
+func compileObject(obj map[string]interface{}) (cond, error) {
+	// Deterministic compile order for reproducibility of error cases.
+	keys := make([]string, 0, len(obj))
+	for k := range obj {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var conds andCond
+	for _, k := range keys {
+		v := obj[k]
+		switch k {
+		case "$and", "$or":
+			arr, ok := v.([]interface{})
+			if !ok {
+				return nil, fmt.Errorf("couchq: %s expects an array", k)
+			}
+			var subs []cond
+			for _, e := range arr {
+				m, ok := e.(map[string]interface{})
+				if !ok {
+					return nil, fmt.Errorf("couchq: %s elements must be objects", k)
+				}
+				c, err := compileObject(m)
+				if err != nil {
+					return nil, err
+				}
+				subs = append(subs, c)
+			}
+			if k == "$and" {
+				conds = append(conds, andCond(subs))
+			} else {
+				conds = append(conds, orCond(subs))
+			}
+		case "$not":
+			m, ok := v.(map[string]interface{})
+			if !ok {
+				return nil, fmt.Errorf("couchq: $not expects an object")
+			}
+			c, err := compileObject(m)
+			if err != nil {
+				return nil, err
+			}
+			conds = append(conds, notCond{c})
+		default:
+			if strings.HasPrefix(k, "$") {
+				return nil, fmt.Errorf("couchq: unknown combinator %q", k)
+			}
+			c, err := compileField(strings.Split(k, "."), v)
+			if err != nil {
+				return nil, err
+			}
+			conds = append(conds, c)
+		}
+	}
+	return conds, nil
+}
+
+func compileField(path []string, v interface{}) (cond, error) {
+	if m, ok := v.(map[string]interface{}); ok {
+		ops := make([]string, 0, len(m))
+		for op := range m {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		var conds andCond
+		for _, op := range ops {
+			arg := m[op]
+			switch op {
+			case "$eq", "$ne", "$gt", "$gte", "$lt", "$lte", "$exists":
+				conds = append(conds, &fieldCond{path: path, op: op, arg: arg})
+			case "$in", "$nin":
+				if _, ok := arg.([]interface{}); !ok {
+					return nil, fmt.Errorf("couchq: %s expects an array", op)
+				}
+				conds = append(conds, &fieldCond{path: path, op: op, arg: arg})
+			case "$regex":
+				s, ok := arg.(string)
+				if !ok {
+					return nil, fmt.Errorf("couchq: $regex expects a string")
+				}
+				re, err := regexp.Compile(s)
+				if err != nil {
+					return nil, fmt.Errorf("couchq: bad $regex: %w", err)
+				}
+				conds = append(conds, &fieldCond{path: path, op: op, re: re})
+			default:
+				return nil, fmt.Errorf("couchq: unknown operator %q", op)
+			}
+		}
+		return conds, nil
+	}
+	// Bare value means implicit $eq.
+	return &fieldCond{path: path, op: "$eq", arg: v}, nil
+}
+
+func (f *fieldCond) match(doc map[string]interface{}) bool {
+	val, present := lookup(doc, f.path)
+	switch f.op {
+	case "$exists":
+		want, _ := f.arg.(bool)
+		return present == want
+	case "$eq":
+		return present && jsonEqual(val, f.arg)
+	case "$ne":
+		return !present || !jsonEqual(val, f.arg)
+	case "$gt", "$gte", "$lt", "$lte":
+		if !present {
+			return false
+		}
+		c, ok := jsonCompare(val, f.arg)
+		if !ok {
+			return false
+		}
+		switch f.op {
+		case "$gt":
+			return c > 0
+		case "$gte":
+			return c >= 0
+		case "$lt":
+			return c < 0
+		default:
+			return c <= 0
+		}
+	case "$in":
+		if !present {
+			return false
+		}
+		for _, e := range f.arg.([]interface{}) {
+			if jsonEqual(val, e) {
+				return true
+			}
+		}
+		return false
+	case "$nin":
+		if !present {
+			return true
+		}
+		for _, e := range f.arg.([]interface{}) {
+			if jsonEqual(val, e) {
+				return false
+			}
+		}
+		return true
+	case "$regex":
+		s, ok := val.(string)
+		return present && ok && f.re.MatchString(s)
+	}
+	return false
+}
+
+func lookup(doc map[string]interface{}, path []string) (interface{}, bool) {
+	var cur interface{} = doc
+	for _, p := range path {
+		m, ok := cur.(map[string]interface{})
+		if !ok {
+			return nil, false
+		}
+		cur, ok = m[p]
+		if !ok {
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+func jsonEqual(a, b interface{}) bool {
+	if c, ok := jsonCompare(a, b); ok {
+		return c == 0
+	}
+	// Fall back to deep equality via re-marshalling for arrays/objects.
+	ab, errA := json.Marshal(a)
+	bb, errB := json.Marshal(b)
+	return errA == nil && errB == nil && string(ab) == string(bb)
+}
+
+// jsonCompare orders two scalar JSON values of the same kind. ok is
+// false for non-comparable kinds.
+func jsonCompare(a, b interface{}) (int, bool) {
+	switch av := a.(type) {
+	case float64:
+		bv, ok := b.(float64)
+		if !ok {
+			return 0, false
+		}
+		switch {
+		case av < bv:
+			return -1, true
+		case av > bv:
+			return 1, true
+		}
+		return 0, true
+	case string:
+		bv, ok := b.(string)
+		if !ok {
+			return 0, false
+		}
+		return strings.Compare(av, bv), true
+	case bool:
+		bv, ok := b.(bool)
+		if !ok {
+			return 0, false
+		}
+		switch {
+		case av == bv:
+			return 0, true
+		case !av:
+			return -1, true
+		}
+		return 1, true
+	case nil:
+		if b == nil {
+			return 0, true
+		}
+		return 0, false
+	}
+	return 0, false
+}

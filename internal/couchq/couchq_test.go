@@ -1,0 +1,173 @@
+package couchq
+
+import (
+	"fmt"
+	"testing"
+)
+
+func doc(s string) []byte { return []byte(s) }
+
+func TestImplicitEq(t *testing.T) {
+	s := MustParse(`{"owner":"alice"}`)
+	if !s.Matches(doc(`{"owner":"alice","n":1}`)) {
+		t.Error("expected match")
+	}
+	if s.Matches(doc(`{"owner":"bob"}`)) {
+		t.Error("unexpected match")
+	}
+	if s.Matches(doc(`{"n":1}`)) {
+		t.Error("missing field matched $eq")
+	}
+}
+
+func TestSelectorWrapper(t *testing.T) {
+	s := MustParse(`{"selector":{"type":"asset"}}`)
+	if !s.Matches(doc(`{"type":"asset"}`)) {
+		t.Error("wrapped selector did not match")
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	cases := []struct {
+		sel, d string
+		want   bool
+	}{
+		{`{"n":{"$gt":5}}`, `{"n":6}`, true},
+		{`{"n":{"$gt":5}}`, `{"n":5}`, false},
+		{`{"n":{"$gte":5}}`, `{"n":5}`, true},
+		{`{"n":{"$lt":5}}`, `{"n":4}`, true},
+		{`{"n":{"$lte":5}}`, `{"n":5}`, true},
+		{`{"n":{"$lte":5}}`, `{"n":5.5}`, false},
+		{`{"s":{"$gt":"abc"}}`, `{"s":"abd"}`, true},
+		{`{"s":{"$lt":"abc"}}`, `{"s":"abb"}`, true},
+		{`{"n":{"$gt":5}}`, `{"n":"six"}`, false}, // type mismatch
+		{`{"n":{"$gt":5}}`, `{}`, false},          // missing field
+		{`{"n":{"$ne":5}}`, `{"n":6}`, true},
+		{`{"n":{"$ne":5}}`, `{}`, true}, // absent counts as not-equal
+		{`{"b":{"$gt":false}}`, `{"b":true}`, true},
+	}
+	for _, c := range cases {
+		s := MustParse(c.sel)
+		if got := s.Matches(doc(c.d)); got != c.want {
+			t.Errorf("%s on %s = %v, want %v", c.sel, c.d, got, c.want)
+		}
+	}
+}
+
+func TestInNin(t *testing.T) {
+	s := MustParse(`{"color":{"$in":["red","green"]}}`)
+	if !s.Matches(doc(`{"color":"red"}`)) || s.Matches(doc(`{"color":"blue"}`)) {
+		t.Error("$in wrong")
+	}
+	n := MustParse(`{"color":{"$nin":["red"]}}`)
+	if n.Matches(doc(`{"color":"red"}`)) || !n.Matches(doc(`{"color":"blue"}`)) {
+		t.Error("$nin wrong")
+	}
+	if !n.Matches(doc(`{}`)) {
+		t.Error("$nin should match missing field")
+	}
+}
+
+func TestExists(t *testing.T) {
+	s := MustParse(`{"tag":{"$exists":true}}`)
+	if !s.Matches(doc(`{"tag":null}`)) {
+		t.Error("$exists true should match explicit null")
+	}
+	if s.Matches(doc(`{}`)) {
+		t.Error("$exists true matched missing field")
+	}
+	ns := MustParse(`{"tag":{"$exists":false}}`)
+	if !ns.Matches(doc(`{}`)) || ns.Matches(doc(`{"tag":1}`)) {
+		t.Error("$exists false wrong")
+	}
+}
+
+func TestRegex(t *testing.T) {
+	s := MustParse(`{"id":{"$regex":"^GTIN-[0-9]+$"}}`)
+	if !s.Matches(doc(`{"id":"GTIN-42"}`)) || s.Matches(doc(`{"id":"SSCC-42"}`)) {
+		t.Error("$regex wrong")
+	}
+}
+
+func TestAndOrNot(t *testing.T) {
+	s := MustParse(`{"$or":[{"a":1},{"b":2}]}`)
+	if !s.Matches(doc(`{"a":1}`)) || !s.Matches(doc(`{"b":2}`)) || s.Matches(doc(`{"c":3}`)) {
+		t.Error("$or wrong")
+	}
+	a := MustParse(`{"$and":[{"a":{"$gt":0}},{"a":{"$lt":10}}]}`)
+	if !a.Matches(doc(`{"a":5}`)) || a.Matches(doc(`{"a":15}`)) {
+		t.Error("$and wrong")
+	}
+	n := MustParse(`{"$not":{"a":1}}`)
+	if n.Matches(doc(`{"a":1}`)) || !n.Matches(doc(`{"a":2}`)) {
+		t.Error("$not wrong")
+	}
+}
+
+func TestDottedPath(t *testing.T) {
+	s := MustParse(`{"meta.owner":"a1"}`)
+	if !s.Matches(doc(`{"meta":{"owner":"a1"}}`)) {
+		t.Error("dotted path failed")
+	}
+	if s.Matches(doc(`{"meta":"flat"}`)) {
+		t.Error("dotted path matched non-object")
+	}
+}
+
+func TestMultiFieldIsConjunction(t *testing.T) {
+	s := MustParse(`{"a":1,"b":2}`)
+	if !s.Matches(doc(`{"a":1,"b":2}`)) || s.Matches(doc(`{"a":1,"b":3}`)) {
+		t.Error("multi-field selector not a conjunction")
+	}
+}
+
+func TestMultiOpOnOneField(t *testing.T) {
+	s := MustParse(`{"n":{"$gte":2,"$lt":8}}`)
+	for n, want := range map[int]bool{1: false, 2: true, 7: true, 8: false} {
+		if got := s.Matches(doc(fmt.Sprintf(`{"n":%d}`, n))); got != want {
+			t.Errorf("n=%d got %v want %v", n, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`not json`,
+		`{"n":{"$bogus":1}}`,
+		`{"$bogus":[]}`,
+		`{"$and":"x"}`,
+		`{"$and":["x"]}`,
+		`{"$not":"x"}`,
+		`{"n":{"$in":"x"}}`,
+		`{"n":{"$regex":5}}`,
+		`{"n":{"$regex":"["}}`,
+	}
+	for _, q := range bad {
+		if _, err := Parse([]byte(q)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestInvalidDocNeverMatches(t *testing.T) {
+	s := MustParse(`{"a":1}`)
+	if s.Matches(doc(`not json`)) {
+		t.Error("invalid document matched")
+	}
+}
+
+func TestEqualOnArrays(t *testing.T) {
+	s := MustParse(`{"tags":["a","b"]}`)
+	if !s.Matches(doc(`{"tags":["a","b"]}`)) || s.Matches(doc(`{"tags":["b","a"]}`)) {
+		t.Error("array equality wrong")
+	}
+}
+
+func BenchmarkSelectorMatch(b *testing.B) {
+	s := MustParse(`{"owner":"artist42","plays":{"$gt":10}}`)
+	d := doc(`{"owner":"artist42","plays":12,"title":"song"}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Matches(d)
+	}
+}

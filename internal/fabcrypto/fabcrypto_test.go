@@ -1,0 +1,108 @@
+package fabcrypto
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSignVerify(t *testing.T) {
+	msp := NewMSP("secret")
+	id := msp.Register("Org0", "peer0")
+	digest := []byte("payload-digest")
+	sig := id.Sign(digest)
+	if !msp.Verify("Org0", "peer0", digest, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if msp.Verify("Org0", "peer0", []byte("other"), sig) {
+		t.Fatal("signature accepted for wrong digest")
+	}
+	if msp.Verify("Org1", "peer0", digest, sig) {
+		t.Fatal("signature accepted for unregistered identity")
+	}
+}
+
+func TestDistinctIdentitiesDistinctSignatures(t *testing.T) {
+	msp := NewMSP("secret")
+	a := msp.Register("Org0", "peer0")
+	b := msp.Register("Org0", "peer1")
+	d := []byte("digest")
+	if string(a.Sign(d)) == string(b.Sign(d)) {
+		t.Fatal("two identities produced identical signatures")
+	}
+	if msp.Verify("Org0", "peer1", d, a.Sign(d)) {
+		t.Fatal("peer1 verified peer0's signature")
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	msp := NewMSP("s")
+	a := msp.Register("Org0", "peer0")
+	b := msp.Register("Org0", "peer0")
+	if a != b {
+		t.Fatal("re-registering returned a different identity")
+	}
+	if got := msp.Members("Org0"); len(got) != 1 {
+		t.Fatalf("Members = %v", got)
+	}
+}
+
+func TestOrgsAndMembersSorted(t *testing.T) {
+	msp := NewMSP("s")
+	msp.Register("Org2", "b")
+	msp.Register("Org0", "z")
+	msp.Register("Org0", "a")
+	msp.Register("Org1", "m")
+	os := msp.Orgs()
+	if len(os) != 3 || os[0] != "Org0" || os[2] != "Org2" {
+		t.Errorf("Orgs = %v", os)
+	}
+	ms := msp.Members("Org0")
+	if len(ms) != 2 || ms[0] != "a" || ms[1] != "z" {
+		t.Errorf("Members = %v", ms)
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	msp := NewMSP("s")
+	if msp.Lookup("nope", "nobody") != nil {
+		t.Fatal("Lookup returned identity for unregistered name")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if OrgName(3) != "Org3" {
+		t.Errorf("OrgName = %q", OrgName(3))
+	}
+	if PeerName("Org3", 1) != "Org3-peer1" {
+		t.Errorf("PeerName = %q", PeerName("Org3", 1))
+	}
+}
+
+func TestDeterministicAcrossMSPInstances(t *testing.T) {
+	a := NewMSP("same-secret").Register("Org0", "peer0")
+	b := NewMSP("same-secret").Register("Org0", "peer0")
+	d := []byte("digest")
+	if string(a.Sign(d)) != string(b.Sign(d)) {
+		t.Fatal("same secret+identity gave different signatures")
+	}
+	c := NewMSP("other-secret").Register("Org0", "peer0")
+	if string(a.Sign(d)) == string(c.Sign(d)) {
+		t.Fatal("different secrets gave identical signatures")
+	}
+}
+
+// Property: round-trip verification holds for arbitrary org/id/digest.
+func TestSignVerifyProperty(t *testing.T) {
+	msp := NewMSP("prop")
+	f := func(org, id string, digest []byte) bool {
+		if org == "" || id == "" {
+			return true
+		}
+		ident := msp.Register(org, id)
+		return msp.Verify(org, id, digest, ident.Sign(digest))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(31))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,124 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ledger"
+	"repro/internal/sim"
+)
+
+// Client is one Caliper-style load generator process (§4.2: 5 on C1,
+// 25 on C2). It draws invocations from the workload, runs the
+// execution phase (collect endorsements from a policy-satisfying set
+// of peers), assembles the envelope and submits it to an orderer node.
+// Arrivals are open-loop Poisson at rate/clients tps; failed
+// transactions are never resent (§4.5).
+type Client struct {
+	nw       *Network
+	id       int
+	name     string
+	rotation int
+}
+
+func newClient(nw *Network, id int) *Client {
+	return &Client{nw: nw, id: id, name: fmt.Sprintf("client%d", id)}
+}
+
+// start schedules the arrival process for the send window. The mean
+// inter-arrival time tracks the (possibly time-varying) configured
+// rate.
+func (c *Client) start() {
+	mean := func() time.Duration {
+		rate := c.nw.cfg.RateAt(time.Duration(c.nw.eng.Now()))
+		return time.Duration(float64(time.Second) * float64(c.nw.cfg.Clients) / rate)
+	}
+	var arrive func()
+	arrive = func() {
+		if c.nw.eng.Now() >= sim.Time(c.nw.cfg.Duration) {
+			return // send window over
+		}
+		c.submitOne()
+		c.nw.eng.After(c.nw.eng.Exponential(mean()), arrive)
+	}
+	c.nw.eng.After(c.nw.eng.Exponential(mean()), arrive)
+}
+
+// submitOne runs one transaction through the execution phase.
+func (c *Client) submitOne() {
+	inv := c.nw.cfg.Workload.Next(c.nw.eng.Rand())
+	tx := &ledger.Transaction{
+		ID:         c.nw.nextTxID(c.id),
+		ClientID:   c.name,
+		Chaincode:  inv.Chaincode,
+		Function:   inv.Function,
+		SubmitTime: c.nw.eng.Now(),
+	}
+	c.rotation++
+	endorserOrgs := c.nw.pol.RequiredEndorsers(c.rotation)
+	peerInOrg := c.rotation % c.nw.cfg.PeersPerOrg
+
+	want := len(endorserOrgs)
+	var got []*ledger.Endorsement
+	failed := false
+	respond := func(e *ledger.Endorsement, err error) {
+		if failed {
+			return
+		}
+		if err != nil {
+			// Proposal error (chaincode rejected the call). Counted
+			// as an early endorsement failure: the tx is dropped.
+			failed = true
+			c.nw.col.RecordAbort(tx.SubmitTime, c.nw.eng.Now())
+			return
+		}
+		got = append(got, e)
+		if len(got) == want {
+			c.assemble(tx, got)
+		}
+	}
+
+	for _, org := range endorserOrgs {
+		peer := c.nw.peerOf(org, peerInOrg)
+		c.nw.net.Send(c.name, peer.name, func() {
+			peer.Endorse(inv, func(e *ledger.Endorsement, err error) {
+				c.nw.net.Send(peer.name, c.name, func() { respond(e, err) })
+			})
+		})
+	}
+}
+
+// assemble builds the envelope from the collected endorsements and
+// sends it to an orderer node (§2 step 3).
+func (c *Client) assemble(tx *ledger.Transaction, ends []*ledger.Endorsement) {
+	tx.EndorseTime = c.nw.eng.Now()
+	tx.Endorsements = ends
+	tx.RWSet = ends[0].RWSet
+	// Deduplicate identical rwsets so a transaction holds one copy
+	// (DV endorsements carry 1000-key range observations).
+	first := ends[0].RWSet.Digest()
+	consistent := true
+	for _, e := range ends[1:] {
+		if e.RWSet.Digest() == first {
+			e.RWSet = ends[0].RWSet
+		} else {
+			consistent = false
+		}
+	}
+	if c.nw.cfg.ClientCheck && !consistent {
+		// Optional early check (§2 step 3): drop mismatching
+		// responses before ordering to save overhead. The failure is
+		// still a failure.
+		c.nw.col.RecordAbort(tx.SubmitTime, c.nw.eng.Now())
+		return
+	}
+	if c.nw.cfg.SkipReadOnlySubmission && consistent && len(tx.RWSet.Writes) == 0 {
+		// Recommendation #4 (§6.1): the query result is already in
+		// hand after the execution phase; nothing needs ordering.
+		c.nw.col.RecordServedRead(tx.SubmitTime, c.nw.eng.Now())
+		return
+	}
+	tx.SnapshotHeight = c.nw.chain.Height()
+	orderer := c.nw.orderer.NodeName(c.rotation)
+	c.nw.net.Send(c.name, orderer, func() { c.nw.orderer.Submit(tx) })
+}

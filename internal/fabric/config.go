@@ -1,0 +1,225 @@
+// Package fabric assembles the full simulated Hyperledger Fabric
+// network: clients, endorsing peers, the ordering service with a
+// pluggable consenter (solo/kafka/raft), the block cutter, and the
+// validation/commit pipeline that produces the paper's three failure
+// classes. The Execute-Order-Validate protocol runs for real; virtual
+// time comes from the cost model.
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chaincode"
+	"repro/internal/costmodel"
+	"repro/internal/ledger"
+	"repro/internal/netem"
+	"repro/internal/policy"
+	"repro/internal/statedb"
+	"repro/internal/workload"
+)
+
+// Config describes one experiment run. NewNetwork validates it.
+type Config struct {
+	Seed int64
+
+	// Topology (Table 3 / §4.2).
+	Orgs        int
+	PeersPerOrg int
+	Orderers    int
+	Clients     int
+
+	// Ordering (§2 step 4).
+	BlockSize    int           // block size: max transactions per block
+	BlockTimeout time.Duration // block timeout
+	MaxBlockKB   int           // block max bytes, in KiB
+	Consensus    string        // "solo", "kafka" or "raft"
+
+	// State database and endorsement policy.
+	DBKind statedb.Kind
+	Policy policy.Name
+
+	// Load.
+	Rate     float64       // transaction arrival rate, tps (all clients combined)
+	Duration time.Duration // send window (paper: 3 minutes)
+	Drain    time.Duration // extra virtual time to let in-flight txs finish
+	// RateSchedule optionally varies the arrival rate over the send
+	// window (e.g. the seasonal load of §6.1's block-size example).
+	// Phases play in order; any remaining window uses Rate.
+	RateSchedule []RatePhase
+
+	// Application.
+	Chaincode chaincode.Chaincode
+	Workload  workload.Generator
+
+	// Network emulation (§5.1.7): inject extra delay on one org.
+	LAN       netem.Link
+	DelayOrg  int // -1 = none
+	DelayLink netem.Link
+
+	// Cost calibration.
+	PeerCosts    costmodel.PeerCosts
+	OrdererCosts costmodel.OrdererCosts
+	// SpeedFactor scales fixed per-block costs down for larger
+	// clusters (C2 has more resources, §5.1.1).
+	SpeedFactor float64
+
+	// ClientCheck enables the optional client-side verification of
+	// endorsement consistency (§2 step 3): mismatching responses are
+	// dropped before ordering.
+	ClientCheck bool
+
+	// SkipReadOnlySubmission implements the paper's recommendation #4
+	// (§6.1): transactions whose simulation produced no writes are
+	// not submitted for ordering — the client already has the result
+	// after the execution phase. They are counted as served reads
+	// instead of chain transactions.
+	SkipReadOnlySubmission bool
+
+	// Variant plugs in a Fabric fork (Fabric++, Streamchain,
+	// FabricSharp). Nil runs vanilla Fabric 1.4.
+	Variant Variant
+
+	// StripAfterCommit frees heavy transaction payloads (endorsement
+	// lists, range observations) once a block is committed and
+	// measured, bounding memory on range-heavy workloads.
+	StripAfterCommit bool
+}
+
+// DefaultConfig returns the paper's default control variables
+// (Table 3) on the small C1 cluster: 2 orgs × 2 peers, 3 orderers
+// (kafka), 5 clients, block size 100, CouchDB, policy P0, 100 tps.
+// Chaincode and Workload must still be set by the caller.
+func DefaultConfig() Config {
+	return Config{
+		Seed:             1,
+		Orgs:             2,
+		PeersPerOrg:      2,
+		Orderers:         3,
+		Clients:          5,
+		BlockSize:        100,
+		BlockTimeout:     2 * time.Second,
+		MaxBlockKB:       10240,
+		Consensus:        "kafka",
+		DBKind:           statedb.CouchDB,
+		Policy:           policy.P0,
+		Rate:             100,
+		Duration:         3 * time.Minute,
+		Drain:            time.Minute,
+		LAN:              netem.DefaultLAN(),
+		DelayOrg:         -1,
+		PeerCosts:        costmodel.DefaultPeerCosts(),
+		OrdererCosts:     costmodel.DefaultOrdererCosts(),
+		SpeedFactor:      1,
+		StripAfterCommit: true,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.Orgs < 2:
+		return fmt.Errorf("fabric: need >=2 orgs, got %d", c.Orgs)
+	case c.PeersPerOrg < 1:
+		return fmt.Errorf("fabric: need >=1 peer per org")
+	case c.Orderers < 1:
+		return fmt.Errorf("fabric: need >=1 orderer")
+	case c.Clients < 1:
+		return fmt.Errorf("fabric: need >=1 client")
+	case c.BlockSize < 1:
+		return fmt.Errorf("fabric: block size must be positive")
+	case c.BlockTimeout <= 0:
+		return fmt.Errorf("fabric: block timeout must be positive")
+	case c.Rate <= 0:
+		return fmt.Errorf("fabric: arrival rate must be positive")
+	case c.Duration <= 0:
+		return fmt.Errorf("fabric: duration must be positive")
+	case c.Chaincode == nil:
+		return fmt.Errorf("fabric: chaincode not set")
+	case c.Workload == nil:
+		return fmt.Errorf("fabric: workload not set")
+	case c.SpeedFactor <= 0:
+		return fmt.Errorf("fabric: speed factor must be positive")
+	}
+	switch c.Consensus {
+	case "solo", "kafka", "raft":
+	default:
+		return fmt.Errorf("fabric: unknown consensus %q", c.Consensus)
+	}
+	return nil
+}
+
+// RatePhase is one segment of a time-varying arrival process.
+type RatePhase struct {
+	Duration time.Duration
+	Rate     float64 // tps across all clients
+}
+
+// RateAt resolves the configured arrival rate at virtual time t.
+func (c *Config) RateAt(t time.Duration) float64 {
+	for _, p := range c.RateSchedule {
+		if t < p.Duration {
+			return p.Rate
+		}
+		t -= p.Duration
+	}
+	return c.Rate
+}
+
+// Variant is a pluggable Fabric fork. The zero behaviour (vanilla
+// Fabric 1.4) is provided by Vanilla.
+type Variant interface {
+	// Name identifies the system ("fabric++", "streamchain", ...).
+	Name() string
+	// Adjust lets the variant rewrite the configuration before the
+	// network is built (e.g. Streamchain forces block size 1 and
+	// RAM-disk commit costs).
+	Adjust(cfg *Config)
+	// OnSubmit intercepts a transaction as it enters the ordering
+	// service. Returning accept=false aborts it early
+	// (ABORTED_IN_ORDERING); cost is virtual ordering-CPU time
+	// consumed by the decision.
+	OnSubmit(tx *ledger.Transaction) (accept bool, cost time.Duration)
+	// OnCut post-processes a freshly cut batch: it may reorder kept
+	// transactions and abort others; cost is the reordering time
+	// (Fabric++'s conflict-graph construction).
+	OnCut(batch []*ledger.Transaction) (kept, aborted []*ledger.Transaction, cost time.Duration)
+	// SkipMVCC reports whether validation must skip MVCC and phantom
+	// checks because the orderer already serialized the transactions
+	// (FabricSharp).
+	SkipMVCC() bool
+	// OnBlockValidated feeds the validation outcome back to the
+	// variant, in block order (FabricSharp's scheduler uses it to
+	// learn the committed heights of the writes it scheduled).
+	OnBlockValidated(b *ledger.Block, codes []ledger.ValidationCode)
+	// EndorseSnapshotLag reports whether endorsement reads one block
+	// behind the latest commit (FabricSharp's block snapshots,
+	// §5.4.1).
+	EndorseSnapshotLag() bool
+}
+
+// Vanilla is the no-op variant: plain Fabric 1.4.
+type Vanilla struct{}
+
+// Name implements Variant.
+func (Vanilla) Name() string { return "fabric-1.4" }
+
+// Adjust implements Variant.
+func (Vanilla) Adjust(*Config) {}
+
+// OnSubmit implements Variant.
+func (Vanilla) OnSubmit(*ledger.Transaction) (bool, time.Duration) { return true, 0 }
+
+// OnCut implements Variant.
+func (Vanilla) OnCut(batch []*ledger.Transaction) ([]*ledger.Transaction, []*ledger.Transaction, time.Duration) {
+	return batch, nil, 0
+}
+
+// SkipMVCC implements Variant.
+func (Vanilla) SkipMVCC() bool { return false }
+
+// OnBlockValidated implements Variant.
+func (Vanilla) OnBlockValidated(*ledger.Block, []ledger.ValidationCode) {}
+
+// EndorseSnapshotLag implements Variant.
+func (Vanilla) EndorseSnapshotLag() bool { return false }

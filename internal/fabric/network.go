@@ -1,0 +1,204 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chaincode"
+	"repro/internal/consensus"
+	"repro/internal/costmodel"
+	"repro/internal/fabcrypto"
+	"repro/internal/ledger"
+	"repro/internal/metrics"
+	"repro/internal/netem"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/statedb"
+)
+
+// Network is a fully wired simulated Fabric deployment.
+type Network struct {
+	cfg Config
+
+	eng     *sim.Engine
+	net     *netem.Model
+	msp     *fabcrypto.MSP
+	pol     *policy.Policy
+	orgs    []string
+	peers   []*Peer
+	clients []*Client
+	orderer *OrderingService
+	val     *validator
+	chain   *ledger.Chain
+	col     *metrics.Collector
+
+	dbCosts costmodel.DBCosts
+	variant Variant
+	txSeq   uint64
+}
+
+// NewNetwork validates the config and builds the deployment: MSP
+// identities, genesis world state fanned out to every peer replica,
+// the consenter, and the ordering service.
+func NewNetwork(cfg Config) (*Network, error) {
+	if cfg.Variant == nil {
+		cfg.Variant = Vanilla{}
+	}
+	cfg.Variant.Adjust(&cfg)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.LAN == (netem.Link{}) {
+		cfg.LAN = netem.DefaultLAN()
+	}
+
+	nw := &Network{
+		cfg:     cfg,
+		eng:     sim.NewEngine(cfg.Seed),
+		msp:     fabcrypto.NewMSP(fmt.Sprintf("hyperlab-%d", cfg.Seed)),
+		chain:   ledger.NewChain(),
+		col:     metrics.NewCollector(),
+		dbCosts: costmodel.ForKind(cfg.DBKind),
+		variant: cfg.Variant,
+	}
+	nw.net = netem.New(nw.eng, cfg.LAN)
+	nw.applySpeedFactor()
+
+	for i := 0; i < cfg.Orgs; i++ {
+		nw.orgs = append(nw.orgs, fabcrypto.OrgName(i))
+	}
+	nw.pol = policy.Build(cfg.Policy, nw.orgs)
+
+	// Genesis: run Init once, apply at height 0, clone per replica.
+	genesis := statedb.New(cfg.DBKind, cfg.Seed)
+	stub := chaincode.NewStub(genesis)
+	if err := cfg.Chaincode.Init(stub); err != nil {
+		return nil, fmt.Errorf("fabric: chaincode init: %w", err)
+	}
+	batch := &statedb.UpdateBatch{}
+	for i, w := range stub.RWSet().Writes {
+		h := ledger.Height{BlockNum: 0, TxNum: uint64(i)}
+		if w.IsDelete {
+			batch.Delete(w.Key, h)
+		} else {
+			batch.Put(w.Key, w.Value, h)
+		}
+	}
+	if err := genesis.ApplyUpdates(batch, 0); err != nil {
+		return nil, err
+	}
+
+	// Genesis block 0 anchors the hash chain.
+	gb := &ledger.Block{Number: 0}
+	gb.Hash = gb.ComputeHash()
+	if err := nw.chain.Append(gb); err != nil {
+		return nil, err
+	}
+
+	// Peers.
+	for o := 0; o < cfg.Orgs; o++ {
+		org := nw.orgs[o]
+		for p := 0; p < cfg.PeersPerOrg; p++ {
+			peer := newPeer(nw, org, fabcrypto.PeerName(org, p),
+				genesis.Clone(cfg.Seed+int64(len(nw.peers))+100))
+			if cfg.DelayOrg == o {
+				nw.net.Inject(peer.name, cfg.DelayLink)
+			}
+			nw.peers = append(nw.peers, peer)
+		}
+	}
+	nw.val = newValidator(nw, genesis.Clone(cfg.Seed+99))
+
+	// Ordering service with the configured consenter.
+	var cons consensus.Consenter
+	switch cfg.Consensus {
+	case "solo":
+		cons = consensus.NewSolo(nw.eng, cfg.OrdererCosts.ConsensusDelay)
+	case "kafka":
+		kcfg := consensus.DefaultKafkaConfig()
+		kcfg.Brokers = cfg.Orderers
+		if kcfg.MinISR > kcfg.Brokers {
+			kcfg.MinISR = kcfg.Brokers
+		}
+		cons = consensus.NewKafka(nw.eng, nw.net, kcfg)
+	case "raft":
+		rcfg := consensus.DefaultRaftConfig()
+		rcfg.Nodes = cfg.Orderers
+		cons = consensus.NewRaft(nw.eng, nw.net, rcfg)
+	}
+	nw.orderer = newOrderingService(nw, cons)
+
+	// Clients.
+	for c := 0; c < cfg.Clients; c++ {
+		nw.clients = append(nw.clients, newClient(nw, c))
+	}
+	return nw, nil
+}
+
+// applySpeedFactor scales fixed per-block costs for the cluster size.
+func (nw *Network) applySpeedFactor() {
+	f := nw.cfg.SpeedFactor
+	if f == 1 {
+		return
+	}
+	scale := func(d time.Duration) time.Duration {
+		return time.Duration(float64(d) / f)
+	}
+	nw.cfg.PeerCosts.BlockBase = scale(nw.cfg.PeerCosts.BlockBase)
+	nw.cfg.OrdererCosts.BlockCut = scale(nw.cfg.OrdererCosts.BlockCut)
+	nw.cfg.OrdererCosts.PerTx = scale(nw.cfg.OrdererCosts.PerTx)
+	// PerDeliver is per-peer network fan-out, not CPU: it does not
+	// shrink with a beefier cluster — the point of §5.3.1.
+}
+
+// Engine exposes the simulation engine (tests and failure injection).
+func (nw *Network) Engine() *sim.Engine { return nw.eng }
+
+// Netem exposes the network model (tests and failure injection).
+func (nw *Network) Netem() *netem.Model { return nw.net }
+
+// Chain returns the canonical ledger (the metrics peer's copy).
+func (nw *Network) Chain() *ledger.Chain { return nw.chain }
+
+// Orderer exposes the ordering service (adaptive controllers, tests,
+// failure injection).
+func (nw *Network) Orderer() *OrderingService { return nw.orderer }
+
+// Collector returns the metrics collector.
+func (nw *Network) Collector() *metrics.Collector { return nw.col }
+
+// Peers returns all peers.
+func (nw *Network) Peers() []*Peer { return nw.peers }
+
+// metricsPeer is the peer whose commits define the canonical chain and
+// latency measurements (the first peer of the first org).
+func (nw *Network) metricsPeer() *Peer { return nw.peers[0] }
+
+// peerOf returns org's i'th peer.
+func (nw *Network) peerOf(org string, i int) *Peer {
+	for _, p := range nw.peers {
+		if p.org == org {
+			if i == 0 {
+				return p
+			}
+			i--
+		}
+	}
+	panic(fmt.Sprintf("fabric: no peer %d in org %s", i, org))
+}
+
+// nextTxID allocates a unique transaction id.
+func (nw *Network) nextTxID(clientID int) string {
+	nw.txSeq++
+	return fmt.Sprintf("tx%08d-c%02d", nw.txSeq, clientID)
+}
+
+// Run executes the experiment: clients send for cfg.Duration, then the
+// network drains for up to cfg.Drain, and the report is computed.
+func (nw *Network) Run() metrics.Report {
+	for _, c := range nw.clients {
+		c.start()
+	}
+	nw.eng.RunUntil(sim.Time(nw.cfg.Duration + nw.cfg.Drain))
+	return nw.col.Report()
+}

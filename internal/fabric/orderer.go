@@ -1,0 +1,204 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/ledger"
+	"repro/internal/sim"
+)
+
+// OrderingService is the ordering phase (§2 steps 4–5): transactions
+// arrive from clients, pass through the variant's early-abort hook,
+// reach total order via the consenter, and are cut into blocks by
+// count, byte size or timeout. Cut blocks are validated (once,
+// deterministically) and streamed to every peer over FIFO links.
+//
+// The service is a serial server: variant reordering cost (Fabric++'s
+// conflict graphs) and per-peer delivery cost occupy it, so expensive
+// ordering work queues subsequent blocks — the mechanism behind
+// Fabric++'s latency explosion on large range queries (§5.2.3) and
+// Streamchain's collapse at high rates (§5.3.1).
+type OrderingService struct {
+	nw   *Network
+	cons consensus.Consenter
+
+	pending      []*ledger.Transaction
+	pendingBytes int
+	timerArmed   bool
+	timerEpoch   uint64
+
+	busyUntil sim.Time
+
+	blockNum uint64
+	prevHash [32]byte
+
+	// blockSize is the live batch-size target. It starts at
+	// cfg.BlockSize and can be retuned mid-run by an adaptive
+	// controller (the §6.2 research direction).
+	blockSize int
+
+	// orderedCount counts transactions that reached total order, for
+	// arrival-rate estimation.
+	orderedCount uint64
+
+	// names of the orderer nodes, for network addressing.
+	nodeNames []string
+}
+
+func newOrderingService(nw *Network, cons consensus.Consenter) *OrderingService {
+	os := &OrderingService{nw: nw, cons: cons, blockSize: nw.cfg.BlockSize}
+	for i := 0; i < nw.cfg.Orderers; i++ {
+		os.nodeNames = append(os.nodeNames, fmt.Sprintf("orderer%d", i))
+	}
+	gb := nw.chain.Block(0)
+	os.prevHash = gb.Hash
+	cons.OnCommit(func(payload interface{}) { os.ordered(payload.(*ledger.Transaction)) })
+	return os
+}
+
+// NodeName returns the i'th orderer's network name.
+func (os *OrderingService) NodeName(i int) string {
+	return os.nodeNames[i%len(os.nodeNames)]
+}
+
+// Consenter exposes the consensus substrate (failure injection).
+func (os *OrderingService) Consenter() consensus.Consenter { return os.cons }
+
+// Submit receives a transaction envelope from a client (already on
+// the orderer node — the client paid the network hop).
+func (os *OrderingService) Submit(tx *ledger.Transaction) {
+	accept, cost := os.nw.variant.OnSubmit(tx)
+	if cost > 0 {
+		os.occupy(cost)
+	}
+	if !accept {
+		// Early abort in the ordering phase: the client is notified;
+		// the transaction never reaches the chain.
+		os.nw.col.RecordAbort(tx.SubmitTime, os.nw.eng.Now())
+		return
+	}
+	os.cons.Submit(tx)
+}
+
+// BlockSize returns the live batch-size target.
+func (os *OrderingService) BlockSize() int { return os.blockSize }
+
+// SetBlockSize retunes the batch-size target; an undersized pending
+// batch is cut immediately when it already exceeds the new target.
+func (os *OrderingService) SetBlockSize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	os.blockSize = n
+	if len(os.pending) >= os.blockSize {
+		os.cut("retune")
+	}
+}
+
+// OrderedCount reports how many transactions have reached total order.
+func (os *OrderingService) OrderedCount() uint64 { return os.orderedCount }
+
+// ordered consumes the total-order stream and feeds the block cutter.
+func (os *OrderingService) ordered(tx *ledger.Transaction) {
+	os.occupy(os.nw.cfg.OrdererCosts.PerTx)
+	os.orderedCount++
+	os.pending = append(os.pending, tx)
+	os.pendingBytes += txBytes(tx)
+	switch {
+	case len(os.pending) >= os.blockSize:
+		os.cut("size")
+	case os.nw.cfg.MaxBlockKB > 0 && os.pendingBytes >= os.nw.cfg.MaxBlockKB*1024:
+		os.cut("bytes")
+	case !os.timerArmed:
+		os.timerArmed = true
+		epoch := os.timerEpoch
+		os.nw.eng.After(os.nw.cfg.BlockTimeout, func() {
+			if os.timerEpoch == epoch && len(os.pending) > 0 {
+				os.cut("timeout")
+			}
+		})
+	}
+}
+
+// txBytes approximates the envelope's wire size for the max-bytes cut
+// condition.
+func txBytes(tx *ledger.Transaction) int {
+	n := 256 // headers, signatures, ids
+	if tx.RWSet != nil {
+		n += 48 * len(tx.RWSet.Reads)
+		for _, w := range tx.RWSet.Writes {
+			n += len(w.Key) + len(w.Value) + 16
+		}
+		for _, rq := range tx.RWSet.RangeQueries {
+			n += 48 * len(rq.Reads)
+		}
+	}
+	n += 96 * len(tx.Endorsements)
+	return n
+}
+
+// cut assembles the pending batch into a block, runs the variant's
+// reordering hook, validates the block, and schedules delivery.
+func (os *OrderingService) cut(reason string) {
+	_ = reason
+	batch := os.pending
+	os.pending = nil
+	os.pendingBytes = 0
+	os.timerArmed = false
+	os.timerEpoch++
+
+	kept, aborted, cost := os.nw.variant.OnCut(batch)
+	now := os.nw.eng.Now()
+	for _, tx := range aborted {
+		os.nw.col.RecordAbort(tx.SubmitTime, now)
+	}
+	if len(kept) == 0 {
+		if cost > 0 {
+			os.occupy(cost)
+		}
+		return
+	}
+
+	os.blockNum++
+	b := &ledger.Block{
+		Number:       os.blockNum,
+		PrevHash:     os.prevHash,
+		Transactions: kept,
+		CutTime:      now,
+	}
+	b.Hash = b.ComputeHash()
+	os.prevHash = b.Hash
+
+	// Validation outcome is deterministic; compute it once, in cut
+	// order, so peers can replay it regardless of delivery timing.
+	os.nw.val.result(b)
+
+	service := os.nw.cfg.OrdererCosts.BlockCut + cost +
+		time.Duration(len(os.nw.peers))*os.nw.cfg.OrdererCosts.PerDeliver
+	ready := os.occupy(service)
+
+	// Stream the block to every peer at the (serialized) ready time.
+	// Each peer is statically subscribed to one orderer node and the
+	// link is FIFO, so blocks arrive at every peer in cut order.
+	os.nw.eng.At(ready, func() {
+		for i, p := range os.nw.peers {
+			p := p
+			src := os.NodeName(i)
+			os.nw.net.SendOrdered(src, p.name, func() { p.DeliverBlock(b) })
+		}
+	})
+}
+
+// occupy charges d of serial ordering-service time and returns the
+// completion time.
+func (os *OrderingService) occupy(d time.Duration) sim.Time {
+	start := os.busyUntil
+	if now := os.nw.eng.Now(); now > start {
+		start = now
+	}
+	end := start + sim.Time(d)
+	os.busyUntil = end
+	return end
+}

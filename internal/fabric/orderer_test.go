@@ -1,0 +1,212 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/ledger"
+	"repro/internal/sim"
+)
+
+func TestBlockCutBySize(t *testing.T) {
+	nw := harness(t)
+	nw.cfg.BlockSize = 3
+	nw.orderer.blockSize = 3
+	for i := 0; i < 7; i++ {
+		tx := mkTx(nw, string(rune('a'+i)), &ledger.RWSet{})
+		tx.SubmitTime = nw.eng.Now()
+		nw.orderer.Submit(tx)
+	}
+	nw.eng.RunUntil(sim.Time(time.Second))
+	// 7 txs at size 3: two full blocks, one pending awaiting timeout.
+	if nw.orderer.blockNum != 2 {
+		t.Fatalf("cut %d blocks, want 2", nw.orderer.blockNum)
+	}
+	if len(nw.orderer.pending) != 1 {
+		t.Fatalf("pending = %d, want 1", len(nw.orderer.pending))
+	}
+	nw.eng.RunUntil(sim.Time(5 * time.Second)) // past the 2s timeout
+	if nw.orderer.blockNum != 3 {
+		t.Fatalf("timeout did not flush the partial block: %d", nw.orderer.blockNum)
+	}
+}
+
+func TestBlockCutByTimeout(t *testing.T) {
+	nw := harness(t)
+	tx := mkTx(nw, "t", &ledger.RWSet{})
+	tx.SubmitTime = nw.eng.Now()
+	nw.orderer.Submit(tx)
+	nw.eng.RunUntil(sim.Time(nw.cfg.BlockTimeout / 2))
+	if nw.orderer.blockNum != 0 {
+		t.Fatal("block cut before timeout")
+	}
+	nw.eng.RunUntil(sim.Time(nw.cfg.BlockTimeout * 2))
+	if nw.orderer.blockNum != 1 {
+		t.Fatalf("blockNum = %d after timeout, want 1", nw.orderer.blockNum)
+	}
+}
+
+func TestBlockCutByBytes(t *testing.T) {
+	nw := harness(t)
+	nw.cfg.MaxBlockKB = 1 // 1 KiB cap
+	big := make([]byte, 600)
+	for i := 0; i < 2; i++ {
+		rw := &ledger.RWSet{Writes: []ledger.KVWrite{{Key: "k", Value: big}}}
+		tx := mkTx(nw, string(rune('a'+i)), rw)
+		tx.SubmitTime = nw.eng.Now()
+		nw.orderer.Submit(tx)
+	}
+	nw.eng.RunUntil(sim.Time(500 * time.Millisecond))
+	// Each ~1 KiB transaction trips the 1 KiB cap on its own: two
+	// single-transaction blocks, no waiting for the timeout.
+	if nw.orderer.blockNum != 2 {
+		t.Fatalf("bytes cap did not cut: blockNum = %d", nw.orderer.blockNum)
+	}
+	if len(nw.orderer.pending) != 0 {
+		t.Fatalf("pending = %d, want 0", len(nw.orderer.pending))
+	}
+}
+
+func TestSetBlockSizeCutsOversizedPending(t *testing.T) {
+	nw := harness(t)
+	for i := 0; i < 5; i++ {
+		tx := mkTx(nw, string(rune('a'+i)), &ledger.RWSet{})
+		tx.SubmitTime = nw.eng.Now()
+		nw.orderer.Submit(tx)
+	}
+	nw.eng.RunUntil(sim.Time(100 * time.Millisecond))
+	if nw.orderer.blockNum != 0 {
+		t.Fatal("premature cut")
+	}
+	nw.orderer.SetBlockSize(4)
+	if nw.orderer.blockNum != 1 {
+		t.Fatalf("retune did not cut oversized pending batch: %d", nw.orderer.blockNum)
+	}
+	if nw.orderer.BlockSize() != 4 {
+		t.Fatalf("BlockSize = %d", nw.orderer.BlockSize())
+	}
+	nw.orderer.SetBlockSize(0)
+	if nw.orderer.BlockSize() != 1 {
+		t.Fatal("SetBlockSize(0) should clamp to 1")
+	}
+}
+
+func TestTxBytesAccounting(t *testing.T) {
+	small := &ledger.Transaction{RWSet: &ledger.RWSet{}}
+	big := &ledger.Transaction{RWSet: &ledger.RWSet{
+		Reads:  []ledger.KVRead{{Key: "a"}, {Key: "b"}},
+		Writes: []ledger.KVWrite{{Key: "k", Value: make([]byte, 1000)}},
+		RangeQueries: []ledger.RangeQueryInfo{{
+			Reads: make([]ledger.KVRead, 100),
+		}},
+	}}
+	if txBytes(big) <= txBytes(small) {
+		t.Fatal("txBytes not monotone in payload size")
+	}
+	if txBytes(small) < 256 {
+		t.Fatal("txBytes below header floor")
+	}
+}
+
+// TestKafkaCrashMidRun injects an orderer (kafka leader) crash during
+// a live run: the controller re-elects and the run completes with all
+// blocks delivered in order.
+func TestKafkaCrashMidRun(t *testing.T) {
+	cfg := testConfig(42)
+	cfg.Consensus = "kafka"
+	nw, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kafka := nw.Orderer().Consenter().(*consensus.Kafka)
+	nw.Engine().At(sim.Time(5*time.Second), func() {
+		kafka.Crash(kafka.Leader())
+	})
+	rep := nw.Run()
+	if rep.Valid == 0 {
+		t.Fatal("no valid transactions after leader crash")
+	}
+	if err := nw.Chain().Verify(); err != nil {
+		t.Fatalf("chain broken after failover: %v", err)
+	}
+	// The 5s election gap shows up as elevated latency.
+	if rep.P95Latency < 2*time.Second {
+		t.Logf("p95 %v — failover gap absorbed faster than expected", rep.P95Latency)
+	}
+}
+
+// TestRaftCrashMidRun does the same for the raft consenter.
+func TestRaftCrashMidRun(t *testing.T) {
+	cfg := testConfig(43)
+	cfg.Consensus = "raft"
+	nw, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raft := nw.Orderer().Consenter().(*consensus.Raft)
+	nw.Engine().At(sim.Time(5*time.Second), func() {
+		raft.Crash(raft.Leader())
+	})
+	rep := nw.Run()
+	if rep.Valid == 0 {
+		t.Fatal("no valid transactions after raft leader crash")
+	}
+	if err := nw.Chain().Verify(); err != nil {
+		t.Fatalf("chain broken after re-election: %v", err)
+	}
+}
+
+func TestSkipReadOnlySubmission(t *testing.T) {
+	cfg := testConfig(44)
+	cfg.SkipReadOnlySubmission = true
+	nw, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := nw.Run()
+	if rep.ServedReads == 0 {
+		t.Fatal("EHR workload has read-only functions; none were served directly")
+	}
+	// Served reads never land on the chain.
+	if rep.Committed+rep.ServedReads <= rep.Committed {
+		t.Fatal("bookkeeping broken")
+	}
+	base, err := NewNetwork(testConfig(44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRep := base.Run()
+	if rep.Committed >= baseRep.Committed {
+		t.Errorf("skip-read-only committed %d >= baseline %d", rep.Committed, baseRep.Committed)
+	}
+	t.Logf("baseline %v", baseRep)
+	t.Logf("skipRO   %v (+%d served reads)", rep, rep.ServedReads)
+}
+
+func TestRateSchedule(t *testing.T) {
+	cfg := testConfig(45)
+	cfg.RateSchedule = []RatePhase{
+		{Duration: 10 * time.Second, Rate: 10},
+		{Duration: 10 * time.Second, Rate: 100},
+	}
+	cfg.Duration = 20 * time.Second
+	if got := cfg.RateAt(5 * time.Second); got != 10 {
+		t.Fatalf("RateAt(5s) = %v", got)
+	}
+	if got := cfg.RateAt(15 * time.Second); got != 100 {
+		t.Fatalf("RateAt(15s) = %v", got)
+	}
+	if got := cfg.RateAt(25 * time.Second); got != cfg.Rate {
+		t.Fatalf("RateAt past schedule = %v, want fallback %v", got, cfg.Rate)
+	}
+	nw, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := nw.Run()
+	// Expected volume ~ 10*10 + 10*100 = 1100 txs.
+	if rep.Total < 700 || rep.Total > 1500 {
+		t.Errorf("scheduled run produced %d txs, want ~1100", rep.Total)
+	}
+}

@@ -1,0 +1,195 @@
+package fabric
+
+import (
+	"repro/internal/chaincode"
+	"repro/internal/costmodel"
+	"repro/internal/fabcrypto"
+	"repro/internal/ledger"
+	"repro/internal/sim"
+	"repro/internal/statedb"
+	"repro/internal/workload"
+)
+
+// Peer is one Fabric peer: an endorser that simulates transactions on
+// its own world-state replica and a committer that validates delivered
+// blocks and applies them. Replicas advance independently — the
+// transient inconsistency between them during the commit window is the
+// root cause of endorsement policy failures (§3.2.1).
+type Peer struct {
+	nw       *Network
+	org      string
+	name     string
+	identity *fabcrypto.Identity
+	db       statedb.VersionedDB
+
+	// busyUntil serializes the committer: blocks are validated and
+	// applied one at a time, in delivery order.
+	busyUntil sim.Time
+
+	// endorserSlots holds the completion times of the peer's
+	// endorsement workers; proposals queue for the earliest slot.
+	endorserSlots []sim.Time
+
+	// lagBatch delays replica application by one block when the
+	// variant endorses against block snapshots (FabricSharp).
+	lagBatch  *statedb.UpdateBatch
+	lagHeight uint64
+
+	// committedBlocks counts applied blocks (diagnostics).
+	committedBlocks int
+}
+
+func newPeer(nw *Network, org, name string, db statedb.VersionedDB) *Peer {
+	workers := nw.cfg.PeerCosts.EndorserWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	return &Peer{
+		nw:            nw,
+		org:           org,
+		name:          name,
+		identity:      nw.msp.Register(org, name),
+		db:            db,
+		endorserSlots: make([]sim.Time, workers),
+	}
+}
+
+// Org returns the peer's organization.
+func (p *Peer) Org() string { return p.org }
+
+// Name returns the peer's node name.
+func (p *Peer) Name() string { return p.name }
+
+// DB exposes the replica (tests).
+func (p *Peer) DB() statedb.VersionedDB { return p.db }
+
+// CommittedBlocks reports how many blocks this replica has applied.
+func (p *Peer) CommittedBlocks() int { return p.committedBlocks }
+
+// Endorse simulates the invocation on the local replica (§2 step 2)
+// and, after the endorsement service time, sends the signed
+// read/write set back through respond. Proposals queue for one of the
+// peer's endorsement workers: expensive simulations (CouchDB range
+// scans) saturate the pool and the queue grows — the §5.1.2 collapse.
+func (p *Peer) Endorse(inv workload.Invocation, respond func(*ledger.Endorsement, error)) {
+	// The proposal starts executing when a worker frees up; the
+	// snapshot it reads is taken at that point.
+	slot := 0
+	for i, t := range p.endorserSlots {
+		if t < p.endorserSlots[slot] {
+			slot = i
+		}
+	}
+	start := p.endorserSlots[slot]
+	if now := p.nw.eng.Now(); now > start {
+		start = now
+	}
+	run := func() {
+		stub := chaincode.NewStub(p.db)
+		err := p.nw.cfg.Chaincode.Invoke(stub, inv.Function, inv.Args)
+		var end *ledger.Endorsement
+		cost := p.nw.cfg.PeerCosts.EndorseBase
+		if err == nil {
+			rw := stub.RWSet()
+			digest := rw.Digest()
+			end = &ledger.Endorsement{
+				Org:       p.org,
+				PeerID:    p.name,
+				RWSet:     rw,
+				Signature: p.identity.Sign(digest[:]),
+			}
+			cost = costmodel.EndorseCost(p.nw.dbCosts, p.nw.cfg.PeerCosts, stub.Trace())
+		}
+		cost = p.nw.eng.Jittered(cost, p.nw.cfg.PeerCosts.Jitter)
+		p.endorserSlots[slot] = p.nw.eng.Now() + sim.Time(cost)
+		p.nw.eng.After(cost, func() { respond(end, err) })
+	}
+	if start <= p.nw.eng.Now() {
+		p.endorserSlots[slot] = p.nw.eng.Now() // claimed; updated in run
+		run()
+		return
+	}
+	p.endorserSlots[slot] = start // reserve until the worker frees up
+	p.nw.eng.At(start, run)
+}
+
+// DeliverBlock enqueues a block from the ordering service. The
+// committer is a serial server: validation+commit of block N must
+// finish before N+1 starts. The validation outcome itself is computed
+// once network-wide (it is deterministic); each peer pays its own
+// virtual service time and applies the batch at its own commit time.
+func (p *Peer) DeliverBlock(b *ledger.Block) {
+	res := p.nw.val.result(b)
+	// Jitter applies to the fixed per-block part only: per-transaction
+	// work averages out across a block (CLT), so the commit-time skew
+	// between replicas — the driver of endorsement policy failures —
+	// does not scale with block size (the paper's Fig 9 flatness).
+	fixed := costmodel.CommitCost(p.nw.dbCosts, p.nw.cfg.PeerCosts, 0)
+	variable := res.validateCost +
+		costmodel.CommitCost(p.nw.dbCosts, p.nw.cfg.PeerCosts, res.batch.Len()) - fixed
+	service := p.nw.eng.Jittered(fixed, p.nw.cfg.PeerCosts.Jitter) +
+		p.nw.eng.Jittered(variable, p.nw.cfg.PeerCosts.VarJitter)
+
+	start := p.busyUntil
+	if now := p.nw.eng.Now(); now > start {
+		start = now
+	}
+	done := start + sim.Time(service)
+	p.busyUntil = done
+	p.nw.eng.At(done, func() { p.commit(b, res) })
+}
+
+// commit applies the block's update batch to the replica and, on the
+// metrics peer, appends the canonical block and records metrics.
+func (p *Peer) commit(b *ledger.Block, res *valResult) {
+	if p.nw.variant.EndorseSnapshotLag() {
+		// FabricSharp parallelizes execution and validation with
+		// block snapshots: endorsement sees the state as of the
+		// previous block boundary (§5.4.1), so the replica applies
+		// one block late.
+		if p.lagBatch != nil {
+			p.db.ApplyUpdates(p.lagBatch, p.lagHeight)
+		}
+		p.lagBatch, p.lagHeight = res.batch, b.Number
+	} else {
+		p.db.ApplyUpdates(res.batch, b.Number)
+	}
+	p.committedBlocks++
+
+	if p != p.nw.metricsPeer() {
+		return
+	}
+	now := p.nw.eng.Now()
+	canonical := &ledger.Block{
+		Number:          b.Number,
+		PrevHash:        b.PrevHash,
+		Hash:            b.Hash,
+		Transactions:    b.Transactions,
+		CutTime:         b.CutTime,
+		ValidationCodes: res.codes,
+		CommitTime:      now,
+	}
+	if err := p.nw.chain.Append(canonical); err != nil {
+		panic("fabric: canonical chain append: " + err.Error())
+	}
+	p.nw.col.RecordBlock()
+	for i, tx := range b.Transactions {
+		p.nw.col.RecordTx(res.codes[i], tx.SubmitTime, now)
+		if p.nw.cfg.StripAfterCommit {
+			stripTx(tx)
+		}
+	}
+}
+
+// stripTx frees heavy payloads once a transaction is measured: the
+// endorsement list and range-query observations can hold thousands of
+// reads (DV scans all 1000 voters per vote).
+func stripTx(tx *ledger.Transaction) {
+	tx.Endorsements = nil
+	if tx.RWSet == nil {
+		return
+	}
+	for i := range tx.RWSet.RangeQueries {
+		tx.RWSet.RangeQueries[i].Reads = nil
+	}
+}

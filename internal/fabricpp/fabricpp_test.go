@@ -1,0 +1,100 @@
+package fabricpp
+
+import (
+	"testing"
+
+	"repro/internal/fabrictest"
+	"repro/internal/gen"
+	"repro/internal/ledger"
+)
+
+func TestNoIntraBlockConflictsReachTheChain(t *testing.T) {
+	cfg := fabrictest.EHRConfig(1, New())
+	nw, rep := fabrictest.Run(t, cfg)
+	if got := rep.Counts[ledger.MVCCConflictIntraBlock]; got != 0 {
+		t.Errorf("Fabric++ let %d intra-block conflicts reach validation", got)
+	}
+	if rep.Counts[ledger.MVCCConflictInterBlock] == 0 {
+		t.Error("inter-block conflicts should remain (reordering cannot fix them)")
+	}
+	if rep.Valid == 0 {
+		t.Fatal("no valid transactions")
+	}
+	if err := nw.Chain().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReducesFailuresVsVanillaOnUpdateHeavy(t *testing.T) {
+	// Skewed update-heavy load: many intra-block dependencies that
+	// reordering can rescue.
+	ppCfg := fabrictest.GenChainConfig(2, New(), gen.UpdateHeavy, 1)
+	_, pp := fabrictest.Run(t, ppCfg)
+	vCfg := fabrictest.GenChainConfig(2, nil, gen.UpdateHeavy, 1)
+	_, vanilla := fabrictest.Run(t, vCfg)
+	if pp.FailurePct >= vanilla.FailurePct {
+		t.Errorf("Fabric++ failures %.2f%% >= vanilla %.2f%%", pp.FailurePct, vanilla.FailurePct)
+	}
+	t.Logf("fabric++ %v", pp)
+	t.Logf("vanilla  %v", vanilla)
+}
+
+func TestAbortsAreCounted(t *testing.T) {
+	v := New()
+	cfg := fabrictest.GenChainConfig(3, v, gen.UpdateHeavy, 2)
+	_, rep := fabrictest.Run(t, cfg)
+	_, aborted := v.Stats()
+	if rep.Counts[ledger.AbortedInOrdering] != aborted {
+		t.Errorf("report aborted %d, variant counted %d",
+			rep.Counts[ledger.AbortedInOrdering], aborted)
+	}
+	if aborted == 0 {
+		t.Error("highly skewed update-heavy load should produce cycle aborts")
+	}
+}
+
+func TestOnCutKeepsSingletons(t *testing.T) {
+	v := New()
+	tx := &ledger.Transaction{ID: "t", RWSet: &ledger.RWSet{}}
+	kept, aborted, cost := v.OnCut([]*ledger.Transaction{tx})
+	if len(kept) != 1 || len(aborted) != 0 || cost != 0 {
+		t.Fatalf("singleton batch mishandled: %d kept %d aborted", len(kept), len(aborted))
+	}
+}
+
+func TestOnCutCyclePair(t *testing.T) {
+	v := New()
+	mk := func(id string) *ledger.Transaction {
+		return &ledger.Transaction{ID: id, RWSet: &ledger.RWSet{
+			Reads:  []ledger.KVRead{{Key: "hot"}},
+			Writes: []ledger.KVWrite{{Key: "hot"}},
+		}}
+	}
+	kept, aborted, cost := v.OnCut([]*ledger.Transaction{mk("a"), mk("b")})
+	if len(kept) != 1 || len(aborted) != 1 {
+		t.Fatalf("r-m-w pair: kept %d aborted %d", len(kept), len(aborted))
+	}
+	if cost <= 0 {
+		t.Error("graph construction should cost time")
+	}
+}
+
+func TestReorderingCostGrowsWithRangeReads(t *testing.T) {
+	v := New()
+	small := &ledger.Transaction{ID: "s", RWSet: &ledger.RWSet{
+		Reads: []ledger.KVRead{{Key: "a"}}, Writes: []ledger.KVWrite{{Key: "b"}},
+	}}
+	bigScan := &ledger.RWSet{Writes: []ledger.KVWrite{{Key: "w"}}}
+	rq := ledger.RangeQueryInfo{StartKey: "k0", EndKey: "k9"}
+	for i := 0; i < 1000; i++ {
+		rq.Reads = append(rq.Reads, ledger.KVRead{Key: "k5"})
+	}
+	bigScan.RangeQueries = []ledger.RangeQueryInfo{rq}
+	big := &ledger.Transaction{ID: "b", RWSet: bigScan}
+
+	_, _, smallCost := v.OnCut([]*ledger.Transaction{small, small})
+	_, _, bigCost := v.OnCut([]*ledger.Transaction{big, big})
+	if bigCost <= smallCost {
+		t.Errorf("1000-key scans cost %v <= small cost %v", bigCost, smallCost)
+	}
+}

@@ -1,0 +1,57 @@
+// Package fabrictest provides shared helpers for integration tests of
+// the Fabric variants: short preconfigured runs with the EHR and
+// genChain workloads.
+package fabrictest
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/chaincodes/ehr"
+	"repro/internal/fabric"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/statedb"
+)
+
+// EHRConfig is a short C1-style EHR run.
+func EHRConfig(seed int64, variant fabric.Variant) fabric.Config {
+	cfg := fabric.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Duration = 20 * time.Second
+	cfg.Drain = 30 * time.Second
+	cfg.Rate = 50
+	cfg.BlockSize = 50
+	cfg.Chaincode = ehr.New()
+	cfg.Workload = ehr.NewWorkload(1)
+	cfg.Variant = variant
+	return cfg
+}
+
+// GenChainConfig is a short genChain run with the given mix and skew
+// on LevelDB (small key space keeps tests fast).
+func GenChainConfig(seed int64, variant fabric.Variant, mix gen.Mix, skew float64) fabric.Config {
+	cfg := fabric.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Duration = 20 * time.Second
+	cfg.Drain = 30 * time.Second
+	cfg.Rate = 50
+	cfg.BlockSize = 50
+	cfg.DBKind = statedb.LevelDB
+	spec := gen.GenChainSpec()
+	spec.Keys = 3000
+	cfg.Chaincode = gen.MustChaincode(spec)
+	cfg.Workload = gen.NewWorkload(spec, mix, skew)
+	cfg.Variant = variant
+	return cfg
+}
+
+// Run builds and runs the network, failing the test on setup errors.
+func Run(t *testing.T, cfg fabric.Config) (*fabric.Network, metrics.Report) {
+	t.Helper()
+	nw, err := fabric.NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw, nw.Run()
+}

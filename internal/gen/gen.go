@@ -1,0 +1,315 @@
+// Package gen implements the paper's chaincode and workload generator
+// (§4.4). The chaincode generator takes the number of functions and,
+// per function, the number of read / insert / update / delete / range
+// read (and optionally rich query) actions, and produces an executable
+// chaincode; Render additionally emits syntactically correct Go source
+// for it. The workload generator produces transaction streams with a
+// configurable type mix (read/insert/update/delete/range percentages)
+// and Zipfian key distribution.
+//
+// The canonical instance is genChain: five functions with equally
+// distributed read, insert, update, delete and range-read actions over
+// a world state of 100,000 keys.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/chaincode"
+	"repro/internal/dist"
+	"repro/internal/workload"
+)
+
+// DefaultKeys is the genChain world-state size (§4.4: "a large number
+// of keys (100,000 keys) to run experiments with reduced transaction
+// conflicts").
+const DefaultKeys = 100000
+
+// FunctionSpec declares one generated function's actions.
+type FunctionSpec struct {
+	Name        string
+	Reads       int // GetState on an existing key
+	Inserts     int // PutState on a fresh key
+	Updates     int // GetState + PutState on an existing key
+	Deletes     int // DelState on a unique existing key
+	RangeReads  int // GetStateByRange over a small interval
+	RichQueries int // GetQueryResult (CouchDB only)
+}
+
+// Ops reports the total number of key arguments the function consumes.
+func (f FunctionSpec) Ops() int {
+	return f.Reads + f.Inserts + f.Updates + f.Deletes + f.RangeReads + f.RichQueries
+}
+
+// ChaincodeSpec declares a generated chaincode.
+type ChaincodeSpec struct {
+	Name      string
+	Keys      int // seeded world-state size
+	Functions []FunctionSpec
+}
+
+// Validate checks the spec for configuration errors.
+func (s ChaincodeSpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("gen: chaincode needs a name")
+	}
+	if s.Keys <= 0 {
+		return fmt.Errorf("gen: chaincode %q needs a positive key count", s.Name)
+	}
+	if len(s.Functions) == 0 {
+		return fmt.Errorf("gen: chaincode %q has no functions", s.Name)
+	}
+	seen := map[string]bool{}
+	for _, f := range s.Functions {
+		if f.Name == "" {
+			return fmt.Errorf("gen: chaincode %q has an unnamed function", s.Name)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("gen: duplicate function %q", f.Name)
+		}
+		seen[f.Name] = true
+		if f.Ops() == 0 {
+			return fmt.Errorf("gen: function %q performs no actions", f.Name)
+		}
+	}
+	return nil
+}
+
+// GenChainSpec is the default five-function genChain chaincode.
+func GenChainSpec() ChaincodeSpec {
+	return ChaincodeSpec{
+		Name: "genChain",
+		Keys: DefaultKeys,
+		Functions: []FunctionSpec{
+			{Name: "readOp", Reads: 1},
+			{Name: "insertOp", Inserts: 1},
+			{Name: "updateOp", Updates: 1},
+			{Name: "deleteOp", Deletes: 1},
+			{Name: "rangeOp", RangeReads: 1},
+		},
+	}
+}
+
+// KeyName formats a seeded world-state key.
+func KeyName(i int) string { return fmt.Sprintf("key_%06d", i) }
+
+// insertKeyName formats a fresh key that cannot collide with seeded
+// ones.
+func insertKeyName(seq string) string { return "new_" + seq }
+
+// Chaincode is the executable form of a generated chaincode.
+type Chaincode struct {
+	spec ChaincodeSpec
+	byFn map[string]FunctionSpec
+}
+
+// NewChaincode compiles a spec into an executable chaincode.
+func NewChaincode(spec ChaincodeSpec) (*Chaincode, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cc := &Chaincode{spec: spec, byFn: map[string]FunctionSpec{}}
+	for _, f := range spec.Functions {
+		cc.byFn[f.Name] = f
+	}
+	return cc, nil
+}
+
+// MustChaincode is NewChaincode for known-good specs.
+func MustChaincode(spec ChaincodeSpec) *Chaincode {
+	cc, err := NewChaincode(spec)
+	if err != nil {
+		panic(err)
+	}
+	return cc
+}
+
+// Name implements chaincode.Chaincode.
+func (c *Chaincode) Name() string { return c.spec.Name }
+
+// Spec returns the compiled specification.
+func (c *Chaincode) Spec() ChaincodeSpec { return c.spec }
+
+// Init seeds the world state with spec.Keys JSON documents.
+func (c *Chaincode) Init(stub *chaincode.Stub) error {
+	for i := 0; i < c.spec.Keys; i++ {
+		doc := fmt.Sprintf(`{"v":0,"grp":%d}`, i%97)
+		if err := stub.PutState(KeyName(i), []byte(doc)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Invoke executes a generated function. Arguments supply one token per
+// action, in spec order: key indices for reads/updates/deletes, a
+// sequence token for inserts, "start:width" for range reads, and a
+// group number for rich queries.
+func (c *Chaincode) Invoke(stub *chaincode.Stub, fn string, args []string) error {
+	f, ok := c.byFn[fn]
+	if !ok {
+		return fmt.Errorf("%s: unknown function %q", c.spec.Name, fn)
+	}
+	if len(args) != f.Ops() {
+		return fmt.Errorf("%s.%s: got %d args, want %d", c.spec.Name, fn, len(args), f.Ops())
+	}
+	next := func() string {
+		a := args[0]
+		args = args[1:]
+		return a
+	}
+	for i := 0; i < f.Reads; i++ {
+		if _, err := stub.GetState(keyArg(next())); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < f.Inserts; i++ {
+		if err := stub.PutState(insertKeyName(next()), []byte(`{"v":1}`)); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < f.Updates; i++ {
+		key := keyArg(next())
+		raw, err := stub.GetState(key)
+		if err != nil {
+			return err
+		}
+		v := len(raw) % 7 // derive the new value from the old
+		if err := stub.PutState(key, []byte(fmt.Sprintf(`{"v":%d}`, v+1))); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < f.Deletes; i++ {
+		if err := stub.DelState(keyArg(next())); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < f.RangeReads; i++ {
+		start, width, err := rangeArg(next())
+		if err != nil {
+			return err
+		}
+		if _, err := stub.GetStateByRange(KeyName(start), KeyName(start+width)); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < f.RichQueries; i++ {
+		grp := next()
+		if !stub.SupportsRichQueries() {
+			// Graceful degradation on LevelDB: a point read keeps the
+			// generated code runnable on either backend.
+			if _, err := stub.GetState(keyArg(grp)); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := stub.GetQueryResult(fmt.Sprintf(`{"grp":%s}`, grp)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func keyArg(a string) string {
+	if n, err := strconv.Atoi(a); err == nil {
+		return KeyName(n)
+	}
+	return a // already a key name (insert sequence tokens etc.)
+}
+
+func rangeArg(a string) (start, width int, err error) {
+	if _, err = fmt.Sscanf(a, "%d:%d", &start, &width); err != nil {
+		return 0, 0, fmt.Errorf("gen: bad range argument %q", a)
+	}
+	if width <= 0 {
+		return 0, 0, fmt.Errorf("gen: non-positive range width in %q", a)
+	}
+	return start, width, nil
+}
+
+// Mix is a transaction-type distribution in relative weights.
+type Mix struct {
+	Read   float64
+	Insert float64
+	Update float64
+	Delete float64
+	Range  float64
+}
+
+// The paper's five "x-heavy" workloads: 80% of one type, uniform rest
+// (§4.4), plus the uniform read/update mix used for the skew sweep.
+var (
+	ReadHeavy   = Mix{Read: 80, Insert: 5, Update: 5, Delete: 5, Range: 5}
+	InsertHeavy = Mix{Read: 5, Insert: 80, Update: 5, Delete: 5, Range: 5}
+	UpdateHeavy = Mix{Read: 5, Insert: 5, Update: 80, Delete: 5, Range: 5}
+	DeleteHeavy = Mix{Read: 5, Insert: 5, Update: 5, Delete: 80, Range: 5}
+	RangeHeavy  = Mix{Read: 5, Insert: 5, Update: 5, Delete: 5, Range: 80}
+	// UniformRU is the 50/50 read/update mix of the Zipf-skew
+	// experiments (§4.4: "a uniform workload of read and update
+	// transactions").
+	UniformRU = Mix{Read: 50, Update: 50}
+)
+
+// MixByName resolves the paper's workload abbreviations (RH, IH, UH,
+// DH, RaH).
+func MixByName(name string) (Mix, error) {
+	switch name {
+	case "RH":
+		return ReadHeavy, nil
+	case "IH":
+		return InsertHeavy, nil
+	case "UH":
+		return UpdateHeavy, nil
+	case "DH":
+		return DeleteHeavy, nil
+	case "RaH":
+		return RangeHeavy, nil
+	case "RU":
+		return UniformRU, nil
+	}
+	return Mix{}, fmt.Errorf("gen: unknown workload %q", name)
+}
+
+// NewWorkload builds the genChain workload generator: transactions
+// drawn from mix, keys drawn Zipfian with the given skew over the
+// seeded key space. Inserts get globally unique fresh keys; deletes
+// get unique seeded keys (walking up from index 0) so that
+// insert/delete transactions never conflict (§5.1.5).
+func NewWorkload(spec ChaincodeSpec, mix Mix, skew float64) workload.Generator {
+	z := dist.NewZipfian(spec.Keys, skew)
+	insertSeq := 0
+	deleteSeq := 0
+	widths := []int{2, 4, 8} // §4.4: ranges of 2, 4 or 8 keys
+	pick := workload.NewWeighted(
+		[]workload.Generator{
+			workload.Func(func(rng *rand.Rand) workload.Invocation {
+				return workload.Invocation{Chaincode: spec.Name, Function: "readOp",
+					Args: []string{fmt.Sprint(z.Next(rng))}}
+			}),
+			workload.Func(func(rng *rand.Rand) workload.Invocation {
+				insertSeq++
+				return workload.Invocation{Chaincode: spec.Name, Function: "insertOp",
+					Args: []string{fmt.Sprintf("ins%08d", insertSeq)}}
+			}),
+			workload.Func(func(rng *rand.Rand) workload.Invocation {
+				return workload.Invocation{Chaincode: spec.Name, Function: "updateOp",
+					Args: []string{fmt.Sprint(z.Next(rng))}}
+			}),
+			workload.Func(func(rng *rand.Rand) workload.Invocation {
+				deleteSeq++
+				return workload.Invocation{Chaincode: spec.Name, Function: "deleteOp",
+					Args: []string{fmt.Sprint(deleteSeq % spec.Keys)}}
+			}),
+			workload.Func(func(rng *rand.Rand) workload.Invocation {
+				w := widths[rng.Intn(len(widths))]
+				start := rng.Intn(spec.Keys - w)
+				return workload.Invocation{Chaincode: spec.Name, Function: "rangeOp",
+					Args: []string{fmt.Sprintf("%d:%d", start, w)}}
+			}),
+		},
+		[]float64{mix.Read, mix.Insert, mix.Update, mix.Delete, mix.Range},
+	)
+	return pick
+}

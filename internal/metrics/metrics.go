@@ -1,0 +1,254 @@
+// Package metrics collects and reports the study's performance
+// metrics (§4.5): per-failure-type percentages, average total
+// transaction latency over failed and successful transactions,
+// committed transaction throughput, and latency percentiles. Reports
+// can also be reproduced by parsing the blockchain after a run, which
+// is how the paper gathers them.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/ledger"
+	"repro/internal/sim"
+)
+
+// Collector accumulates per-transaction outcomes during a run.
+type Collector struct {
+	counts      map[ledger.ValidationCode]int
+	latencySum  time.Duration
+	latencies   []time.Duration
+	committed   int // transactions appended to the chain
+	servedReads int // read-only txs answered without ordering
+	blocks      int
+	firstEvent  sim.Time
+	lastEvent   sim.Time
+	started     bool
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{counts: map[ledger.ValidationCode]int{}}
+}
+
+func (c *Collector) touch(t sim.Time) {
+	if !c.started || t < c.firstEvent {
+		c.firstEvent = t
+		c.started = true
+	}
+	if t > c.lastEvent {
+		c.lastEvent = t
+	}
+}
+
+// RecordTx records a transaction that reached the chain with the given
+// validation code and end-to-end latency.
+func (c *Collector) RecordTx(code ledger.ValidationCode, submit, done sim.Time) {
+	c.counts[code]++
+	c.committed++
+	c.record(submit, done)
+}
+
+// RecordAbort records a transaction aborted in the ordering phase
+// (Fabric++ / FabricSharp early aborts): it never reaches the chain
+// but still counts as a failure.
+func (c *Collector) RecordAbort(submit, done sim.Time) {
+	c.counts[ledger.AbortedInOrdering]++
+	c.record(submit, done)
+}
+
+func (c *Collector) record(submit, done sim.Time) {
+	lat := time.Duration(done - submit)
+	c.latencySum += lat
+	c.latencies = append(c.latencies, lat)
+	c.touch(submit)
+	c.touch(done)
+}
+
+// RecordServedRead records a read-only transaction answered directly
+// from the execution phase, never submitted for ordering
+// (recommendation #4, §6.1). It counts toward latency but not toward
+// chain transactions or failures.
+func (c *Collector) RecordServedRead(submit, done sim.Time) {
+	c.servedReads++
+	c.record(submit, done)
+}
+
+// RecordBlock counts one committed block.
+func (c *Collector) RecordBlock() { c.blocks++ }
+
+// Report summarizes a run.
+type Report struct {
+	Total     int // all finished transactions (committed + aborted)
+	Committed int // appended to the chain (valid + failed-in-validation)
+	Valid     int
+	Counts    map[ledger.ValidationCode]int
+
+	// Percentages over Total, as the paper plots them.
+	FailurePct     float64 // all failures
+	EndorsementPct float64
+	MVCCPct        float64 // inter + intra
+	IntraBlockPct  float64
+	InterBlockPct  float64
+	PhantomPct     float64
+	AbortedPct     float64
+
+	// ServedReads counts read-only transactions answered directly
+	// from endorsement (never ordered), when the client is configured
+	// per recommendation #4.
+	ServedReads int
+
+	AvgLatency time.Duration
+	P50Latency time.Duration
+	P95Latency time.Duration
+
+	// Throughput is committed transactions per second over the run
+	// ("committed transaction throughput", §4.5).
+	Throughput float64
+	Duration   time.Duration
+	Blocks     int
+}
+
+// Report computes the summary.
+func (c *Collector) Report() Report {
+	r := Report{
+		Committed:   c.committed,
+		Counts:      map[ledger.ValidationCode]int{},
+		Blocks:      c.blocks,
+		ServedReads: c.servedReads,
+	}
+	for code, n := range c.counts {
+		r.Counts[code] = n
+		r.Total += n
+	}
+	r.Valid = r.Counts[ledger.Valid]
+	if r.Total > 0 {
+		pct := func(n int) float64 { return 100 * float64(n) / float64(r.Total) }
+		r.FailurePct = pct(r.Total - r.Valid)
+		r.EndorsementPct = pct(r.Counts[ledger.EndorsementPolicyFailure])
+		r.IntraBlockPct = pct(r.Counts[ledger.MVCCConflictIntraBlock])
+		r.InterBlockPct = pct(r.Counts[ledger.MVCCConflictInterBlock])
+		r.MVCCPct = r.IntraBlockPct + r.InterBlockPct
+		r.PhantomPct = pct(r.Counts[ledger.PhantomReadConflict])
+		r.AbortedPct = pct(r.Counts[ledger.AbortedInOrdering])
+	}
+	if n := len(c.latencies); n > 0 {
+		r.AvgLatency = c.latencySum / time.Duration(n)
+		sorted := append([]time.Duration(nil), c.latencies...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		r.P50Latency = sorted[n/2]
+		r.P95Latency = sorted[n*95/100]
+	}
+	r.Duration = time.Duration(c.lastEvent - c.firstEvent)
+	if r.Duration > 0 {
+		r.Throughput = float64(c.committed) / r.Duration.Seconds()
+	}
+	return r
+}
+
+// String renders a compact single-line summary.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"total=%d valid=%d fail=%.2f%% (endorse=%.2f%% intra=%.2f%% inter=%.2f%% phantom=%.2f%% aborted=%.2f%%) lat=%v tput=%.1ftps",
+		r.Total, r.Valid, r.FailurePct, r.EndorsementPct, r.IntraBlockPct,
+		r.InterBlockPct, r.PhantomPct, r.AbortedPct,
+		r.AvgLatency.Round(time.Millisecond), r.Throughput)
+}
+
+// ParseChain rebuilds the failure counts by walking the blockchain,
+// exactly like the paper's post-run metrics collection ("performance
+// metrics are collected by parsing the blockchain after each
+// experiment", §4.5). Latencies are not recoverable from the chain;
+// only counts and block statistics are filled in.
+func ParseChain(chain *ledger.Chain) Report {
+	r := Report{Counts: map[ledger.ValidationCode]int{}}
+	for _, b := range chain.Blocks() {
+		if len(b.Transactions) == 0 {
+			continue // genesis
+		}
+		r.Blocks++
+		for _, code := range b.ValidationCodes {
+			r.Counts[code]++
+			r.Total++
+			r.Committed++
+		}
+	}
+	r.Valid = r.Counts[ledger.Valid]
+	if r.Total > 0 {
+		pct := func(n int) float64 { return 100 * float64(n) / float64(r.Total) }
+		r.FailurePct = pct(r.Total - r.Valid)
+		r.EndorsementPct = pct(r.Counts[ledger.EndorsementPolicyFailure])
+		r.IntraBlockPct = pct(r.Counts[ledger.MVCCConflictIntraBlock])
+		r.InterBlockPct = pct(r.Counts[ledger.MVCCConflictInterBlock])
+		r.MVCCPct = r.IntraBlockPct + r.InterBlockPct
+		r.PhantomPct = pct(r.Counts[ledger.PhantomReadConflict])
+	}
+	return r
+}
+
+// Table is a small fixed-width text table builder used by the CLI and
+// the benchmark harness to print paper-style result rows.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends one row; values are stringified with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case time.Duration:
+			row[i] = v.Round(time.Millisecond).String()
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	var sep []string
+	for _, w := range widths {
+		sep = append(sep, strings.Repeat("-", w))
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

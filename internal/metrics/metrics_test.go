@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ledger"
+	"repro/internal/sim"
+)
+
+func sec(s int) sim.Time { return sim.Time(time.Duration(s) * time.Second) }
+
+func TestCollectorCountsAndPercentages(t *testing.T) {
+	c := NewCollector()
+	c.RecordTx(ledger.Valid, sec(0), sec(1))
+	c.RecordTx(ledger.Valid, sec(0), sec(2))
+	c.RecordTx(ledger.MVCCConflictIntraBlock, sec(1), sec(2))
+	c.RecordTx(ledger.MVCCConflictInterBlock, sec(1), sec(3))
+	c.RecordTx(ledger.EndorsementPolicyFailure, sec(2), sec(3))
+	c.RecordAbort(sec(2), sec(3))
+	c.RecordBlock()
+	c.RecordBlock()
+
+	r := c.Report()
+	if r.Total != 6 || r.Committed != 5 || r.Valid != 2 {
+		t.Fatalf("totals: %+v", r)
+	}
+	if r.FailurePct != 100*4.0/6 {
+		t.Errorf("FailurePct = %v", r.FailurePct)
+	}
+	if r.MVCCPct != 100*2.0/6 || r.IntraBlockPct != 100*1.0/6 {
+		t.Errorf("MVCC percentages wrong: %+v", r)
+	}
+	if r.AbortedPct != 100*1.0/6 {
+		t.Errorf("AbortedPct = %v", r.AbortedPct)
+	}
+	if r.Blocks != 2 {
+		t.Errorf("Blocks = %d", r.Blocks)
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	c := NewCollector()
+	for i := 1; i <= 10; i++ {
+		c.RecordTx(ledger.Valid, sec(0), sec(i))
+	}
+	r := c.Report()
+	if r.AvgLatency != 5500*time.Millisecond {
+		t.Errorf("AvgLatency = %v", r.AvgLatency)
+	}
+	if r.P50Latency != 6*time.Second {
+		t.Errorf("P50 = %v", r.P50Latency)
+	}
+	if r.P95Latency != 10*time.Second {
+		t.Errorf("P95 = %v", r.P95Latency)
+	}
+	// Duration spans first submit to last commit; throughput follows.
+	if r.Duration != 10*time.Second {
+		t.Errorf("Duration = %v", r.Duration)
+	}
+	if r.Throughput != 1.0 {
+		t.Errorf("Throughput = %v", r.Throughput)
+	}
+}
+
+func TestServedReadsExcludedFromChainCounts(t *testing.T) {
+	c := NewCollector()
+	c.RecordTx(ledger.Valid, sec(0), sec(1))
+	c.RecordServedRead(sec(0), sec(1))
+	r := c.Report()
+	if r.Total != 1 || r.Committed != 1 {
+		t.Fatalf("served read leaked into chain counts: %+v", r)
+	}
+	if r.ServedReads != 1 {
+		t.Fatalf("ServedReads = %d", r.ServedReads)
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	r := NewCollector().Report()
+	if r.Total != 0 || r.FailurePct != 0 || r.AvgLatency != 0 || r.Throughput != 0 {
+		t.Errorf("empty report not zeroed: %+v", r)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	c := NewCollector()
+	c.RecordTx(ledger.Valid, sec(0), sec(1))
+	s := c.Report().String()
+	for _, want := range []string{"total=1", "valid=1", "fail=0.00%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func chainWith(t *testing.T, codes ...ledger.ValidationCode) *ledger.Chain {
+	t.Helper()
+	ch := ledger.NewChain()
+	gb := &ledger.Block{Number: 0}
+	gb.Hash = gb.ComputeHash()
+	if err := ch.Append(gb); err != nil {
+		t.Fatal(err)
+	}
+	var txs []*ledger.Transaction
+	for i := range codes {
+		txs = append(txs, &ledger.Transaction{
+			ID:    string(rune('a' + i)),
+			RWSet: &ledger.RWSet{},
+		})
+	}
+	b := &ledger.Block{Number: 1, PrevHash: gb.Hash, Transactions: txs, ValidationCodes: codes}
+	b.Hash = b.ComputeHash()
+	if err := ch.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestParseChain(t *testing.T) {
+	ch := chainWith(t,
+		ledger.Valid, ledger.Valid, ledger.MVCCConflictIntraBlock,
+		ledger.PhantomReadConflict)
+	r := ParseChain(ch)
+	if r.Total != 4 || r.Valid != 2 || r.Blocks != 1 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.PhantomPct != 25 || r.IntraBlockPct != 25 {
+		t.Errorf("percentages %+v", r)
+	}
+}
+
+func TestParseChainSkipsGenesis(t *testing.T) {
+	ch := ledger.NewChain()
+	gb := &ledger.Block{Number: 0}
+	gb.Hash = gb.ComputeHash()
+	if err := ch.Append(gb); err != nil {
+		t.Fatal(err)
+	}
+	r := ParseChain(ch)
+	if r.Total != 0 || r.Blocks != 0 {
+		t.Errorf("genesis counted: %+v", r)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 3.14159)
+	tb.AddRow("b", 1500*time.Millisecond)
+	tb.AddRow("c", 42)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[1], "---") {
+		t.Errorf("header/separator wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Errorf("float not formatted: %s", out)
+	}
+	if !strings.Contains(out, "1.5s") {
+		t.Errorf("duration not rounded: %s", out)
+	}
+	// Columns aligned: every line at least as wide as the header.
+	for i, l := range lines {
+		if len(l) < len("name") {
+			t.Errorf("line %d too short: %q", i, l)
+		}
+	}
+}

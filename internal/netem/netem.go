@@ -1,0 +1,100 @@
+// Package netem models the cluster network: per-link latency with
+// jitter, plus targeted delay injection in the style of Pumba, the
+// Docker chaos tool the paper uses to emulate a geographically remote
+// organization (§4.5, §5.1.7: an additional 100 ± 10 ms for one org).
+package netem
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Link describes one directed hop's latency distribution.
+type Link struct {
+	Base   time.Duration // mean latency
+	Jitter time.Duration // uniform ± jitter
+}
+
+// Model is the cluster network model. Delays compose: base LAN latency
+// plus any injected delay on either endpoint.
+type Model struct {
+	eng      *sim.Engine
+	lan      Link
+	injected map[string]Link // node id -> extra delay on all its links
+	// lastArrival enforces FIFO per directed link for SendOrdered.
+	lastArrival map[string]sim.Time
+}
+
+// New returns a model with the given LAN profile. A Kubernetes-pod
+// network is well below a millisecond; the default experiments use
+// {500µs, 200µs}.
+func New(eng *sim.Engine, lan Link) *Model {
+	return &Model{
+		eng:         eng,
+		lan:         lan,
+		injected:    map[string]Link{},
+		lastArrival: map[string]sim.Time{},
+	}
+}
+
+// DefaultLAN is the intra-cluster link profile.
+func DefaultLAN() Link {
+	return Link{Base: 500 * time.Microsecond, Jitter: 200 * time.Microsecond}
+}
+
+// Inject adds an extra delay distribution to every link that touches
+// node (Pumba's `netem delay`). Injecting again replaces the previous
+// value; a zero Link removes the injection.
+func (m *Model) Inject(node string, extra Link) {
+	if extra == (Link{}) {
+		delete(m.injected, node)
+		return
+	}
+	m.injected[node] = extra
+}
+
+// sample draws one latency for a link between from and to.
+func (m *Model) sample(from, to string) time.Duration {
+	d := m.one(m.lan)
+	if extra, ok := m.injected[from]; ok {
+		d += m.one(extra)
+	}
+	if extra, ok := m.injected[to]; ok {
+		d += m.one(extra)
+	}
+	return d
+}
+
+func (m *Model) one(l Link) time.Duration {
+	if l.Jitter <= 0 {
+		return l.Base
+	}
+	return m.eng.Uniform(l.Base-l.Jitter, l.Base+l.Jitter)
+}
+
+// Send schedules fn on the engine after one sampled link delay from
+// from to to. It is the only way components talk to each other, so
+// every hop pays a latency.
+func (m *Model) Send(from, to string, fn func()) {
+	m.eng.After(m.sample(from, to), fn)
+}
+
+// SendOrdered is Send over a FIFO stream: messages on the same
+// directed link never overtake each other, like frames on one TCP
+// connection. Use it for ordered protocols — producer → broker
+// submission and orderer → peer block delivery.
+func (m *Model) SendOrdered(from, to string, fn func()) {
+	key := from + "\x00" + to
+	at := m.eng.Now() + sim.Time(m.sample(from, to))
+	if last := m.lastArrival[key]; at <= last {
+		at = last + 1 // nanosecond bump keeps strict FIFO
+	}
+	m.lastArrival[key] = at
+	m.eng.At(at, fn)
+}
+
+// RTT estimates a round trip between two nodes (two samples).
+func (m *Model) RTT(a, b string) time.Duration {
+	return m.sample(a, b) + m.sample(b, a)
+}

@@ -1,0 +1,124 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestSendPaysLatency(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := New(eng, Link{Base: 10 * time.Millisecond})
+	var arrived sim.Time
+	m.Send("a", "b", func() { arrived = eng.Now() })
+	eng.Run()
+	if arrived != sim.Time(10*time.Millisecond) {
+		t.Errorf("arrived at %v, want 10ms", arrived)
+	}
+}
+
+func TestJitterWithinBounds(t *testing.T) {
+	eng := sim.NewEngine(2)
+	m := New(eng, Link{Base: 10 * time.Millisecond, Jitter: 2 * time.Millisecond})
+	for i := 0; i < 500; i++ {
+		d := m.sample("a", "b")
+		if d < 8*time.Millisecond || d >= 12*time.Millisecond {
+			t.Fatalf("sample %v outside 10±2ms", d)
+		}
+	}
+}
+
+func TestInjectAddsDelayBothDirections(t *testing.T) {
+	eng := sim.NewEngine(3)
+	m := New(eng, Link{Base: time.Millisecond})
+	m.Inject("Org1-peer0", Link{Base: 100 * time.Millisecond})
+	if d := m.sample("client", "Org1-peer0"); d != 101*time.Millisecond {
+		t.Errorf("to injected node: %v, want 101ms", d)
+	}
+	if d := m.sample("Org1-peer0", "client"); d != 101*time.Millisecond {
+		t.Errorf("from injected node: %v, want 101ms", d)
+	}
+	if d := m.sample("client", "Org0-peer0"); d != time.Millisecond {
+		t.Errorf("untouched link: %v, want 1ms", d)
+	}
+}
+
+func TestInjectRemoval(t *testing.T) {
+	eng := sim.NewEngine(4)
+	m := New(eng, Link{Base: time.Millisecond})
+	m.Inject("n", Link{Base: 50 * time.Millisecond})
+	m.Inject("n", Link{})
+	if d := m.sample("n", "x"); d != time.Millisecond {
+		t.Errorf("delay after removal: %v", d)
+	}
+}
+
+func TestInjectedJitterEmulatesPumba(t *testing.T) {
+	// The paper's emulation: 100 ± 10 ms on one organization.
+	eng := sim.NewEngine(5)
+	m := New(eng, Link{Base: 500 * time.Microsecond})
+	m.Inject("Org0-peer0", Link{Base: 100 * time.Millisecond, Jitter: 10 * time.Millisecond})
+	for i := 0; i < 200; i++ {
+		d := m.sample("client", "Org0-peer0")
+		min := 500*time.Microsecond + 90*time.Millisecond
+		max := 500*time.Microsecond + 110*time.Millisecond
+		if d < min || d >= max {
+			t.Fatalf("sample %v outside Pumba band", d)
+		}
+	}
+}
+
+func TestRTTisTwoSamples(t *testing.T) {
+	eng := sim.NewEngine(6)
+	m := New(eng, Link{Base: 3 * time.Millisecond})
+	if rtt := m.RTT("a", "b"); rtt != 6*time.Millisecond {
+		t.Errorf("RTT = %v, want 6ms", rtt)
+	}
+}
+
+func TestDefaultLANSane(t *testing.T) {
+	l := DefaultLAN()
+	if l.Base <= 0 || l.Jitter <= 0 || l.Jitter >= l.Base {
+		t.Errorf("DefaultLAN = %+v", l)
+	}
+}
+
+func TestSendOrderedFIFO(t *testing.T) {
+	eng := sim.NewEngine(7)
+	m := New(eng, Link{Base: 5 * time.Millisecond, Jitter: 4 * time.Millisecond})
+	var got []int
+	// A burst of messages on one link must arrive in send order even
+	// though each samples independent jitter.
+	for i := 0; i < 200; i++ {
+		i := i
+		m.SendOrdered("a", "b", func() { got = append(got, i) })
+	}
+	eng.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("message %d arrived at position %d", v, i)
+		}
+	}
+}
+
+func TestSendOrderedIndependentLinks(t *testing.T) {
+	eng := sim.NewEngine(8)
+	m := New(eng, Link{Base: time.Millisecond})
+	var first string
+	m.SendOrdered("a", "slow", func() {
+		if first == "" {
+			first = "slow"
+		}
+	})
+	m.Inject("fast", Link{}) // no-op injection, different link key
+	m.SendOrdered("a", "fast", func() {
+		if first == "" {
+			first = "fast"
+		}
+	})
+	eng.Run()
+	if first == "" {
+		t.Fatal("nothing delivered")
+	}
+}

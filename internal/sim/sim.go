@@ -1,0 +1,210 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All components of the simulated Fabric network (clients, peers,
+// orderers, consensus nodes, network links) schedule work on a single
+// virtual clock. Events execute in strict (time, sequence) order, so a
+// run with a fixed seed is fully reproducible. This is the substitute
+// substrate for the paper's Kubernetes testbed: the protocol logic runs
+// for real, only elapsed time is virtual.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, measured as a duration since the
+// start of the simulation.
+type Time time.Duration
+
+// String formats the virtual time as a duration.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Seconds returns the virtual time in seconds.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// event is a scheduled callback. seq breaks ties so that events
+// scheduled earlier run earlier, which keeps runs deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	pq      eventHeap
+	rng     *rand.Rand
+	stopped bool
+	// processed counts executed events, for diagnostics.
+	processed uint64
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed reports how many events have been executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Rand exposes the engine's deterministic random source. All random
+// decisions in a simulation must come from here (or a source derived
+// from it) to keep runs reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past is treated as "now".
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.pq, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time. Negative
+// delays are clamped to zero.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+Time(d), fn)
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for len(e.pq) > 0 && !e.stopped {
+		e.step()
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances
+// the clock to the deadline. Events scheduled beyond the deadline stay
+// queued.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for len(e.pq) > 0 && !e.stopped && e.pq[0].at <= deadline {
+		e.step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.pq).(*event)
+	if ev.at > e.now {
+		e.now = ev.at
+	}
+	e.processed++
+	ev.fn()
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Exponential draws an exponentially distributed duration with the
+// given mean. It is the inter-arrival distribution of the open-loop
+// Poisson clients ("transaction arrival rate" in the paper).
+func (e *Engine) Exponential(mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	return time.Duration(e.rng.ExpFloat64() * float64(mean))
+}
+
+// Normal draws a normally distributed duration (mean, stddev), clamped
+// at zero. Used for jitter such as the ±10 ms of the Pumba emulation.
+func (e *Engine) Normal(mean, stddev time.Duration) time.Duration {
+	d := time.Duration(e.rng.NormFloat64()*float64(stddev) + float64(mean))
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Uniform draws a duration uniformly from [lo, hi).
+func (e *Engine) Uniform(lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(e.rng.Int63n(int64(hi-lo)))
+}
+
+// Jittered returns base scaled by a uniform factor in [1-frac, 1+frac].
+// It models per-operation service-time variance.
+func (e *Engine) Jittered(base time.Duration, frac float64) time.Duration {
+	if frac <= 0 || base <= 0 {
+		return base
+	}
+	f := 1 + frac*(2*e.rng.Float64()-1)
+	d := time.Duration(math.Round(float64(base) * f))
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Ticker repeatedly schedules fn every interval until the engine stops
+// or cancel is invoked. The first tick fires one interval from now.
+type Ticker struct {
+	cancelled bool
+}
+
+// Cancel stops future ticks. It is safe to call multiple times.
+func (t *Ticker) Cancel() { t.cancelled = true }
+
+// Tick schedules fn every interval on the engine and returns a Ticker
+// that can cancel the series.
+func (e *Engine) Tick(interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: non-positive tick interval %v", interval))
+	}
+	t := &Ticker{}
+	var loop func()
+	loop = func() {
+		if t.cancelled {
+			return
+		}
+		fn()
+		if !t.cancelled {
+			e.After(interval, loop)
+		}
+	}
+	e.After(interval, loop)
+	return t
+}

@@ -1,0 +1,247 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.At(Time(30*time.Millisecond), func() { got = append(got, 3) })
+	e.At(Time(10*time.Millisecond), func() { got = append(got, 1) })
+	e.At(Time(20*time.Millisecond), func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != Time(30*time.Millisecond) {
+		t.Errorf("Now() = %v, want 30ms", e.Now())
+	}
+}
+
+func TestEngineFIFOWithinSameTimestamp(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(Time(5*time.Millisecond), func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-timestamp events out of order: %v", got)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.After(time.Second, func() {
+		e.After(2*time.Second, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != Time(3*time.Second) {
+		t.Errorf("nested After fired at %v, want 3s", at)
+	}
+}
+
+func TestSchedulingInPastRunsNow(t *testing.T) {
+	e := NewEngine(1)
+	var fired Time
+	e.After(time.Second, func() {
+		e.At(0, func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != Time(time.Second) {
+		t.Errorf("past event fired at %v, want 1s", fired)
+	}
+}
+
+func TestRunUntilLeavesLaterEventsQueued(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.At(Time(time.Second), func() { ran++ })
+	e.At(Time(3*time.Second), func() { ran++ })
+	e.RunUntil(Time(2 * time.Second))
+	if ran != 1 {
+		t.Fatalf("ran %d events, want 1", ran)
+	}
+	if e.Now() != Time(2*time.Second) {
+		t.Errorf("Now() = %v, want 2s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", e.Pending())
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.At(Time(time.Second), func() { ran++; e.Stop() })
+	e.At(Time(2*time.Second), func() { ran++ })
+	e.Run()
+	if ran != 1 {
+		t.Fatalf("ran %d events, want 1 after Stop", ran)
+	}
+}
+
+func TestTickerFiresAndCancels(t *testing.T) {
+	e := NewEngine(1)
+	ticks := 0
+	var tk *Ticker
+	tk = e.Tick(100*time.Millisecond, func() {
+		ticks++
+		if ticks == 5 {
+			tk.Cancel()
+		}
+	})
+	e.RunUntil(Time(10 * time.Second))
+	if ticks != 5 {
+		t.Errorf("ticks = %d, want 5", ticks)
+	}
+}
+
+func TestTickPanicsOnNonPositiveInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero interval")
+		}
+	}()
+	NewEngine(1).Tick(0, func() {})
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		e := NewEngine(seed)
+		var out []time.Duration
+		for i := 0; i < 100; i++ {
+			out = append(out, e.Exponential(10*time.Millisecond))
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical draws")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	e := NewEngine(7)
+	const n = 20000
+	mean := 10 * time.Millisecond
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		sum += e.Exponential(mean)
+	}
+	got := float64(sum) / n
+	if got < 0.9*float64(mean) || got > 1.1*float64(mean) {
+		t.Errorf("empirical mean %v, want ~%v", time.Duration(got), mean)
+	}
+}
+
+func TestExponentialZeroMean(t *testing.T) {
+	e := NewEngine(7)
+	if d := e.Exponential(0); d != 0 {
+		t.Errorf("Exponential(0) = %v, want 0", d)
+	}
+}
+
+func TestNormalClampsAtZero(t *testing.T) {
+	e := NewEngine(7)
+	for i := 0; i < 1000; i++ {
+		if d := e.Normal(time.Millisecond, 100*time.Millisecond); d < 0 {
+			t.Fatalf("Normal returned negative duration %v", d)
+		}
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	e := NewEngine(7)
+	lo, hi := 5*time.Millisecond, 15*time.Millisecond
+	for i := 0; i < 1000; i++ {
+		d := e.Uniform(lo, hi)
+		if d < lo || d >= hi {
+			t.Fatalf("Uniform out of range: %v", d)
+		}
+	}
+	if d := e.Uniform(hi, lo); d != hi {
+		t.Errorf("degenerate Uniform = %v, want lo", d)
+	}
+}
+
+func TestJitteredBounds(t *testing.T) {
+	e := NewEngine(7)
+	base := 10 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		d := e.Jittered(base, 0.2)
+		if d < 8*time.Millisecond-time.Microsecond || d > 12*time.Millisecond+time.Microsecond {
+			t.Fatalf("Jittered out of ±20%% band: %v", d)
+		}
+	}
+	if d := e.Jittered(base, 0); d != base {
+		t.Errorf("zero-jitter = %v, want base", d)
+	}
+}
+
+// Property: for any set of scheduled offsets, events fire in
+// non-decreasing time order and the clock ends at the max offset.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		e := NewEngine(1)
+		var fired []Time
+		var max Time
+		for _, off := range offsets {
+			at := Time(time.Duration(off) * time.Microsecond)
+			if at > max {
+				max = at
+			}
+			e.At(at, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return e.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(1)
+		for j := 0; j < 1000; j++ {
+			e.After(time.Duration(j)*time.Microsecond, func() {})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,76 @@
+// Package workload defines the interface between workload generators
+// and the simulated clients: a stream of chaincode invocations.
+package workload
+
+import "math/rand"
+
+// FunctionInfo describes one chaincode function's operation profile —
+// the rows of the paper's Table 2.
+type FunctionInfo struct {
+	Name       string
+	Reads      int // GetState calls
+	Writes     int // PutState/DelState calls
+	RangeReads int // GetStateByRange / GetQueryResult calls
+	// Unchecked marks range reads for which Fabric performs no
+	// phantom detection (rich queries; the "*" rows of Table 2).
+	Unchecked bool
+}
+
+// Invocation is one transaction proposal: a chaincode function call
+// with concrete arguments.
+type Invocation struct {
+	Chaincode string
+	Function  string
+	Args      []string
+}
+
+// Generator produces the invocation stream of an experiment. Next
+// must be deterministic given the rng state.
+type Generator interface {
+	Next(rng *rand.Rand) Invocation
+}
+
+// Func adapts a function to the Generator interface.
+type Func func(rng *rand.Rand) Invocation
+
+// Next implements Generator.
+func (f Func) Next(rng *rand.Rand) Invocation { return f(rng) }
+
+// Weighted picks among generators with the given relative weights.
+// It panics when the slices differ in length, are empty, or the total
+// weight is non-positive — all configuration bugs.
+type Weighted struct {
+	gens    []Generator
+	weights []float64
+	total   float64
+}
+
+// NewWeighted builds a weighted mixture generator.
+func NewWeighted(gens []Generator, weights []float64) *Weighted {
+	if len(gens) == 0 || len(gens) != len(weights) {
+		panic("workload: mismatched generators and weights")
+	}
+	w := &Weighted{gens: gens, weights: weights}
+	for _, x := range weights {
+		if x < 0 {
+			panic("workload: negative weight")
+		}
+		w.total += x
+	}
+	if w.total <= 0 {
+		panic("workload: zero total weight")
+	}
+	return w
+}
+
+// Next draws a generator proportionally to its weight and delegates.
+func (w *Weighted) Next(rng *rand.Rand) Invocation {
+	u := rng.Float64() * w.total
+	for i, x := range w.weights {
+		u -= x
+		if u < 0 {
+			return w.gens[i].Next(rng)
+		}
+	}
+	return w.gens[len(w.gens)-1].Next(rng)
+}

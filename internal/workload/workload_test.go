@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func inv(name string) Generator {
+	return Func(func(*rand.Rand) Invocation {
+		return Invocation{Function: name}
+	})
+}
+
+func TestFuncAdapter(t *testing.T) {
+	g := inv("f")
+	if got := g.Next(rand.New(rand.NewSource(1))); got.Function != "f" {
+		t.Fatalf("Next = %+v", got)
+	}
+}
+
+func TestWeightedProportions(t *testing.T) {
+	w := NewWeighted(
+		[]Generator{inv("a"), inv("b"), inv("c")},
+		[]float64{70, 20, 10},
+	)
+	rng := rand.New(rand.NewSource(2))
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[w.Next(rng).Function]++
+	}
+	fa := float64(counts["a"]) / n
+	fb := float64(counts["b"]) / n
+	fc := float64(counts["c"]) / n
+	if fa < 0.66 || fa > 0.74 || fb < 0.17 || fb > 0.23 || fc < 0.08 || fc > 0.12 {
+		t.Errorf("proportions a=%.3f b=%.3f c=%.3f", fa, fb, fc)
+	}
+}
+
+func TestWeightedZeroWeightNeverPicked(t *testing.T) {
+	w := NewWeighted(
+		[]Generator{inv("a"), inv("never")},
+		[]float64{1, 0},
+	)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		if got := w.Next(rng).Function; got == "never" {
+			t.Fatal("zero-weight generator selected")
+		}
+	}
+}
+
+func TestWeightedValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewWeighted(nil, nil) },
+		func() { NewWeighted([]Generator{inv("a")}, []float64{1, 2}) },
+		func() { NewWeighted([]Generator{inv("a")}, []float64{-1}) },
+		func() { NewWeighted([]Generator{inv("a"), inv("b")}, []float64{0, 0}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: invalid weighting accepted", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFunctionInfoFields(t *testing.T) {
+	f := FunctionInfo{Name: "x", Reads: 1, Writes: 2, RangeReads: 3, Unchecked: true}
+	if f.Name != "x" || f.Reads+f.Writes+f.RangeReads != 6 || !f.Unchecked {
+		t.Fatal("FunctionInfo fields broken")
+	}
+}
