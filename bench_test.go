@@ -21,13 +21,16 @@ import (
 )
 
 // benchOptions is a reduced regime so the full suite completes in
-// minutes: 12 virtual seconds, one seed, a 10k-key genChain.
+// minutes: 12 virtual seconds, one seed, a 10k-key genChain. Sweeps
+// fan their (config, seed) cells across all cores (Parallelism 0);
+// the printed tables are identical to a sequential run.
 func benchOptions() core.Options {
 	return core.Options{
-		Duration: 12 * time.Second,
-		Drain:    18 * time.Second,
-		Seeds:    []int64{1},
-		GenKeys:  10000,
+		Duration:    12 * time.Second,
+		Drain:       18 * time.Second,
+		Seeds:       []int64{1},
+		GenKeys:     10000,
+		Parallelism: 0, // one worker per CPU
 	}
 }
 
@@ -83,6 +86,32 @@ func BenchmarkFig23_Ramdisk(b *testing.B)               { runExperiment(b, "fig2
 func BenchmarkFig24_FabricSharp(b *testing.B)           { runExperiment(b, "fig24") }
 func BenchmarkFig25_FabricSharpWorkloads(b *testing.B)  { runExperiment(b, "fig25") }
 func BenchmarkFig26_AllSystems(b *testing.B)            { runExperiment(b, "fig26") }
+
+// BenchmarkExpAllParallelism measures how the harness's wall-clock
+// for a full sweep scales with the worker-pool size (see also
+// BenchmarkBlockSizeSweepParallelism in internal/core for the raw
+// sweep primitive).
+func BenchmarkExpAllParallelism(b *testing.B) {
+	for _, p := range []int{1, 0} { // sequential vs all cores
+		name := fmt.Sprintf("parallel=%d", p)
+		if p == 0 {
+			name = "parallel=numcpu"
+		}
+		b.Run(name, func(b *testing.B) {
+			exp, err := core.Lookup("fig4")
+			if err != nil {
+				b.Fatal(err)
+			}
+			o := benchOptions()
+			o.Parallelism = p
+			for i := 0; i < b.N; i++ {
+				if _, err := exp.Run(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkSingleRun_EHR measures one end-to-end simulated run (the
 // harness's unit of work): a 12-virtual-second EHR experiment.

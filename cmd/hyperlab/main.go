@@ -8,6 +8,7 @@
 //	hyperlab -exp fig7                  quick regime (30 virtual s, 1 seed)
 //	hyperlab -exp fig7 -full            paper regime (3 virtual min, 3 seeds)
 //	hyperlab -exp all                   run everything (quick unless -full)
+//	hyperlab -exp all -parallel 8       cap the worker pool (default: all cores)
 //	hyperlab -run -chaincode ehr -rate 100 -block 50 -db leveldb -system fabric++
 //	                                    one ad-hoc run with a report line
 //	hyperlab -render                    emit a generated genChain chaincode
@@ -32,6 +33,7 @@ func main() {
 		list      = flag.Bool("list", false, "list experiments and exit")
 		exp       = flag.String("exp", "", "experiment id (table2, table4, fig4..fig26, or 'all')")
 		full      = flag.Bool("full", false, "paper regime: 3 virtual minutes x 3 seeds (default: quick)")
+		parallel  = flag.Int("parallel", 0, "simulations run concurrently per experiment (0 = all cores)")
 		render    = flag.Bool("render", false, "print a generated genChain chaincode and exit")
 		run       = flag.Bool("run", false, "run one ad-hoc configuration")
 		ccName    = flag.String("chaincode", "ehr", "ad-hoc run: ehr|dv|scm|drm|genchain")
@@ -61,7 +63,7 @@ func main() {
 		}
 		fmt.Println(src)
 	case *exp != "":
-		runExperiments(*exp, *full, *verbose)
+		runExperiments(*exp, *full, *verbose, *parallel)
 	case *run:
 		adhoc(*ccName, *rate, *blockSize, *db, *system, *cluster, *skew, *duration, *seed, *dump)
 	default:
@@ -75,13 +77,14 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runExperiments(id string, full, verbose bool) {
+func runExperiments(id string, full, verbose bool, parallel int) {
 	opts := lab.QuickOptions()
 	regime := "quick regime (30 virtual s, 1 seed)"
 	if full {
 		opts = lab.FullOptions()
 		regime = "paper regime (3 virtual min, 3 seeds)"
 	}
+	opts.Parallelism = parallel
 	if verbose {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
 	}

@@ -7,7 +7,9 @@
 // (20 tps) and holiday-season (150 tps) SCM traffic, each swept over
 // block sizes. It prints the failure/latency surface, picks the best
 // block size per season, and shows how much a statically mis-tuned
-// block size costs.
+// block size costs. The sweeps run through the harness's parallel
+// scheduler (Options.RunAll), fanning every (rate, block size) cell
+// across all cores — the tables are identical to a sequential run.
 package main
 
 import (
@@ -18,20 +20,33 @@ import (
 	lab "repro"
 )
 
-func run(rate float64, blockSize int, seed int64) lab.Report {
-	cfg := lab.DefaultConfig()
-	cfg.Seed = seed
-	cfg.Duration = 45 * time.Second
-	cfg.Drain = 30 * time.Second
-	cfg.Rate = rate
-	cfg.BlockSize = blockSize
-	cfg.Chaincode = lab.SCMChaincode()
-	cfg.Workload = lab.SCMWorkload(1)
-	nw, err := lab.NewNetwork(cfg)
-	if err != nil {
-		log.Fatal(err)
+// options is the sweep regime: 45 virtual seconds, one seed, and one
+// simulation in flight per CPU (Parallelism 0).
+func options(seed int64) lab.Options {
+	return lab.Options{
+		Duration:    45 * time.Second,
+		Drain:       30 * time.Second,
+		Seeds:       []int64{seed},
+		Parallelism: 0,
 	}
-	return nw.Run()
+}
+
+// latency converts a seed-averaged result's latency to a Duration
+// for printing.
+func latency(res lab.Result) time.Duration {
+	return time.Duration(res.LatencySec * float64(time.Second)).Round(time.Millisecond)
+}
+
+// builder is one SCM cell of the sweep.
+func builder(rate float64, blockSize int) lab.Builder {
+	return func(seed int64) lab.Config {
+		cfg := lab.DefaultConfig()
+		cfg.Rate = rate
+		cfg.BlockSize = blockSize
+		cfg.Chaincode = lab.SCMChaincode()
+		cfg.Workload = lab.SCMWorkload(1)
+		return cfg
+	}
 }
 
 func main() {
@@ -44,21 +59,33 @@ func main() {
 		{"holiday season (150 tps)", 150},
 	}
 
+	// One batch over the whole season × block-size grid: all cells run
+	// concurrently, results come back in input order.
+	var builds []lab.Builder
+	for _, season := range seasons {
+		for _, bs := range blockSizes {
+			builds = append(builds, builder(season.rate, bs))
+		}
+	}
+	results, err := options(1).RunAll(builds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	best := map[string]int{}
 	worst := map[string]int{}
-	for _, season := range seasons {
+	for si, season := range seasons {
 		fmt.Printf("== SCM, %s\n", season.name)
 		fmt.Printf("%-12s %-12s %-12s\n", "block size", "failures %", "latency")
 		bestPct, worstPct := 101.0, -1.0
-		for _, bs := range blockSizes {
-			rep := run(season.rate, bs, 1)
-			fmt.Printf("%-12d %-12.2f %-12v\n", bs, rep.FailurePct,
-				rep.AvgLatency.Round(time.Millisecond))
-			if rep.FailurePct < bestPct {
-				bestPct, best[season.name] = rep.FailurePct, bs
+		for bi, bs := range blockSizes {
+			res := results[si*len(blockSizes)+bi]
+			fmt.Printf("%-12d %-12.2f %-12v\n", bs, res.FailurePct, latency(res))
+			if res.FailurePct < bestPct {
+				bestPct, best[season.name] = res.FailurePct, bs
 			}
-			if rep.FailurePct > worstPct {
-				worstPct, worst[season.name] = rep.FailurePct, bs
+			if res.FailurePct > worstPct {
+				worstPct, worst[season.name] = res.FailurePct, bs
 			}
 		}
 		reduction := 100 * (worstPct - bestPct) / worstPct
@@ -72,10 +99,16 @@ func main() {
 		fmt.Printf("  %-26s -> block size %d\n", season.name, best[season.name])
 	}
 	fmt.Println("\nA static mis-tune (using the off-season size during the holidays):")
-	static := run(150, best[seasons[0].name], 2)
-	tuned := run(150, best[seasons[1].name], 2)
+	misTune, err := options(2).RunAll([]lab.Builder{
+		builder(150, best[seasons[0].name]),
+		builder(150, best[seasons[1].name]),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	static, tuned := misTune[0], misTune[1]
 	fmt.Printf("  static  block %3d: %.2f%% failures, latency %v\n",
-		best[seasons[0].name], static.FailurePct, static.AvgLatency.Round(time.Millisecond))
+		best[seasons[0].name], static.FailurePct, latency(static))
 	fmt.Printf("  adapted block %3d: %.2f%% failures, latency %v\n",
-		best[seasons[1].name], tuned.FailurePct, tuned.AvgLatency.Round(time.Millisecond))
+		best[seasons[1].name], tuned.FailurePct, latency(tuned))
 }

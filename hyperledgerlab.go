@@ -28,6 +28,12 @@
 // (Eq. 5). No failure rate is scripted — every failure emerges from
 // the Execute-Order-Validate protocol running against the calibrated
 // cost model.
+//
+// The module's import path is "repro"; this root package re-exports
+// the public surface of the internal packages. Experiment sweeps run
+// on a shared worker pool — see Options.Parallelism and
+// Options.RunAll — and stay deterministic at any worker count because
+// every (config, seed) cell owns its own rng.
 package hyperledgerlab
 
 import (
@@ -175,12 +181,16 @@ type (
 	System = core.System
 	// Cluster is one of the two testbeds of §4.2.
 	Cluster = core.Cluster
-	// Options scales an experiment (virtual duration, seeds).
+	// Options scales an experiment (virtual duration, seeds,
+	// parallelism).
 	Options = core.Options
 	// Experiment reproduces one table or figure.
 	Experiment = core.Experiment
 	// Result is a seed-averaged run summary.
 	Result = core.Result
+	// Builder produces the config of one experiment cell for one
+	// seed; batches of builders fan out via Options.RunAll.
+	Builder = core.Builder
 )
 
 // Systems and clusters.

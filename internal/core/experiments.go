@@ -53,6 +53,12 @@ func Table2(Options) (string, error) {
 func Table4(o Options) (string, error) {
 	var sb strings.Builder
 	t := metrics.NewTable("workload", "db", "avg latency (s)", "failures %")
+	type cell struct {
+		wl   string
+		kind statedb.Kind
+	}
+	var cells []cell
+	var builds []Builder
 	for _, wl := range []string{"RH", "IH", "UH", "RaH", "DH"} {
 		mix, err := gen.MixByName(wl)
 		if err != nil {
@@ -61,16 +67,21 @@ func Table4(o Options) (string, error) {
 		for _, kind := range []statedb.Kind{statedb.CouchDB, statedb.LevelDB} {
 			kind := kind
 			cc := GenChain(mix, o.GenKeys)
-			res, err := o.Run(func(seed int64) fabric.Config {
+			cells = append(cells, cell{wl, kind})
+			builds = append(builds, func(seed int64) fabric.Config {
 				cfg := baseConfig(C1, cc, 1, Fabric14)(seed)
 				cfg.DBKind = kind
 				return cfg
 			})
-			if err != nil {
-				return "", err
-			}
-			t.AddRow(wl, kind.String(), fmt.Sprintf("%.2f", res.LatencySec), res.FailurePct)
 		}
+	}
+	results, err := o.RunAll(builds)
+	if err != nil {
+		return "", err
+	}
+	for i, c := range cells {
+		res := results[i]
+		t.AddRow(c.wl, c.kind.String(), fmt.Sprintf("%.2f", res.LatencySec), res.FailurePct)
 	}
 	sb.WriteString(t.String())
 	sb.WriteString("\nFunction call latency (cost model, calibrated to the paper):\n")
@@ -86,27 +97,37 @@ func Table4(o Options) (string, error) {
 }
 
 // blockSizeSweep runs one chaincode on one cluster over rates × block
-// sizes and returns the result grid.
+// sizes and returns the result grid. All rate × block-size × seed
+// cells fan out across the worker pool; the grid is assembled in
+// sweep order, so its contents do not depend on Parallelism.
 func blockSizeSweep(o Options, cluster Cluster, ccName string, sys System) (map[float64]map[int]Result, error) {
 	cc, err := UseCase(ccName)
 	if err != nil {
 		return nil, err
 	}
-	grid := map[float64]map[int]Result{}
+	builds := make([]Builder, 0, len(Rates)*len(BlockSizes))
 	for _, rate := range Rates {
-		grid[rate] = map[int]Result{}
 		for _, bs := range BlockSizes {
 			rate, bs := rate, bs
-			res, err := o.Run(func(seed int64) fabric.Config {
+			builds = append(builds, func(seed int64) fabric.Config {
 				cfg := baseConfig(cluster, cc, 1, sys)(seed)
 				cfg.Rate = rate
 				cfg.BlockSize = bs
 				return cfg
 			})
-			if err != nil {
-				return nil, err
-			}
-			grid[rate][bs] = res
+		}
+	}
+	results, err := o.RunAll(builds)
+	if err != nil {
+		return nil, err
+	}
+	grid := map[float64]map[int]Result{}
+	i := 0
+	for _, rate := range Rates {
+		grid[rate] = map[int]Result{}
+		for _, bs := range BlockSizes {
+			grid[rate][bs] = results[i]
+			i++
 		}
 	}
 	return grid, nil
@@ -180,16 +201,18 @@ func Fig6(o Options) (string, error) {
 		return "", err
 	}
 	t := metrics.NewTable("block size", "avg latency (s)", "throughput (tps)", "failures %")
-	for _, bs := range BlockSizes {
-		bs := bs
-		res, err := o.Run(func(seed int64) fabric.Config {
+	results, err := sweep(o, BlockSizes, func(bs int) Builder {
+		return func(seed int64) fabric.Config {
 			cfg := baseConfig(C2, cc, 1, Fabric14)(seed)
 			cfg.BlockSize = bs
 			return cfg
-		})
-		if err != nil {
-			return "", err
 		}
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, bs := range BlockSizes {
+		res := results[i]
 		t.AddRow(bs, fmt.Sprintf("%.2f", res.LatencySec), res.Throughput, res.FailurePct)
 	}
 	return t.String(), nil
@@ -203,17 +226,18 @@ func Fig7(o Options) (string, error) {
 		return "", err
 	}
 	t := metrics.NewTable("block size", "inter-block %", "intra-block %")
-	for _, bs := range BlockSizes {
-		bs := bs
-		res, err := o.Run(func(seed int64) fabric.Config {
+	results, err := sweep(o, BlockSizes, func(bs int) Builder {
+		return func(seed int64) fabric.Config {
 			cfg := baseConfig(C2, cc, 1, Fabric14)(seed)
 			cfg.BlockSize = bs
 			return cfg
-		})
-		if err != nil {
-			return "", err
 		}
-		t.AddRow(bs, res.InterPct, res.IntraPct)
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, bs := range BlockSizes {
+		t.AddRow(bs, results[i].InterPct, results[i].IntraPct)
 	}
 	return t.String(), nil
 }
@@ -226,17 +250,18 @@ func Fig8(o Options) (string, error) {
 		return "", err
 	}
 	t := metrics.NewTable("rate (tps)", "inter-block %", "intra-block %")
-	for _, rate := range Rates {
-		rate := rate
-		res, err := o.Run(func(seed int64) fabric.Config {
+	results, err := sweep(o, Rates, func(rate float64) Builder {
+		return func(seed int64) fabric.Config {
 			cfg := baseConfig(C2, cc, 1, Fabric14)(seed)
 			cfg.Rate = rate
 			return cfg
-		})
-		if err != nil {
-			return "", err
 		}
-		t.AddRow(rate, res.InterPct, res.IntraPct)
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, rate := range Rates {
+		t.AddRow(rate, results[i].InterPct, results[i].IntraPct)
 	}
 	return t.String(), nil
 }
@@ -248,17 +273,18 @@ func Fig9(o Options) (string, error) {
 		return "", err
 	}
 	t := metrics.NewTable("block size", "endorsement failures %")
-	for _, bs := range BlockSizes {
-		bs := bs
-		res, err := o.Run(func(seed int64) fabric.Config {
+	results, err := sweep(o, BlockSizes, func(bs int) Builder {
+		return func(seed int64) fabric.Config {
 			cfg := baseConfig(C2, cc, 1, Fabric14)(seed)
 			cfg.BlockSize = bs
 			return cfg
-		})
-		if err != nil {
-			return "", err
 		}
-		t.AddRow(bs, res.EndorsementPct)
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, bs := range BlockSizes {
+		t.AddRow(bs, results[i].EndorsementPct)
 	}
 	return t.String(), nil
 }
@@ -270,17 +296,18 @@ func Fig10(o Options) (string, error) {
 		return "", err
 	}
 	t := metrics.NewTable("block size", "phantom read conflicts %")
-	for _, bs := range BlockSizes {
-		bs := bs
-		res, err := o.Run(func(seed int64) fabric.Config {
+	results, err := sweep(o, BlockSizes, func(bs int) Builder {
+		return func(seed int64) fabric.Config {
 			cfg := baseConfig(C2, cc, 1, Fabric14)(seed)
 			cfg.BlockSize = bs
 			return cfg
-		})
-		if err != nil {
-			return "", err
 		}
-		t.AddRow(bs, res.PhantomPct)
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, bs := range BlockSizes {
+		t.AddRow(bs, results[i].PhantomPct)
 	}
 	return t.String(), nil
 }
@@ -293,16 +320,19 @@ func Fig11(o Options) (string, error) {
 		return "", err
 	}
 	t := metrics.NewTable("db", "avg latency (s)", "endorsement %", "inter-block %", "intra-block %")
-	for _, kind := range []statedb.Kind{statedb.CouchDB, statedb.LevelDB} {
-		kind := kind
-		res, err := o.Run(func(seed int64) fabric.Config {
+	kinds := []statedb.Kind{statedb.CouchDB, statedb.LevelDB}
+	results, err := sweep(o, kinds, func(kind statedb.Kind) Builder {
+		return func(seed int64) fabric.Config {
 			cfg := baseConfig(C2, cc, 1, Fabric14)(seed)
 			cfg.DBKind = kind
 			return cfg
-		})
-		if err != nil {
-			return "", err
 		}
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, kind := range kinds {
+		res := results[i]
 		t.AddRow(kind.String(), fmt.Sprintf("%.2f", res.LatencySec),
 			res.EndorsementPct, res.InterPct, res.IntraPct)
 	}
@@ -317,18 +347,20 @@ func Fig12(o Options) (string, error) {
 		return "", err
 	}
 	t := metrics.NewTable("orgs", "peers", "avg latency (s)", "endorsement failures %")
-	for _, orgs := range []int{2, 4, 6, 8, 10} {
-		orgs := orgs
-		res, err := o.Run(func(seed int64) fabric.Config {
+	orgCounts := []int{2, 4, 6, 8, 10}
+	results, err := sweep(o, orgCounts, func(orgs int) Builder {
+		return func(seed int64) fabric.Config {
 			cfg := baseConfig(C2, cc, 1, Fabric14)(seed)
 			cfg.Orgs = orgs
 			cfg.PeersPerOrg = 4
 			return cfg
-		})
-		if err != nil {
-			return "", err
 		}
-		t.AddRow(orgs, orgs*4, fmt.Sprintf("%.2f", res.LatencySec), res.EndorsementPct)
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, orgs := range orgCounts {
+		t.AddRow(orgs, orgs*4, fmt.Sprintf("%.2f", results[i].LatencySec), results[i].EndorsementPct)
 	}
 	return t.String(), nil
 }
@@ -340,17 +372,19 @@ func Fig13(o Options) (string, error) {
 		return "", err
 	}
 	t := metrics.NewTable("policy", "avg latency (s)", "endorsement failures %")
-	for _, p := range policy.AllNames() {
-		p := p
-		res, err := o.Run(func(seed int64) fabric.Config {
+	policies := policy.AllNames()
+	results, err := sweep(o, policies, func(p policy.Name) Builder {
+		return func(seed int64) fabric.Config {
 			cfg := baseConfig(C2, cc, 1, Fabric14)(seed)
 			cfg.Policy = p
 			return cfg
-		})
-		if err != nil {
-			return "", err
 		}
-		t.AddRow(p.String(), fmt.Sprintf("%.2f", res.LatencySec), res.EndorsementPct)
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, p := range policies {
+		t.AddRow(p.String(), fmt.Sprintf("%.2f", results[i].LatencySec), results[i].EndorsementPct)
 	}
 	return t.String(), nil
 }
@@ -358,17 +392,22 @@ func Fig13(o Options) (string, error) {
 // Fig14 prints failures per workload mix (genChain, C2).
 func Fig14(o Options) (string, error) {
 	t := metrics.NewTable("workload", "failures %")
-	for _, wl := range []string{"RH", "IH", "UH", "RaH", "DH"} {
+	mixes := []string{"RH", "IH", "UH", "RaH", "DH"}
+	var builds []Builder
+	for _, wl := range mixes {
 		mix, err := gen.MixByName(wl)
 		if err != nil {
 			return "", err
 		}
 		cc := GenChain(mix, o.GenKeys)
-		res, err := o.Run(baseConfig(C2, cc, 1, Fabric14))
-		if err != nil {
-			return "", err
-		}
-		t.AddRow(wl, res.FailurePct)
+		builds = append(builds, baseConfig(C2, cc, 1, Fabric14))
+	}
+	results, err := o.RunAll(builds)
+	if err != nil {
+		return "", err
+	}
+	for i, wl := range mixes {
+		t.AddRow(wl, results[i].FailurePct)
 	}
 	return t.String(), nil
 }
@@ -377,13 +416,16 @@ func Fig14(o Options) (string, error) {
 // read/update mix, C2).
 func Fig15(o Options) (string, error) {
 	t := metrics.NewTable("zipf skew", "failures %")
-	for _, skew := range []float64{0, 1, 2} {
+	skews := []float64{0, 1, 2}
+	results, err := sweep(o, skews, func(skew float64) Builder {
 		cc := GenChain(gen.UniformRU, o.GenKeys)
-		res, err := o.Run(baseConfig(C2, cc, skew, Fabric14))
-		if err != nil {
-			return "", err
-		}
-		t.AddRow(skew, res.FailurePct)
+		return baseConfig(C2, cc, skew, Fabric14)
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, skew := range skews {
+		t.AddRow(skew, results[i].FailurePct)
 	}
 	return t.String(), nil
 }
@@ -396,28 +438,38 @@ func Fig16(o Options) (string, error) {
 		return "", err
 	}
 	t := metrics.NewTable("rate (tps)", "delay", "avg latency (s)", "endorsement %", "MVCC %")
+	type cell struct {
+		rate    float64
+		delayed bool
+	}
+	var cells []cell
 	for _, rate := range []float64{10, 50, 100} {
 		for _, delayed := range []bool{false, true} {
-			rate, delayed := rate, delayed
-			res, err := o.Run(func(seed int64) fabric.Config {
-				cfg := baseConfig(C1, cc, 1, Fabric14)(seed)
-				cfg.Rate = rate
-				if delayed {
-					cfg.DelayOrg = 0
-					cfg.DelayLink = netem.Link{Base: 100 * time.Millisecond, Jitter: 10 * time.Millisecond}
-				}
-				return cfg
-			})
-			if err != nil {
-				return "", err
-			}
-			label := "no"
-			if delayed {
-				label = "100±10ms"
-			}
-			t.AddRow(rate, label, fmt.Sprintf("%.2f", res.LatencySec),
-				res.EndorsementPct, res.MVCCPct)
+			cells = append(cells, cell{rate, delayed})
 		}
+	}
+	results, err := sweep(o, cells, func(c cell) Builder {
+		return func(seed int64) fabric.Config {
+			cfg := baseConfig(C1, cc, 1, Fabric14)(seed)
+			cfg.Rate = c.rate
+			if c.delayed {
+				cfg.DelayOrg = 0
+				cfg.DelayLink = netem.Link{Base: 100 * time.Millisecond, Jitter: 10 * time.Millisecond}
+			}
+			return cfg
+		}
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, c := range cells {
+		res := results[i]
+		label := "no"
+		if c.delayed {
+			label = "100±10ms"
+		}
+		t.AddRow(c.rate, label, fmt.Sprintf("%.2f", res.LatencySec),
+			res.EndorsementPct, res.MVCCPct)
 	}
 	return t.String(), nil
 }

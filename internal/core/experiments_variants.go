@@ -8,6 +8,24 @@ import (
 	"repro/internal/metrics"
 )
 
+// rateSysCell is one cell of the rate × system grids shared by the
+// variant-comparison figures (Figs 20, 23, 24, 26).
+type rateSysCell struct {
+	rate float64
+	sys  System
+}
+
+// rateSysGrid enumerates rates × systems in row order.
+func rateSysGrid(rates []float64, systems []System) []rateSysCell {
+	var cells []rateSysCell
+	for _, rate := range rates {
+		for _, sys := range systems {
+			cells = append(cells, rateSysCell{rate, sys})
+		}
+	}
+	return cells
+}
+
 // Fig17 compares Fabric 1.4 and Fabric++ across block sizes (EHR):
 // total failures and endorsement failures.
 func Fig17(o Options) (string, error) {
@@ -16,19 +34,28 @@ func Fig17(o Options) (string, error) {
 		return "", err
 	}
 	t := metrics.NewTable("system", "block size", "failures %", "endorsement %")
+	type cell struct {
+		sys System
+		bs  int
+	}
+	var cells []cell
 	for _, sys := range []System{Fabric14, FabricPP} {
 		for _, bs := range []int{10, 50, 100} {
-			sys, bs := sys, bs
-			res, err := o.Run(func(seed int64) fabric.Config {
-				cfg := baseConfig(C1, cc, 1, sys)(seed)
-				cfg.BlockSize = bs
-				return cfg
-			})
-			if err != nil {
-				return "", err
-			}
-			t.AddRow(sys, bs, res.FailurePct, res.EndorsementPct)
+			cells = append(cells, cell{sys, bs})
 		}
+	}
+	results, err := sweep(o, cells, func(c cell) Builder {
+		return func(seed int64) fabric.Config {
+			cfg := baseConfig(C1, cc, 1, c.sys)(seed)
+			cfg.BlockSize = c.bs
+			return cfg
+		}
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, c := range cells {
+		t.AddRow(c.sys, c.bs, results[i].FailurePct, results[i].EndorsementPct)
 	}
 	return t.String(), nil
 }
@@ -38,57 +65,97 @@ func Fig17(o Options) (string, error) {
 // range reads, which make Fabric++'s conflict graphs explode.
 func Fig18(o Options) (string, error) {
 	t := metrics.NewTable("chaincode", "system", "avg latency (s)", "failures %")
+	type cell struct {
+		ccName string
+		sys    System
+	}
+	var cells []cell
+	var builds []Builder
 	for _, ccName := range []string{"ehr", "dv", "scm", "drm"} {
 		cc, err := UseCase(ccName)
 		if err != nil {
 			return "", err
 		}
 		for _, sys := range []System{Fabric14, FabricPP} {
-			res, err := o.Run(baseConfig(C1, cc, 1, sys))
-			if err != nil {
-				return "", err
-			}
-			t.AddRow(ccName, sys, fmt.Sprintf("%.2f", res.LatencySec), res.FailurePct)
+			cells = append(cells, cell{ccName, sys})
+			builds = append(builds, baseConfig(C1, cc, 1, sys))
 		}
+	}
+	results, err := o.RunAll(builds)
+	if err != nil {
+		return "", err
+	}
+	for i, c := range cells {
+		t.AddRow(c.ccName, c.sys, fmt.Sprintf("%.2f", results[i].LatencySec), results[i].FailurePct)
 	}
 	return t.String(), nil
 }
 
 // variantWorkloadSweep prints failures per workload mix and per skew
-// for one system vs stock Fabric (Figs 19, 22, 25).
-func variantWorkloadSweep(o Options, sys System, mixes []string) (string, error) {
+// for one system vs stock Fabric (Figs 19, 22, 25). rate overrides
+// the arrival rate when positive (0 keeps the Table 3 default).
+func variantWorkloadSweep(o Options, sys System, mixes []string, rate float64) (string, error) {
 	t := metrics.NewTable("workload", "system", "failures %")
+	type mixCell struct {
+		wl string
+		s  System
+	}
+	var mixCells []mixCell
+	var builds []Builder
 	for _, wl := range mixes {
 		mix, err := gen.MixByName(wl)
 		if err != nil {
 			return "", err
 		}
 		for _, s := range []System{Fabric14, sys} {
+			s := s
 			cc := GenChain(mix, o.GenKeys)
-			res, err := o.Run(baseConfig(C2, cc, 1, s))
-			if err != nil {
-				return "", err
-			}
-			t.AddRow(wl, s, res.FailurePct)
+			mixCells = append(mixCells, mixCell{wl, s})
+			builds = append(builds, func(seed int64) fabric.Config {
+				cfg := baseConfig(C2, cc, 1, s)(seed)
+				if rate > 0 {
+					cfg.Rate = rate
+				}
+				return cfg
+			})
 		}
 	}
-	skewT := metrics.NewTable("zipf skew", "system", "failures %")
+	type skewCell struct {
+		skew float64
+		s    System
+	}
+	var skewCells []skewCell
 	for _, skew := range []float64{0, 1, 2} {
 		for _, s := range []System{Fabric14, sys} {
+			s, skew := s, skew
 			cc := GenChain(gen.UniformRU, o.GenKeys)
-			res, err := o.Run(baseConfig(C2, cc, skew, s))
-			if err != nil {
-				return "", err
-			}
-			skewT.AddRow(skew, s, res.FailurePct)
+			skewCells = append(skewCells, skewCell{skew, s})
+			builds = append(builds, func(seed int64) fabric.Config {
+				cfg := baseConfig(C2, cc, skew, s)(seed)
+				if rate > 0 {
+					cfg.Rate = rate
+				}
+				return cfg
+			})
 		}
+	}
+	results, err := o.RunAll(builds)
+	if err != nil {
+		return "", err
+	}
+	for i, c := range mixCells {
+		t.AddRow(c.wl, c.s, results[i].FailurePct)
+	}
+	skewT := metrics.NewTable("zipf skew", "system", "failures %")
+	for i, c := range skewCells {
+		skewT.AddRow(c.skew, c.s, results[len(mixCells)+i].FailurePct)
 	}
 	return t.String() + "\n" + skewT.String(), nil
 }
 
 // Fig19 compares Fabric++ across workloads and skews.
 func Fig19(o Options) (string, error) {
-	return variantWorkloadSweep(o, FabricPP, []string{"RH", "IH", "UH", "RaH", "DH"})
+	return variantWorkloadSweep(o, FabricPP, []string{"RH", "IH", "UH", "RaH", "DH"}, 0)
 }
 
 // Fig20 compares Streamchain and Fabric 1.4 at 10/50/100 tps on C1:
@@ -99,21 +166,21 @@ func Fig20(o Options) (string, error) {
 		return "", err
 	}
 	t := metrics.NewTable("rate (tps)", "system", "avg latency (s)", "endorsement %", "MVCC %")
-	for _, rate := range []float64{10, 50, 100} {
-		for _, sys := range []System{Fabric14, Streamchain} {
-			rate, sys := rate, sys
-			res, err := o.Run(func(seed int64) fabric.Config {
-				cfg := baseConfig(C1, cc, 1, sys)(seed)
-				cfg.Rate = rate
-				cfg.BlockSize = 10
-				return cfg
-			})
-			if err != nil {
-				return "", err
-			}
-			t.AddRow(rate, sys, fmt.Sprintf("%.2f", res.LatencySec),
-				res.EndorsementPct, res.MVCCPct)
+	cells := rateSysGrid([]float64{10, 50, 100}, []System{Fabric14, Streamchain})
+	results, err := sweep(o, cells, func(c rateSysCell) Builder {
+		return func(seed int64) fabric.Config {
+			cfg := baseConfig(C1, cc, 1, c.sys)(seed)
+			cfg.Rate = c.rate
+			cfg.BlockSize = 10
+			return cfg
 		}
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, c := range cells {
+		t.AddRow(c.rate, c.sys, fmt.Sprintf("%.2f", results[i].LatencySec),
+			results[i].EndorsementPct, results[i].MVCCPct)
 	}
 	return t.String(), nil
 }
@@ -126,67 +193,37 @@ func Fig21(o Options) (string, error) {
 		return "", err
 	}
 	t := metrics.NewTable("cluster", "rate (tps)", "system", "committed throughput (tps)")
-	type point struct {
+	type cell struct {
 		cluster Cluster
 		rate    float64
+		sys     System
 	}
-	for _, pt := range []point{{C1, 150}, {C1, 200}, {C2, 100}} {
+	var cells []cell
+	for _, pt := range []cell{{cluster: C1, rate: 150}, {cluster: C1, rate: 200}, {cluster: C2, rate: 100}} {
 		for _, sys := range []System{Fabric14, Streamchain} {
-			pt, sys := pt, sys
-			res, err := o.Run(func(seed int64) fabric.Config {
-				cfg := baseConfig(pt.cluster, cc, 1, sys)(seed)
-				cfg.Rate = pt.rate
-				cfg.BlockSize = 100
-				return cfg
-			})
-			if err != nil {
-				return "", err
-			}
-			t.AddRow(pt.cluster, pt.rate, sys, res.Throughput)
+			cells = append(cells, cell{pt.cluster, pt.rate, sys})
 		}
+	}
+	results, err := sweep(o, cells, func(c cell) Builder {
+		return func(seed int64) fabric.Config {
+			cfg := baseConfig(c.cluster, cc, 1, c.sys)(seed)
+			cfg.Rate = c.rate
+			cfg.BlockSize = 100
+			return cfg
+		}
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, c := range cells {
+		t.AddRow(c.cluster, c.rate, c.sys, results[i].Throughput)
 	}
 	return t.String(), nil
 }
 
 // Fig22 compares Streamchain across workloads and skews (50 tps, C2).
 func Fig22(o Options) (string, error) {
-	t := metrics.NewTable("workload", "system", "failures %")
-	for _, wl := range []string{"RH", "IH", "UH", "RaH", "DH"} {
-		mix, err := gen.MixByName(wl)
-		if err != nil {
-			return "", err
-		}
-		for _, s := range []System{Fabric14, Streamchain} {
-			s := s
-			cc := GenChain(mix, o.GenKeys)
-			res, err := o.Run(func(seed int64) fabric.Config {
-				cfg := baseConfig(C2, cc, 1, s)(seed)
-				cfg.Rate = 50
-				return cfg
-			})
-			if err != nil {
-				return "", err
-			}
-			t.AddRow(wl, s, res.FailurePct)
-		}
-	}
-	skewT := metrics.NewTable("zipf skew", "system", "failures %")
-	for _, skew := range []float64{0, 1, 2} {
-		for _, s := range []System{Fabric14, Streamchain} {
-			s, skew := s, skew
-			cc := GenChain(gen.UniformRU, o.GenKeys)
-			res, err := o.Run(func(seed int64) fabric.Config {
-				cfg := baseConfig(C2, cc, skew, s)(seed)
-				cfg.Rate = 50
-				return cfg
-			})
-			if err != nil {
-				return "", err
-			}
-			skewT.AddRow(skew, s, res.FailurePct)
-		}
-	}
-	return t.String() + "\n" + skewT.String(), nil
+	return variantWorkloadSweep(o, Streamchain, []string{"RH", "IH", "UH", "RaH", "DH"}, 50)
 }
 
 // Fig23 is the RAM-disk ablation: Streamchain with and without it,
@@ -197,21 +234,21 @@ func Fig23(o Options) (string, error) {
 		return "", err
 	}
 	t := metrics.NewTable("rate (tps)", "system", "avg latency (s)", "endorsement %", "MVCC %")
-	for _, rate := range []float64{10, 50} {
-		for _, sys := range []System{Fabric14, Streamchain, StreamchainNoRAM} {
-			rate, sys := rate, sys
-			res, err := o.Run(func(seed int64) fabric.Config {
-				cfg := baseConfig(C1, cc, 1, sys)(seed)
-				cfg.Rate = rate
-				cfg.BlockSize = 10
-				return cfg
-			})
-			if err != nil {
-				return "", err
-			}
-			t.AddRow(rate, sys, fmt.Sprintf("%.2f", res.LatencySec),
-				res.EndorsementPct, res.MVCCPct)
+	cells := rateSysGrid([]float64{10, 50}, []System{Fabric14, Streamchain, StreamchainNoRAM})
+	results, err := sweep(o, cells, func(c rateSysCell) Builder {
+		return func(seed int64) fabric.Config {
+			cfg := baseConfig(C1, cc, 1, c.sys)(seed)
+			cfg.Rate = c.rate
+			cfg.BlockSize = 10
+			return cfg
 		}
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, c := range cells {
+		t.AddRow(c.rate, c.sys, fmt.Sprintf("%.2f", results[i].LatencySec),
+			results[i].EndorsementPct, results[i].MVCCPct)
 	}
 	return t.String(), nil
 }
@@ -224,19 +261,19 @@ func Fig24(o Options) (string, error) {
 		return "", err
 	}
 	t := metrics.NewTable("rate (tps)", "system", "failures %", "endorsement %", "committed tput (tps)")
-	for _, rate := range []float64{10, 50, 100} {
-		for _, sys := range []System{Fabric14, FabricSharp} {
-			rate, sys := rate, sys
-			res, err := o.Run(func(seed int64) fabric.Config {
-				cfg := baseConfig(C1, cc, 1, sys)(seed)
-				cfg.Rate = rate
-				return cfg
-			})
-			if err != nil {
-				return "", err
-			}
-			t.AddRow(rate, sys, res.FailurePct, res.EndorsementPct, res.Throughput)
+	cells := rateSysGrid([]float64{10, 50, 100}, []System{Fabric14, FabricSharp})
+	results, err := sweep(o, cells, func(c rateSysCell) Builder {
+		return func(seed int64) fabric.Config {
+			cfg := baseConfig(C1, cc, 1, c.sys)(seed)
+			cfg.Rate = c.rate
+			return cfg
 		}
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, c := range cells {
+		t.AddRow(c.rate, c.sys, results[i].FailurePct, results[i].EndorsementPct, results[i].Throughput)
 	}
 	return t.String(), nil
 }
@@ -244,7 +281,7 @@ func Fig24(o Options) (string, error) {
 // Fig25 compares FabricSharp across workloads (no range-heavy —
 // FabricSharp does not support range queries) and skews.
 func Fig25(o Options) (string, error) {
-	return variantWorkloadSweep(o, FabricSharp, []string{"RH", "IH", "UH", "DH"})
+	return variantWorkloadSweep(o, FabricSharp, []string{"RH", "IH", "UH", "DH"}, 0)
 }
 
 // Fig26 compares all four systems on the C1 cluster (EHR): latency,
@@ -255,20 +292,20 @@ func Fig26(o Options) (string, error) {
 		return "", err
 	}
 	t := metrics.NewTable("rate (tps)", "system", "avg latency (s)", "endorsement %", "MVCC %", "failures %")
-	for _, rate := range []float64{10, 50, 100} {
-		for _, sys := range AllSystems() {
-			rate, sys := rate, sys
-			res, err := o.Run(func(seed int64) fabric.Config {
-				cfg := baseConfig(C1, cc, 1, sys)(seed)
-				cfg.Rate = rate
-				return cfg
-			})
-			if err != nil {
-				return "", err
-			}
-			t.AddRow(rate, sys, fmt.Sprintf("%.2f", res.LatencySec),
-				res.EndorsementPct, res.MVCCPct, res.FailurePct)
+	cells := rateSysGrid([]float64{10, 50, 100}, AllSystems())
+	results, err := sweep(o, cells, func(c rateSysCell) Builder {
+		return func(seed int64) fabric.Config {
+			cfg := baseConfig(C1, cc, 1, c.sys)(seed)
+			cfg.Rate = c.rate
+			return cfg
 		}
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, c := range cells {
+		t.AddRow(c.rate, c.sys, fmt.Sprintf("%.2f", results[i].LatencySec),
+			results[i].EndorsementPct, results[i].MVCCPct, results[i].FailurePct)
 	}
 	return t.String(), nil
 }

@@ -3,7 +3,15 @@
 // Streamchain, FabricSharp), multi-seed averaged runs, and one
 // experiment function per table and figure of the paper's evaluation
 // (§5). The CLI (cmd/hyperlab) and the benchmark suite regenerate any
-// result through this package.
+// result through this package, which lives at repro/internal/core
+// (the module path is "repro").
+//
+// Experiments execute on a shared worker pool (see RunAll): every
+// (config, seed) cell of a sweep is an independent simulation with
+// its own rng, so cells fan out across Options.Parallelism workers
+// while tables and figures stay byte-for-byte identical to a
+// sequential run — results aggregate in input order, never in
+// completion order.
 package core
 
 import (
@@ -166,7 +174,14 @@ type Options struct {
 	// GenKeys shrinks genChain's world state for quick runs (0 keeps
 	// the paper's 100,000).
 	GenKeys int
+	// Parallelism caps how many simulations run concurrently across
+	// a batch (0 = one worker per CPU). Results are independent of
+	// this value: every (config, seed) cell owns its rng and the
+	// harness aggregates in input order.
+	Parallelism int
 	// Progress, when non-nil, receives one line per completed run.
+	// Calls are serialized through a single funnel goroutine, so the
+	// callback never runs concurrently with itself.
 	Progress func(string)
 }
 
@@ -200,28 +215,14 @@ type Result struct {
 
 // Run executes build(seed) for every seed and averages the reports.
 // The build function must produce a complete config except Duration
-// and Drain, which the options control.
+// and Drain, which the options control. Seeds fan out across the
+// worker pool (see RunAll and Options.Parallelism).
 func (o Options) Run(build func(seed int64) fabric.Config) (Result, error) {
-	if len(o.Seeds) == 0 {
-		return Result{}, fmt.Errorf("core: no seeds configured")
+	results, err := o.RunAll([]Builder{build})
+	if err != nil {
+		return Result{}, err
 	}
-	var acc Result
-	for _, seed := range o.Seeds {
-		cfg := build(seed)
-		cfg.Seed = seed
-		cfg.Duration = o.Duration
-		cfg.Drain = o.Drain
-		nw, err := fabric.NewNetwork(cfg)
-		if err != nil {
-			return Result{}, err
-		}
-		rep := nw.Run()
-		acc = acc.add(fromReport(rep))
-		if o.Progress != nil {
-			o.Progress(fmt.Sprintf("seed %d: %v", seed, rep))
-		}
-	}
-	return acc.scale(1 / float64(len(o.Seeds))), nil
+	return results[0], nil
 }
 
 func fromReport(r metrics.Report) Result {

@@ -1,0 +1,64 @@
+// Package dist provides the workload key-skew machinery of the
+// paper's Table 3: a CDF-based Zipfian sampler over a finite index
+// space [0, n).
+//
+// Convention: hot ranks map to HIGH indices. At skew s the sampler
+// draws index i with probability proportional to (n-i)^-s, so index
+// n-1 is rank 1 (the hottest key), index n-2 is rank 2, and so on
+// down to index 0, the coldest. Skew 0 degrades to the uniform
+// distribution. The use-case workloads rely on this orientation —
+// "hot patients" in the EHR chaincode are the high patient numbers —
+// and the genChain workloads (§4.4) use it for their skewed
+// read/update key draws.
+//
+// The module lives at import path "repro"; this package is
+// repro/internal/dist.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipfian is a precomputed finite Zipfian distribution over [0, n).
+// Construction is O(n); sampling is O(log n) via binary search on the
+// cumulative distribution. A Zipfian is immutable after construction
+// and therefore safe for concurrent use — Next draws randomness only
+// from the caller's rng, which keeps every simulation's stream
+// deterministic under its own seed.
+type Zipfian struct {
+	cdf []float64 // cdf[i] = unnormalised P(X <= i); cdf[n-1] is the total mass
+}
+
+// NewZipfian builds a sampler over [0, n) with the given skew
+// exponent. Skew 0 is uniform; larger skews concentrate mass on the
+// high indices (rank 1 = index n-1). It panics on n <= 0 or negative
+// skew — both are configuration bugs, never data-dependent.
+func NewZipfian(n int, skew float64) *Zipfian {
+	if n <= 0 {
+		panic(fmt.Sprintf("dist: Zipfian needs a positive index space, got n=%d", n))
+	}
+	if skew < 0 {
+		panic(fmt.Sprintf("dist: negative Zipfian skew %v", skew))
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		rank := float64(n - i) // index n-1 has rank 1, the hottest
+		sum += math.Pow(rank, -skew)
+		cdf[i] = sum
+	}
+	return &Zipfian{cdf: cdf}
+}
+
+// N returns the size of the index space.
+func (z *Zipfian) N() int { return len(z.cdf) }
+
+// Next draws one index in [0, N()). All randomness comes from rng, so
+// a fixed seed reproduces the exact sample stream.
+func (z *Zipfian) Next(rng *rand.Rand) int {
+	u := rng.Float64() * z.cdf[len(z.cdf)-1]
+	return sort.SearchFloat64s(z.cdf, u)
+}

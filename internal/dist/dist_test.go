@@ -1,0 +1,97 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sample(t *testing.T, n int, skew float64, draws int, seed int64) []int {
+	t.Helper()
+	z := NewZipfian(n, skew)
+	rng := rand.New(rand.NewSource(seed))
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := z.Next(rng)
+		if v < 0 || v >= n {
+			t.Fatalf("Next = %d, out of [0, %d)", v, n)
+		}
+		counts[v]++
+	}
+	return counts
+}
+
+func TestSkewZeroIsUniform(t *testing.T) {
+	const n, draws = 20, 200000
+	counts := sample(t, n, 0, draws, 1)
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Errorf("index %d drawn %d times, want %.0f±5%%", i, c, want)
+		}
+	}
+}
+
+// TestHotRanksAreHighIndices pins the package convention: at positive
+// skew, frequency must increase monotonically with the index, with
+// index n-1 the hottest.
+func TestHotRanksAreHighIndices(t *testing.T) {
+	for _, skew := range []float64{1, 2} {
+		counts := sample(t, 10, skew, 200000, 2)
+		for i := 1; i < len(counts); i++ {
+			if counts[i] <= counts[i-1] {
+				t.Errorf("skew %v: count[%d]=%d <= count[%d]=%d, want monotone growth toward high indices",
+					skew, i, counts[i], i-1, counts[i-1])
+			}
+		}
+	}
+}
+
+func TestSkewMatchesZipfMass(t *testing.T) {
+	// At skew 1 over n ranks, rank r carries (1/r)/H_n of the mass.
+	const n, draws = 100, 500000
+	counts := sample(t, n, 1, draws, 3)
+	h := 0.0
+	for r := 1; r <= n; r++ {
+		h += 1 / float64(r)
+	}
+	for _, r := range []int{1, 2, 10} {
+		got := float64(counts[n-r]) / draws
+		want := 1 / (float64(r) * h)
+		if math.Abs(got-want) > 0.1*want {
+			t.Errorf("rank %d: mass %.4f, want %.4f±10%%", r, got, want)
+		}
+	}
+}
+
+func TestDeterministicForFixedSeed(t *testing.T) {
+	z := NewZipfian(1000, 1.5)
+	a, b := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		if x, y := z.Next(a), z.Next(b); x != y {
+			t.Fatalf("draw %d: %d != %d with identical seeds", i, x, y)
+		}
+	}
+}
+
+func TestN(t *testing.T) {
+	if got := NewZipfian(42, 1).N(); got != 42 {
+		t.Errorf("N() = %d, want 42", got)
+	}
+}
+
+func TestRejectsBadParameters(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		skew float64
+	}{{0, 1}, {-5, 1}, {10, -0.1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipfian(%d, %v) did not panic", tc.n, tc.skew)
+				}
+			}()
+			NewZipfian(tc.n, tc.skew)
+		}()
+	}
+}
