@@ -87,6 +87,11 @@ func BenchmarkFig24_FabricSharp(b *testing.B)           { runExperiment(b, "fig2
 func BenchmarkFig25_FabricSharpWorkloads(b *testing.B)  { runExperiment(b, "fig25") }
 func BenchmarkFig26_AllSystems(b *testing.B)            { runExperiment(b, "fig26") }
 
+// BenchmarkRetryPolicies_Goodput exercises the client retry
+// subsystem: the policy × skew × block-size sweep with its goodput,
+// amplification and end-to-end-latency columns.
+func BenchmarkRetryPolicies_Goodput(b *testing.B) { runExperiment(b, "retry-policies") }
+
 // BenchmarkExpAllParallelism measures how the harness's wall-clock
 // for a full sweep scales with the worker-pool size (see also
 // BenchmarkBlockSizeSweepParallelism in internal/core for the raw

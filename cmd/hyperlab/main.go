@@ -1,16 +1,20 @@
 // Command hyperlab regenerates the tables and figures of "Why Do My
 // Blockchain Transactions Fail? A Study of Hyperledger Fabric"
-// (SIGMOD 2021) from the simulated testbed.
+// (SIGMOD 2021) from the simulated testbed, plus the lab's own
+// experiments (retry-policies).
 //
 // Usage:
 //
 //	hyperlab -list                      list all experiments
 //	hyperlab -exp fig7                  quick regime (30 virtual s, 1 seed)
+//	hyperlab -run retry-policies -quick same as -exp (-quick is the default regime)
 //	hyperlab -exp fig7 -full            paper regime (3 virtual min, 3 seeds)
 //	hyperlab -exp all                   run everything (quick unless -full)
 //	hyperlab -exp all -parallel 8       cap the worker pool (default: all cores)
-//	hyperlab -run -chaincode ehr -rate 100 -block 50 -db leveldb -system fabric++
+//	hyperlab -adhoc -chaincode ehr -rate 100 -block 50 -db leveldb -system fabric++
 //	                                    one ad-hoc run with a report line
+//	hyperlab -adhoc -retry backoff -closedloop
+//	                                    ad-hoc run with client resubmission
 //	hyperlab -render                    emit a generated genChain chaincode
 package main
 
@@ -30,31 +34,43 @@ import (
 
 func main() {
 	var (
-		list      = flag.Bool("list", false, "list experiments and exit")
-		exp       = flag.String("exp", "", "experiment id (table2, table4, fig4..fig26, or 'all')")
-		full      = flag.Bool("full", false, "paper regime: 3 virtual minutes x 3 seeds (default: quick)")
-		parallel  = flag.Int("parallel", 0, "simulations run concurrently per experiment (0 = all cores)")
-		render    = flag.Bool("render", false, "print a generated genChain chaincode and exit")
-		run       = flag.Bool("run", false, "run one ad-hoc configuration")
-		ccName    = flag.String("chaincode", "ehr", "ad-hoc run: ehr|dv|scm|drm|genchain")
-		rate      = flag.Float64("rate", 100, "ad-hoc run: arrival rate in tps")
-		blockSize = flag.Int("block", 100, "ad-hoc run: block size")
-		db        = flag.String("db", "couchdb", "ad-hoc run: couchdb|leveldb")
-		system    = flag.String("system", "fabric", "ad-hoc run: fabric|fabric++|streamchain|fabricsharp")
-		cluster   = flag.String("cluster", "C1", "ad-hoc run: C1|C2")
-		skew      = flag.Float64("skew", 1, "ad-hoc run: Zipfian key skew")
-		duration  = flag.Duration("duration", 30*time.Second, "ad-hoc run: virtual send window")
-		seed      = flag.Int64("seed", 1, "ad-hoc run: random seed")
-		dump      = flag.Int("dump", 0, "ad-hoc run: print JSON summaries of the first N blocks")
-		verbose   = flag.Bool("v", false, "print per-seed progress")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		exp        = flag.String("exp", "", "experiment id (table2, table4, fig4..fig26, retry-policies, or 'all')")
+		runID      = flag.String("run", "", "experiment id to run (alias of -exp)")
+		full       = flag.Bool("full", false, "paper regime: 3 virtual minutes x 3 seeds")
+		quick      = flag.Bool("quick", false, "quick regime: 30 virtual s, 1 seed (the default; overrides -full)")
+		parallel   = flag.Int("parallel", 0, "simulations run concurrently per experiment (0 = all cores)")
+		render     = flag.Bool("render", false, "print a generated genChain chaincode and exit")
+		adhocRun   = flag.Bool("adhoc", false, "run one ad-hoc configuration")
+		ccName     = flag.String("chaincode", "ehr", "ad-hoc run: ehr|dv|scm|drm|genchain")
+		rate       = flag.Float64("rate", 100, "ad-hoc run: arrival rate in tps")
+		blockSize  = flag.Int("block", 100, "ad-hoc run: block size")
+		db         = flag.String("db", "couchdb", "ad-hoc run: couchdb|leveldb")
+		system     = flag.String("system", "fabric", "ad-hoc run: fabric|fabric++|streamchain|fabricsharp")
+		cluster    = flag.String("cluster", "C1", "ad-hoc run: C1|C2")
+		skew       = flag.Float64("skew", 1, "ad-hoc run: Zipfian key skew")
+		duration   = flag.Duration("duration", 30*time.Second, "ad-hoc run: virtual send window")
+		seed       = flag.Int64("seed", 1, "ad-hoc run: random seed")
+		dump       = flag.Int("dump", 0, "ad-hoc run: print JSON summaries of the first N blocks")
+		retry      = flag.String("retry", "none", "ad-hoc run: retry policy none|immediate|backoff")
+		closedLoop = flag.Bool("closedloop", false, "ad-hoc run: closed-loop clients instead of Poisson arrivals")
+		inflight   = flag.Int("inflight", 1, "ad-hoc run: closed-loop in-flight window per client")
+		verbose    = flag.Bool("v", false, "print per-seed progress")
 	)
 	flag.Parse()
 
+	id := *exp
+	if *runID != "" {
+		if id != "" && id != *runID {
+			fatal(fmt.Errorf("conflicting -exp %q and -run %q", *exp, *runID))
+		}
+		id = *runID
+	}
 	switch {
 	case *list:
 		fmt.Println("Available experiments (paper table/figure -> id):")
 		for _, e := range lab.Experiments() {
-			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+			fmt.Printf("  %-14s %s\n", e.ID, e.Title)
 		}
 	case *render:
 		src, err := lab.RenderChaincode(lab.GenChainSpec(), true)
@@ -62,10 +78,15 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(src)
-	case *exp != "":
-		runExperiments(*exp, *full, *verbose, *parallel)
-	case *run:
-		adhoc(*ccName, *rate, *blockSize, *db, *system, *cluster, *skew, *duration, *seed, *dump)
+	case id != "":
+		runExperiments(id, *full && !*quick, *verbose, *parallel)
+	case *adhocRun:
+		adhoc(adhocOptions{
+			ccName: *ccName, rate: *rate, blockSize: *blockSize,
+			db: *db, system: *system, cluster: *cluster, skew: *skew,
+			duration: *duration, seed: *seed, dump: *dump,
+			retry: *retry, closedLoop: *closedLoop, inflight: *inflight,
+		})
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -110,29 +131,39 @@ func runExperiments(id string, full, verbose bool, parallel int) {
 	}
 }
 
-func adhoc(ccName string, rate float64, blockSize int, db, system, cluster string, skew float64, duration time.Duration, seed int64, dump int) {
+// adhocOptions bundles the ad-hoc runner's knobs.
+type adhocOptions struct {
+	ccName, db, system, cluster, retry string
+	rate, skew                         float64
+	blockSize, dump, inflight          int
+	duration                           time.Duration
+	seed                               int64
+	closedLoop                         bool
+}
+
+func adhoc(o adhocOptions) {
 	cfg := fabric.DefaultConfig()
 
-	switch strings.ToUpper(cluster) {
+	switch strings.ToUpper(o.cluster) {
 	case "C1":
 		core.C1.Apply(&cfg)
 	case "C2":
 		core.C2.Apply(&cfg)
 	default:
-		fatal(fmt.Errorf("unknown cluster %q", cluster))
+		fatal(fmt.Errorf("unknown cluster %q", o.cluster))
 	}
 
-	switch strings.ToLower(db) {
+	switch strings.ToLower(o.db) {
 	case "couchdb":
 		cfg.DBKind = statedb.CouchDB
 	case "leveldb":
 		cfg.DBKind = statedb.LevelDB
 	default:
-		fatal(fmt.Errorf("unknown database %q", db))
+		fatal(fmt.Errorf("unknown database %q", o.db))
 	}
 
 	var sys core.System
-	switch strings.ToLower(system) {
+	switch strings.ToLower(o.system) {
 	case "fabric", "fabric-1.4":
 		sys = core.Fabric14
 	case "fabric++", "fabricpp":
@@ -142,29 +173,45 @@ func adhoc(ccName string, rate float64, blockSize int, db, system, cluster strin
 	case "fabricsharp", "fabric#":
 		sys = core.FabricSharp
 	default:
-		fatal(fmt.Errorf("unknown system %q", system))
+		fatal(fmt.Errorf("unknown system %q", o.system))
 	}
 	cfg.Variant = sys.Variant()
 
-	switch strings.ToLower(ccName) {
+	switch strings.ToLower(o.retry) {
+	case "none", "":
+		cfg.Retry = fabric.NoRetry{}
+	case "immediate":
+		cfg.Retry = fabric.ImmediateRetry{MaxAttempts: 3}
+	case "backoff":
+		cfg.Retry = fabric.ExponentialBackoff{
+			Initial: 200 * time.Millisecond, Cap: 2 * time.Second,
+			MaxAttempts: 5, Jitter: 0.2,
+		}
+	default:
+		fatal(fmt.Errorf("unknown retry policy %q", o.retry))
+	}
+	cfg.ClosedLoop = o.closedLoop
+	cfg.InFlightPerClient = o.inflight
+
+	switch strings.ToLower(o.ccName) {
 	case "genchain":
 		spec := gen.GenChainSpec()
 		cfg.Chaincode = gen.MustChaincode(spec)
-		cfg.Workload = gen.NewWorkload(spec, gen.UpdateHeavy, skew)
+		cfg.Workload = gen.NewWorkload(spec, gen.UpdateHeavy, o.skew)
 	default:
-		f, err := core.UseCase(strings.ToLower(ccName))
+		f, err := core.UseCase(strings.ToLower(o.ccName))
 		if err != nil {
 			fatal(err)
 		}
 		cfg.Chaincode = f.New()
-		cfg.Workload = f.Workload(skew)
+		cfg.Workload = f.Workload(o.skew)
 	}
 
-	cfg.Rate = rate
-	cfg.BlockSize = blockSize
-	cfg.Duration = duration
-	cfg.Drain = duration
-	cfg.Seed = seed
+	cfg.Rate = o.rate
+	cfg.BlockSize = o.blockSize
+	cfg.Duration = o.duration
+	cfg.Drain = o.duration
+	cfg.Seed = o.seed
 	// Keep full transaction payloads so the hash chain can be
 	// re-verified after the run.
 	cfg.StripAfterCommit = false
@@ -175,16 +222,26 @@ func adhoc(ccName string, rate float64, blockSize int, db, system, cluster strin
 	}
 	start := time.Now()
 	rep := nw.Run()
-	fmt.Printf("%s on %s, %s, rate %.0f tps, block %d, db %s, skew %.1f (%v virtual, %v real)\n",
-		sys, cluster, ccName, rate, blockSize, cfg.DBKind, skew,
-		duration, time.Since(start).Round(time.Millisecond))
+	mode := "open-loop"
+	if o.closedLoop {
+		mode = fmt.Sprintf("closed-loop(%d)", o.inflight)
+	}
+	fmt.Printf("%s on %s, %s, rate %.0f tps, block %d, db %s, skew %.1f, retry %s, %s (%v virtual, %v real)\n",
+		sys, o.cluster, o.ccName, o.rate, o.blockSize, cfg.DBKind, o.skew,
+		cfg.Retry.Name(), mode,
+		o.duration, time.Since(start).Round(time.Millisecond))
 	fmt.Println(rep)
+	if _, none := cfg.Retry.(fabric.NoRetry); !none || cfg.ClosedLoop {
+		fmt.Printf("effective: jobs=%d eventual-valid=%d gave-up=%d attempts=%d e2e=%v\n",
+			rep.Jobs, rep.EventualValid, rep.GaveUp, rep.Attempts,
+			rep.AvgEndToEnd.Round(time.Millisecond))
+	}
 	if err := nw.Chain().Verify(); err != nil {
 		fatal(fmt.Errorf("chain verification failed: %w", err))
 	}
 	fmt.Printf("chain: %d blocks, %d transactions, hash chain verified\n",
 		nw.Chain().Height(), nw.Chain().TxCount())
-	for n := uint64(1); n <= uint64(dump) && n < nw.Chain().Height(); n++ {
+	for n := uint64(1); n <= uint64(o.dump) && n < nw.Chain().Height(); n++ {
 		summary, err := nw.Chain().Block(n).MarshalSummary()
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,111 @@
+// Retry-tuning demonstrates the client retry/resubmission subsystem:
+// the paper's open-loop clients fire-and-forget, so a failed
+// transaction is simply lost — but a real application must resubmit
+// it, and the retry traffic feeds the very contention that failed the
+// transaction in the first place.
+//
+// The example runs the EHR chaincode under growing key skew and
+// compares retry policies side by side: goodput (first-submission
+// success throughput) versus raw committed throughput, the retry
+// amplification factor (how many submissions the network processed
+// per logical transaction), the end-to-end latency through every
+// resubmission, and the fraction of transactions the client
+// eventually abandoned. It closes with a closed-loop run showing the
+// same policies under a fixed in-flight window instead of a fixed
+// arrival rate. All cells fan out across the harness's parallel
+// scheduler; tables are identical at any worker count.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	lab "repro"
+)
+
+// options is the sweep regime: 40 virtual seconds, one seed.
+func options() lab.Options {
+	return lab.Options{
+		Duration:    40 * time.Second,
+		Drain:       30 * time.Second,
+		Seeds:       []int64{1},
+		Parallelism: 0, // one worker per CPU
+	}
+}
+
+// builder is one (policy, skew) EHR cell.
+func builder(policy lab.RetryPolicy, skew float64, closedLoop bool) lab.Builder {
+	return func(seed int64) lab.Config {
+		cfg := lab.DefaultConfig()
+		cfg.Chaincode = lab.EHRChaincode()
+		cfg.Workload = lab.EHRWorkload(skew)
+		cfg.Retry = policy
+		cfg.ClosedLoop = closedLoop
+		cfg.InFlightPerClient = 4
+		return cfg
+	}
+}
+
+func main() {
+	policies := []lab.RetryPolicy{
+		lab.NoRetry{},
+		lab.ImmediateRetry{MaxAttempts: 3},
+		lab.ExponentialBackoff{
+			Initial: 200 * time.Millisecond, Cap: 2 * time.Second,
+			MaxAttempts: 5, Jitter: 0.2,
+		},
+		lab.GiveUpAfter(lab.ExponentialBackoff{Initial: 100 * time.Millisecond, Jitter: 0.5}, 2),
+	}
+	skews := []float64{0, 1, 2}
+
+	// Open loop: the paper's arrival process, now with resubmission.
+	var builds []lab.Builder
+	for _, skew := range skews {
+		for _, p := range policies {
+			builds = append(builds, builder(p, skew, false))
+		}
+	}
+	results, err := options().RunAll(builds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== EHR, open loop at 100 tps: what does a failure cost end-to-end?")
+	fmt.Printf("%-6s %-14s %-14s %-12s %-6s %-10s %-10s\n",
+		"skew", "policy", "goodput tps", "tput tps", "amp", "e2e lat", "gave up %")
+	i := 0
+	for _, skew := range skews {
+		for _, p := range policies {
+			r := results[i]
+			i++
+			fmt.Printf("%-6.1f %-14s %-14.1f %-12.1f %-6.2f %-10v %-10.1f\n",
+				skew, p.Name(), r.Goodput, r.Throughput, r.RetryAmp,
+				time.Duration(r.EndToEndSec*float64(time.Second)).Round(time.Millisecond),
+				r.GaveUpPct)
+		}
+	}
+
+	// Closed loop: the same policies under a fixed in-flight window —
+	// retries now displace fresh work instead of adding to it.
+	builds = builds[:0]
+	for _, p := range policies {
+		builds = append(builds, builder(p, 1, true))
+	}
+	results, err = options().RunAll(builds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== EHR, closed loop (4 in flight per client), skew 1")
+	fmt.Printf("%-14s %-14s %-12s %-6s %-10s %-10s\n",
+		"policy", "goodput tps", "tput tps", "amp", "e2e lat", "gave up %")
+	for i, p := range policies {
+		r := results[i]
+		fmt.Printf("%-14s %-14.1f %-12.1f %-6.2f %-10v %-10.1f\n",
+			p.Name(), r.Goodput, r.Throughput, r.RetryAmp,
+			time.Duration(r.EndToEndSec*float64(time.Second)).Round(time.Millisecond),
+			r.GaveUpPct)
+	}
+	fmt.Println("\nFire-and-forget loses every failed transaction; immediate retries")
+	fmt.Println("amplify contention (higher amp, lower goodput at high skew); capped")
+	fmt.Println("backoff recovers most failures for a fraction of the extra load.")
+}

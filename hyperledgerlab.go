@@ -29,6 +29,44 @@
 // the Execute-Order-Validate protocol running against the calibrated
 // cost model.
 //
+// # Client retries and effective metrics
+//
+// The paper's clients are fire-and-forget: a failed transaction is
+// simply gone (§4.5). Real applications must detect the failure from
+// commit events and resubmit — so the lab also models the client side
+// of the story. Config.Retry selects a RetryPolicy (NoRetry,
+// ImmediateRetry, ExponentialBackoff with deterministic jitter, or
+// any policy truncated by GiveUpAfter); clients then track pending
+// transactions, listen for commit events from the metrics peer, and
+// resubmit failures on the policy's backoff schedule. Config.ClosedLoop
+// switches from open-loop Poisson arrivals to a closed loop with
+// Config.InFlightPerClient outstanding transactions per client.
+//
+// Reports expose the resulting effective metrics next to the paper's
+// chain-level ones: Goodput (first-submission success throughput),
+// RetryAmplification (submissions per logical transaction),
+// AvgEndToEnd (latency through every resubmission), GaveUp, and a
+// per-attempt failure breakdown. The "retry-policies" experiment
+// (cmd/hyperlab -run retry-policies) sweeps policy × skew × block
+// size over the four use-case chaincodes to answer what a failure
+// actually costs end-to-end.
+//
+// # Test matrix
+//
+// Tier-1 is `go build ./... && go test ./...`. Beyond unit tests the
+// suite pins behaviour four ways: golden-report regression tests lock
+// the QuickOptions reports of all four use-case chaincodes on both
+// database backends (internal/core/golden_test.go, -update-golden to
+// regenerate); a conservation-invariant property test checks that
+// every block's validation codes partition its transactions and that
+// committed world-state versions advance strictly monotonically per
+// key; determinism tests require identical reports for the same
+// (config, seed) at any Options.Parallelism, with and without
+// retries; and a fuzz test (go test -fuzz=FuzzGenChaincode
+// ./internal/gen) with a checked-in seed corpus guards the chaincode
+// generator. CI additionally smoke-runs every benchmark at
+// -benchtime=1x and replays the fuzz corpus on every push.
+//
 // The module's import path is "repro"; this root package re-exports
 // the public surface of the internal packages. Experiment sweeps run
 // on a shared worker pool — see Options.Parallelism and
@@ -103,6 +141,27 @@ const (
 	P2 = policy.P2
 	P3 = policy.P3
 )
+
+// Client retry/resubmission subsystem.
+type (
+	// RetryPolicy decides whether a client resubmits a failed
+	// transaction and after what backoff.
+	RetryPolicy = fabric.RetryPolicy
+	// NoRetry is the paper's fire-and-forget client (§4.5).
+	NoRetry = fabric.NoRetry
+	// ImmediateRetry resubmits right away, up to MaxAttempts.
+	ImmediateRetry = fabric.ImmediateRetry
+	// ExponentialBackoff resubmits after a capped exponential backoff
+	// with deterministic jitter drawn from the simulation rng.
+	ExponentialBackoff = fabric.ExponentialBackoff
+)
+
+// GiveUpAfter truncates any retry policy to at most n submissions.
+func GiveUpAfter(inner RetryPolicy, n int) RetryPolicy { return fabric.GiveUpAfter(inner, n) }
+
+// RetryPolicies returns the policy ladder compared by the
+// retry-policies experiment.
+func RetryPolicies() []RetryPolicy { return core.RetryPolicies() }
 
 // DefaultConfig returns the paper's Table 3 defaults on the C1
 // cluster. Chaincode and Workload must still be set.

@@ -102,10 +102,13 @@ func TestVariantsViaFacade(t *testing.T) {
 }
 
 func TestExperimentRegistryComplete(t *testing.T) {
-	if len(Experiments()) != 25 {
-		t.Errorf("%d experiments exposed, want 25", len(Experiments()))
+	if len(Experiments()) != 26 {
+		t.Errorf("%d experiments exposed, want 26 (25 paper + retry-policies)", len(Experiments()))
 	}
 	if _, err := LookupExperiment("fig26"); err != nil {
+		t.Error(err)
+	}
+	if _, err := LookupExperiment("retry-policies"); err != nil {
 		t.Error(err)
 	}
 	if FullOptions().Duration != 3*time.Minute {
@@ -113,5 +116,39 @@ func TestExperimentRegistryComplete(t *testing.T) {
 	}
 	if QuickOptions().Duration >= FullOptions().Duration {
 		t.Error("quick options should be shorter than full")
+	}
+}
+
+func TestRetryFacade(t *testing.T) {
+	// The policy ladder re-exported at the root must satisfy the
+	// acceptance shape and expose distinct names.
+	policies := RetryPolicies()
+	if len(policies) < 3 {
+		t.Fatalf("%d policies, want >= 3", len(policies))
+	}
+	var _ RetryPolicy = NoRetry{}
+	var _ RetryPolicy = ImmediateRetry{MaxAttempts: 2}
+	var _ RetryPolicy = ExponentialBackoff{}
+	var _ RetryPolicy = GiveUpAfter(NoRetry{}, 1)
+
+	// A short closed-loop run with retries through the facade: the
+	// effective metrics must be populated and self-consistent.
+	cfg := quickCfg(21)
+	cfg.Retry = ImmediateRetry{MaxAttempts: 3}
+	cfg.ClosedLoop = true
+	cfg.InFlightPerClient = 3
+	nw, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := nw.Run()
+	if rep.Jobs == 0 || rep.Attempts < rep.Jobs {
+		t.Fatalf("effective metrics missing: %+v", rep)
+	}
+	if rep.EventualValid+rep.GaveUp != rep.Jobs {
+		t.Errorf("jobs %d != eventual %d + gave-up %d", rep.Jobs, rep.EventualValid, rep.GaveUp)
+	}
+	if rep.Goodput > rep.Throughput {
+		t.Errorf("goodput %.2f above throughput %.2f", rep.Goodput, rep.Throughput)
 	}
 }

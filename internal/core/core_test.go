@@ -151,8 +151,8 @@ func TestLookup(t *testing.T) {
 			t.Errorf("experiment %s incomplete", e.ID)
 		}
 	}
-	if len(seen) != 25 {
-		t.Errorf("%d experiments, want 25 (2 tables + 23 figures)", len(seen))
+	if len(seen) != 26 {
+		t.Errorf("%d experiments, want 26 (2 tables + 23 figures + retry-policies)", len(seen))
 	}
 }
 
@@ -210,5 +210,70 @@ func TestFig15ShapeQuick(t *testing.T) {
 	if s2.FailurePct <= s0.FailurePct {
 		t.Errorf("failures: skew0=%.2f%% skew2=%.2f%%, want growth with skew",
 			s0.FailurePct, s2.FailurePct)
+	}
+}
+
+func TestRetryPoliciesExperimentRegistered(t *testing.T) {
+	e, err := Lookup("retry-policies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Run == nil || !strings.Contains(e.Title, "retry") {
+		t.Errorf("experiment = %+v", e)
+	}
+}
+
+func TestRetryGridShape(t *testing.T) {
+	cells := retryGrid()
+	if len(RetryPolicies()) < 3 || len(RetrySkews) < 3 {
+		t.Fatalf("acceptance needs >= 3 policies x 3 skews, got %d x %d",
+			len(RetryPolicies()), len(RetrySkews))
+	}
+	// Policy names must be distinct (they are table keys).
+	names := map[string]bool{}
+	for _, p := range RetryPolicies() {
+		if names[p.Name()] {
+			t.Errorf("duplicate policy name %q", p.Name())
+		}
+		names[p.Name()] = true
+	}
+	// Every chaincode covers the full policy x skew plane.
+	type pair struct {
+		cc, pol string
+		skew    float64
+	}
+	seen := map[pair]bool{}
+	for _, c := range cells {
+		seen[pair{c.ccName, c.policy.Name(), c.skew}] = true
+	}
+	for _, cc := range []string{"ehr", "dv", "scm", "drm"} {
+		for _, p := range RetryPolicies() {
+			for _, skew := range RetrySkews {
+				if !seen[pair{cc, p.Name(), skew}] {
+					t.Errorf("grid misses cell %s/%s/skew=%v", cc, p.Name(), skew)
+				}
+			}
+		}
+	}
+	// The block-size axis is exercised on the cheap chaincodes.
+	bs := map[int]bool{}
+	for _, c := range cells {
+		if c.ccName == "ehr" {
+			bs[c.bs] = true
+		}
+	}
+	if len(bs) < 2 {
+		t.Errorf("EHR sweeps %d block sizes, want >= 2", len(bs))
+	}
+	// Grid enumeration is deterministic (it feeds a golden table).
+	again := retryGrid()
+	if len(again) != len(cells) {
+		t.Fatalf("grid size unstable: %d vs %d", len(again), len(cells))
+	}
+	for i := range cells {
+		if cells[i].ccName != again[i].ccName || cells[i].policy.Name() != again[i].policy.Name() ||
+			cells[i].skew != again[i].skew || cells[i].bs != again[i].bs {
+			t.Fatalf("grid order unstable at %d: %+v vs %+v", i, cells[i], again[i])
+		}
 	}
 }

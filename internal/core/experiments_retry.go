@@ -1,0 +1,107 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+)
+
+// RetryPolicies returns the policy ladder compared by the
+// retry-policies sweep: fire-and-forget (the paper's clients), capped
+// immediate resubmission, capped exponential backoff with
+// deterministic jitter, and an unlimited backoff truncated to a
+// give-up-after-N budget.
+func RetryPolicies() []fabric.RetryPolicy {
+	return []fabric.RetryPolicy{
+		fabric.NoRetry{},
+		fabric.ImmediateRetry{MaxAttempts: 3},
+		fabric.ExponentialBackoff{
+			Initial:     200 * time.Millisecond,
+			Cap:         2 * time.Second,
+			MaxAttempts: 5,
+			Jitter:      0.2,
+		},
+		fabric.GiveUpAfter(fabric.ExponentialBackoff{
+			Initial: 100 * time.Millisecond,
+			Cap:     time.Second,
+			Jitter:  0.5,
+		}, 2),
+	}
+}
+
+// RetrySkews is the Zipfian contention axis of the retry sweep.
+var RetrySkews = []float64{0, 1, 2}
+
+// RetryBlockSizes is the block-size axis of the retry sweep. Only the
+// cheap chaincodes (EHR, DRM) sweep it; the range-query-heavy ones
+// (DV, SCM) run at the Table 3 default to keep the grid affordable.
+var RetryBlockSizes = []int{50, 100}
+
+// retryCell is one cell of the retry-policies grid.
+type retryCell struct {
+	ccName string
+	policy fabric.RetryPolicy
+	skew   float64
+	bs     int
+}
+
+// retryGrid enumerates the retry-policies sweep in deterministic row
+// order: chaincode, policy, skew, block size.
+func retryGrid() []retryCell {
+	var cells []retryCell
+	for _, ccName := range []string{"ehr", "dv", "scm", "drm"} {
+		sizes := RetryBlockSizes
+		if ccName == "dv" || ccName == "scm" {
+			sizes = []int{100}
+		}
+		for _, pol := range RetryPolicies() {
+			for _, skew := range RetrySkews {
+				for _, bs := range sizes {
+					cells = append(cells, retryCell{ccName, pol, skew, bs})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// RetryPoliciesExp answers the paper's motivating question end-to-end:
+// what does a failed transaction cost once clients resubmit it? It
+// sweeps retry policy × Zipfian skew × block size over the four
+// use-case chaincodes on C1 and reports the effective metrics —
+// goodput (first-submission success throughput), retry amplification
+// (submissions per logical transaction), end-to-end latency including
+// resubmissions, and the give-up rate — next to the chain-level
+// failure percentage. All cells fan out across the worker pool; the
+// table is identical at any Options.Parallelism.
+func RetryPoliciesExp(o Options) (string, error) {
+	cells := retryGrid()
+	builds := make([]Builder, len(cells))
+	for i, c := range cells {
+		cc, err := UseCase(c.ccName)
+		if err != nil {
+			return "", err
+		}
+		c := c
+		builds[i] = func(seed int64) fabric.Config {
+			cfg := baseConfig(C1, cc, c.skew, Fabric14)(seed)
+			cfg.BlockSize = c.bs
+			cfg.Retry = c.policy
+			return cfg
+		}
+	}
+	results, err := o.RunAll(builds)
+	if err != nil {
+		return "", err
+	}
+	t := metrics.NewTable("chaincode", "policy", "skew", "block",
+		"goodput (tps)", "tput (tps)", "amp", "e2e lat (s)", "gave up %", "failures %")
+	for i, c := range cells {
+		res := results[i]
+		t.AddRow(c.ccName, c.policy.Name(), c.skew, c.bs,
+			res.Goodput, res.Throughput, res.RetryAmp,
+			res.EndToEndSec, res.GaveUpPct, res.FailurePct)
+	}
+	return t.String(), nil
+}

@@ -346,6 +346,7 @@ func Experiments() []Experiment {
 		{"fig24", "FabricSharp vs Fabric 1.4: failures and throughput", Fig24},
 		{"fig25", "FabricSharp vs Fabric 1.4: workloads and skew", Fig25},
 		{"fig26", "Comparison of all Fabric systems (C1)", Fig26},
+		{"retry-policies", "Client retry policies: goodput, amplification, end-to-end cost", RetryPoliciesExp},
 	}
 }
 

@@ -211,6 +211,13 @@ type Result struct {
 	AbortedPct     float64
 	LatencySec     float64
 	Throughput     float64
+
+	// Effective client-side metrics (the retry subsystem; equal to
+	// the chain-level view when clients are fire-and-forget).
+	Goodput     float64 // first-submission success throughput, tps
+	RetryAmp    float64 // submissions per logical transaction
+	EndToEndSec float64 // first submission -> final resolution, seconds
+	GaveUpPct   float64 // jobs abandoned by the retry policy, % of jobs
 }
 
 // Run executes build(seed) for every seed and averages the reports.
@@ -226,7 +233,7 @@ func (o Options) Run(build func(seed int64) fabric.Config) (Result, error) {
 }
 
 func fromReport(r metrics.Report) Result {
-	return Result{
+	res := Result{
 		Total:          float64(r.Total),
 		Committed:      float64(r.Committed),
 		FailurePct:     r.FailurePct,
@@ -238,7 +245,14 @@ func fromReport(r metrics.Report) Result {
 		AbortedPct:     r.AbortedPct,
 		LatencySec:     r.AvgLatency.Seconds(),
 		Throughput:     r.Throughput,
+		Goodput:        r.Goodput,
+		RetryAmp:       r.RetryAmplification,
+		EndToEndSec:    r.AvgEndToEnd.Seconds(),
 	}
+	if r.Jobs > 0 {
+		res.GaveUpPct = 100 * float64(r.GaveUp) / float64(r.Jobs)
+	}
+	return res
 }
 
 func (r Result) add(o Result) Result {
@@ -253,6 +267,10 @@ func (r Result) add(o Result) Result {
 	r.AbortedPct += o.AbortedPct
 	r.LatencySec += o.LatencySec
 	r.Throughput += o.Throughput
+	r.Goodput += o.Goodput
+	r.RetryAmp += o.RetryAmp
+	r.EndToEndSec += o.EndToEndSec
+	r.GaveUpPct += o.GaveUpPct
 	return r
 }
 
@@ -268,6 +286,10 @@ func (r Result) scale(f float64) Result {
 	r.AbortedPct *= f
 	r.LatencySec *= f
 	r.Throughput *= f
+	r.Goodput *= f
+	r.RetryAmp *= f
+	r.EndToEndSec *= f
+	r.GaveUpPct *= f
 	return r
 }
 

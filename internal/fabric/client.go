@@ -6,29 +6,80 @@ import (
 
 	"repro/internal/ledger"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // Client is one Caliper-style load generator process (§4.2: 5 on C1,
 // 25 on C2). It draws invocations from the workload, runs the
 // execution phase (collect endorsements from a policy-satisfying set
 // of peers), assembles the envelope and submits it to an orderer node.
-// Arrivals are open-loop Poisson at rate/clients tps; failed
-// transactions are never resent (§4.5).
+//
+// Two arrival modes exist. Open loop (the paper's §4.5 setup):
+// Poisson arrivals at rate/clients tps, and — unless a RetryPolicy is
+// configured — failed transactions are never resent. Closed loop:
+// the client keeps Config.InFlightPerClient logical transactions
+// outstanding and submits the next as soon as one resolves.
+//
+// When the run needs outcome tracking (a retry policy or closed-loop
+// mode), the client registers every submission in its pending table
+// and listens for commit events delivered over the network by the
+// metrics peer (and for early-abort events from the ordering
+// service), exactly like a Fabric SDK client subscribed to a peer's
+// block events. A failed attempt is resubmitted — re-endorsed from
+// scratch with a fresh transaction id, same invocation — per the
+// retry policy's backoff schedule.
 type Client struct {
 	nw       *Network
 	id       int
 	name     string
 	rotation int
+
+	// pending maps the in-flight attempt's transaction id to its
+	// logical transaction, for commit-event correlation. Only
+	// populated when the network tracks outcomes.
+	pending map[string]*pendingTx
+
+	// resubmissions counts retry submissions issued (diagnostics).
+	resubmissions int
+}
+
+// pendingTx is one logical transaction tracked across resubmissions:
+// the client retries the same invocation until it commits or the
+// policy gives up.
+type pendingTx struct {
+	inv         workload.Invocation
+	attempts    int      // submissions so far (1 = first attempt)
+	firstSubmit sim.Time // first submission, end-to-end latency start
 }
 
 func newClient(nw *Network, id int) *Client {
-	return &Client{nw: nw, id: id, name: fmt.Sprintf("client%d", id)}
+	return &Client{nw: nw, id: id, name: fmt.Sprintf("client%d", id),
+		pending: map[string]*pendingTx{}}
 }
 
-// start schedules the arrival process for the send window. The mean
-// inter-arrival time tracks the (possibly time-varying) configured
-// rate.
+// Resubmissions reports how many retry submissions this client issued.
+func (c *Client) Resubmissions() int { return c.resubmissions }
+
+// Pending reports how many of this client's attempts are still
+// awaiting an outcome event (diagnostics; in-flight work at the end
+// of a run).
+func (c *Client) Pending() int { return len(c.pending) }
+
+// start schedules the arrival process for the send window. Open loop:
+// Poisson arrivals whose mean inter-arrival time tracks the (possibly
+// time-varying) configured rate. Closed loop: the initial in-flight
+// window is opened and each resolved transaction triggers the next.
 func (c *Client) start() {
+	if c.nw.cfg.ClosedLoop {
+		window := c.nw.cfg.InFlightPerClient
+		if window < 1 {
+			window = 1
+		}
+		for i := 0; i < window; i++ {
+			c.submitJob()
+		}
+		return
+	}
 	mean := func() time.Duration {
 		rate := c.nw.cfg.RateAt(time.Duration(c.nw.eng.Now()))
 		return time.Duration(float64(time.Second) * float64(c.nw.cfg.Clients) / rate)
@@ -38,21 +89,38 @@ func (c *Client) start() {
 		if c.nw.eng.Now() >= sim.Time(c.nw.cfg.Duration) {
 			return // send window over
 		}
-		c.submitOne()
+		c.submitJob()
 		c.nw.eng.After(c.nw.eng.Exponential(mean()), arrive)
 	}
 	c.nw.eng.After(c.nw.eng.Exponential(mean()), arrive)
 }
 
-// submitOne runs one transaction through the execution phase.
-func (c *Client) submitOne() {
-	inv := c.nw.cfg.Workload.Next(c.nw.eng.Rand())
+// submitJob draws the next invocation from the workload and submits
+// its first attempt.
+func (c *Client) submitJob() {
+	j := &pendingTx{
+		inv:         c.nw.cfg.Workload.Next(c.nw.eng.Rand()),
+		firstSubmit: c.nw.eng.Now(),
+	}
+	c.submitAttempt(j)
+}
+
+// submitAttempt runs one submission of a logical transaction through
+// the execution phase. Resubmissions replay the same invocation under
+// a fresh transaction id (a retried Fabric transaction is a new
+// proposal: new endorsements, new read set against current state).
+func (c *Client) submitAttempt(j *pendingTx) {
+	j.attempts++
+	inv := j.inv
 	tx := &ledger.Transaction{
 		ID:         c.nw.nextTxID(c.id),
 		ClientID:   c.name,
 		Chaincode:  inv.Chaincode,
 		Function:   inv.Function,
 		SubmitTime: c.nw.eng.Now(),
+	}
+	if c.nw.tracking {
+		c.pending[tx.ID] = j
 	}
 	c.rotation++
 	endorserOrgs := c.nw.pol.RequiredEndorsers(c.rotation)
@@ -67,14 +135,15 @@ func (c *Client) submitOne() {
 		}
 		if err != nil {
 			// Proposal error (chaincode rejected the call). Counted
-			// as an early endorsement failure: the tx is dropped.
+			// as an early abort: the attempt is dropped.
 			failed = true
 			c.nw.col.RecordAbort(tx.SubmitTime, c.nw.eng.Now())
+			c.attemptFailed(j, tx.ID, ledger.AbortedInOrdering)
 			return
 		}
 		got = append(got, e)
 		if len(got) == want {
-			c.assemble(tx, got)
+			c.assemble(j, tx, got)
 		}
 	}
 
@@ -90,7 +159,7 @@ func (c *Client) submitOne() {
 
 // assemble builds the envelope from the collected endorsements and
 // sends it to an orderer node (§2 step 3).
-func (c *Client) assemble(tx *ledger.Transaction, ends []*ledger.Endorsement) {
+func (c *Client) assemble(j *pendingTx, tx *ledger.Transaction, ends []*ledger.Endorsement) {
 	tx.EndorseTime = c.nw.eng.Now()
 	tx.Endorsements = ends
 	tx.RWSet = ends[0].RWSet
@@ -110,15 +179,69 @@ func (c *Client) assemble(tx *ledger.Transaction, ends []*ledger.Endorsement) {
 		// responses before ordering to save overhead. The failure is
 		// still a failure.
 		c.nw.col.RecordAbort(tx.SubmitTime, c.nw.eng.Now())
+		c.attemptFailed(j, tx.ID, ledger.AbortedInOrdering)
 		return
 	}
 	if c.nw.cfg.SkipReadOnlySubmission && consistent && len(tx.RWSet.Writes) == 0 {
 		// Recommendation #4 (§6.1): the query result is already in
 		// hand after the execution phase; nothing needs ordering.
 		c.nw.col.RecordServedRead(tx.SubmitTime, c.nw.eng.Now())
+		c.attemptResolved(j, tx.ID, ledger.Valid)
 		return
 	}
 	tx.SnapshotHeight = c.nw.chain.Height()
 	orderer := c.nw.orderer.NodeName(c.rotation)
 	c.nw.net.Send(c.name, orderer, func() { c.nw.orderer.Submit(tx) })
+}
+
+// onOutcome handles a commit (or early-abort) event for one of this
+// client's pending attempts. Events for unknown transaction ids are
+// ignored (the attempt was already resolved locally).
+func (c *Client) onOutcome(txID string, code ledger.ValidationCode) {
+	j, ok := c.pending[txID]
+	if !ok {
+		return
+	}
+	if code == ledger.Valid {
+		c.attemptResolved(j, txID, code)
+		return
+	}
+	c.attemptFailed(j, txID, code)
+}
+
+// attemptResolved finishes a logical transaction successfully: the
+// attempt committed as valid (or was served directly as a read).
+func (c *Client) attemptResolved(j *pendingTx, txID string, code ledger.ValidationCode) {
+	if !c.nw.tracking {
+		return
+	}
+	delete(c.pending, txID)
+	c.nw.col.RecordAttempt(j.attempts, code)
+	c.nw.col.RecordJob(j.attempts, true, j.firstSubmit, c.nw.eng.Now())
+	c.jobDone()
+}
+
+// attemptFailed records a failed attempt and either schedules a
+// resubmission per the retry policy or abandons the transaction.
+func (c *Client) attemptFailed(j *pendingTx, txID string, code ledger.ValidationCode) {
+	if !c.nw.tracking {
+		return
+	}
+	delete(c.pending, txID)
+	c.nw.col.RecordAttempt(j.attempts, code)
+	if delay, ok := c.nw.retry.NextDelay(j.attempts, c.nw.eng.Rand()); ok {
+		c.resubmissions++
+		c.nw.eng.After(delay, func() { c.submitAttempt(j) })
+		return
+	}
+	c.nw.col.RecordJob(j.attempts, false, j.firstSubmit, c.nw.eng.Now())
+	c.jobDone()
+}
+
+// jobDone closes a logical transaction; in closed-loop mode it keeps
+// the in-flight window full while the send window is open.
+func (c *Client) jobDone() {
+	if c.nw.cfg.ClosedLoop && c.nw.eng.Now() < sim.Time(c.nw.cfg.Duration) {
+		c.submitJob()
+	}
 }

@@ -76,6 +76,25 @@ type Config struct {
 	// instead of chain transactions.
 	SkipReadOnlySubmission bool
 
+	// Retry selects the client resubmission policy. Nil (or NoRetry)
+	// reproduces the paper's fire-and-forget clients: failed
+	// transactions are never resent (§4.5). Any other policy makes
+	// clients track pending transactions, listen for commit events,
+	// and resubmit failures per the policy's backoff schedule.
+	Retry RetryPolicy
+
+	// ClosedLoop switches clients from open-loop Poisson arrivals to
+	// a closed loop: each client keeps InFlightPerClient logical
+	// transactions outstanding and submits the next one as soon as one
+	// resolves (commits, is abandoned, or is served as a read). Rate
+	// is ignored for arrivals in this mode.
+	ClosedLoop bool
+
+	// InFlightPerClient is the closed-loop window per client
+	// (outstanding logical transactions). 0 defaults to 1. Ignored in
+	// open-loop mode.
+	InFlightPerClient int
+
 	// Variant plugs in a Fabric fork (Fabric++, Streamchain,
 	// FabricSharp). Nil runs vanilla Fabric 1.4.
 	Variant Variant
@@ -140,6 +159,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("fabric: workload not set")
 	case c.SpeedFactor <= 0:
 		return fmt.Errorf("fabric: speed factor must be positive")
+	case c.InFlightPerClient < 0:
+		return fmt.Errorf("fabric: in-flight window must be non-negative")
 	}
 	switch c.Consensus {
 	case "solo", "kafka", "raft":

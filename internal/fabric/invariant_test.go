@@ -1,0 +1,121 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/ledger"
+	"repro/internal/statedb"
+)
+
+// chainCodes lists every validation code that may legally appear on
+// the chain (ABORTED_IN_ORDERING never reaches a block).
+var chainCodes = map[ledger.ValidationCode]bool{
+	ledger.Valid:                    true,
+	ledger.MVCCConflictIntraBlock:   true,
+	ledger.MVCCConflictInterBlock:   true,
+	ledger.PhantomReadConflict:      true,
+	ledger.EndorsementPolicyFailure: true,
+}
+
+// checkConservation asserts the paper's accounting identity on every
+// block: valid + MVCC(intra) + MVCC(inter) + phantom + endorsement
+// failures sum to the block's transaction count (no transaction is
+// lost or double-counted), and the versions committed to the world
+// state advance strictly monotonically per key.
+func checkConservation(t *testing.T, nw *Network) {
+	t.Helper()
+	lastWrite := map[string]ledger.Height{}
+	blocks := nw.Chain().Blocks()
+	if len(blocks) < 2 {
+		t.Fatal("run committed no blocks")
+	}
+	for _, b := range blocks {
+		if len(b.Transactions) == 0 {
+			continue // genesis
+		}
+		if len(b.ValidationCodes) != len(b.Transactions) {
+			t.Fatalf("block %d: %d codes for %d transactions",
+				b.Number, len(b.ValidationCodes), len(b.Transactions))
+		}
+		perCode := map[ledger.ValidationCode]int{}
+		for _, code := range b.ValidationCodes {
+			if !chainCodes[code] {
+				t.Fatalf("block %d: illegal on-chain code %v", b.Number, code)
+			}
+			perCode[code]++
+		}
+		sum := perCode[ledger.Valid] + perCode[ledger.MVCCConflictIntraBlock] +
+			perCode[ledger.MVCCConflictInterBlock] + perCode[ledger.PhantomReadConflict] +
+			perCode[ledger.EndorsementPolicyFailure]
+		if sum != len(b.Transactions) {
+			t.Fatalf("block %d: codes sum to %d, %d transactions", b.Number, sum, len(b.Transactions))
+		}
+		// Valid writes commit at version (block, txNum): per key, the
+		// committed version sequence must be strictly increasing.
+		for i, tx := range b.Transactions {
+			if b.ValidationCodes[i] != ledger.Valid {
+				continue
+			}
+			h := ledger.Height{BlockNum: b.Number, TxNum: uint64(i)}
+			for _, w := range tx.RWSet.Writes {
+				if prev, ok := lastWrite[w.Key]; ok && prev.Compare(h) >= 0 {
+					t.Fatalf("block %d tx %d: key %q version %v does not advance past %v",
+						b.Number, i, w.Key, h, prev)
+				}
+				lastWrite[w.Key] = h
+			}
+		}
+	}
+	if len(lastWrite) == 0 {
+		t.Fatal("no valid write ever committed")
+	}
+	// The metrics peer's replica must agree with the chain's final
+	// version for keys that still exist (later deletes remove them).
+	db := nw.metricsPeer().DB()
+	checked := 0
+	for key, h := range lastWrite {
+		vv := db.Get(key)
+		if vv == nil {
+			continue // deleted after its last write
+		}
+		if vv.Version != h {
+			t.Fatalf("key %q: replica version %v, chain says %v", key, vv.Version, h)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("replica holds none of the chain's written keys")
+	}
+}
+
+// TestConservationInvariant checks the accounting identity on a
+// contended fire-and-forget run.
+func TestConservationInvariant(t *testing.T) {
+	cfg := testConfig(11)
+	cfg.StripAfterCommit = false // keep rwsets for the walk
+	nw, _ := run(t, cfg)
+	checkConservation(t, nw)
+}
+
+// TestConservationInvariantWithRetries checks the same identity with
+// the retry subsystem active: resubmissions are new transactions and
+// must obey exactly the same per-block accounting.
+func TestConservationInvariantWithRetries(t *testing.T) {
+	cfg := retryConfig(12, ImmediateRetry{MaxAttempts: 3})
+	cfg.StripAfterCommit = false
+	nw, rep := run(t, cfg)
+	if rep.RetryAmplification <= 1 {
+		t.Fatalf("amplification %.2f: retries did not engage", rep.RetryAmplification)
+	}
+	checkConservation(t, nw)
+}
+
+// TestConservationInvariantLevelDB repeats the walk on the LevelDB
+// backend.
+func TestConservationInvariantLevelDB(t *testing.T) {
+	cfg := testConfig(13)
+	cfg.DBKind = statedb.LevelDB
+	cfg.StripAfterCommit = false
+	nw, _ := run(t, cfg)
+	checkConservation(t, nw)
+}

@@ -35,6 +35,18 @@ type Network struct {
 	dbCosts costmodel.DBCosts
 	variant Variant
 	txSeq   uint64
+
+	// retry is the normalized resubmission policy (never nil).
+	retry RetryPolicy
+	// tracking reports whether clients track pending transactions and
+	// receive commit events — true when a real retry policy or the
+	// closed-loop mode is configured. When false the commit-event
+	// plumbing is fully inert and runs behave exactly like the
+	// paper's fire-and-forget clients.
+	tracking bool
+	// clientsByName resolves a transaction's ClientID to its client
+	// for commit-event delivery.
+	clientsByName map[string]*Client
 }
 
 // NewNetwork validates the config and builds the deployment: MSP
@@ -52,14 +64,22 @@ func NewNetwork(cfg Config) (*Network, error) {
 		cfg.LAN = netem.DefaultLAN()
 	}
 
+	retry := cfg.Retry
+	if retry == nil {
+		retry = NoRetry{}
+	}
+	_, noRetry := retry.(NoRetry)
 	nw := &Network{
-		cfg:     cfg,
-		eng:     sim.NewEngine(cfg.Seed),
-		msp:     fabcrypto.NewMSP(fmt.Sprintf("hyperlab-%d", cfg.Seed)),
-		chain:   ledger.NewChain(),
-		col:     metrics.NewCollector(),
-		dbCosts: costmodel.ForKind(cfg.DBKind),
-		variant: cfg.Variant,
+		cfg:           cfg,
+		eng:           sim.NewEngine(cfg.Seed),
+		msp:           fabcrypto.NewMSP(fmt.Sprintf("hyperlab-%d", cfg.Seed)),
+		chain:         ledger.NewChain(),
+		col:           metrics.NewCollector(),
+		dbCosts:       costmodel.ForKind(cfg.DBKind),
+		variant:       cfg.Variant,
+		retry:         retry,
+		tracking:      cfg.ClosedLoop || !noRetry,
+		clientsByName: map[string]*Client{},
 	}
 	nw.net = netem.New(nw.eng, cfg.LAN)
 	nw.applySpeedFactor()
@@ -130,9 +150,28 @@ func NewNetwork(cfg Config) (*Network, error) {
 
 	// Clients.
 	for c := 0; c < cfg.Clients; c++ {
-		nw.clients = append(nw.clients, newClient(nw, c))
+		cl := newClient(nw, c)
+		nw.clients = append(nw.clients, cl)
+		nw.clientsByName[cl.name] = cl
 	}
 	return nw, nil
+}
+
+// deliverOutcome sends a commit (or early-abort) event for tx back to
+// the submitting client over the network, like a peer's block-event
+// stream notifying a subscribed SDK client. It is a no-op unless the
+// run tracks outcomes (retry policy or closed-loop mode), so the
+// default fire-and-forget configuration pays no extra events and no
+// extra rng draws.
+func (nw *Network) deliverOutcome(src string, tx *ledger.Transaction, code ledger.ValidationCode) {
+	if !nw.tracking {
+		return
+	}
+	cl := nw.clientsByName[tx.ClientID]
+	if cl == nil {
+		return
+	}
+	nw.net.Send(src, cl.name, func() { cl.onOutcome(tx.ID, code) })
 }
 
 // applySpeedFactor scales fixed per-block costs for the cluster size.
@@ -169,6 +208,9 @@ func (nw *Network) Collector() *metrics.Collector { return nw.col }
 
 // Peers returns all peers.
 func (nw *Network) Peers() []*Peer { return nw.peers }
+
+// Clients returns all clients.
+func (nw *Network) Clients() []*Client { return nw.clients }
 
 // metricsPeer is the peer whose commits define the canonical chain and
 // latency measurements (the first peer of the first org).

@@ -77,6 +77,7 @@ func (os *OrderingService) Submit(tx *ledger.Transaction) {
 		// Early abort in the ordering phase: the client is notified;
 		// the transaction never reaches the chain.
 		os.nw.col.RecordAbort(tx.SubmitTime, os.nw.eng.Now())
+		os.nw.deliverOutcome(os.NodeName(0), tx, ledger.AbortedInOrdering)
 		return
 	}
 	os.cons.Submit(tx)
@@ -153,6 +154,7 @@ func (os *OrderingService) cut(reason string) {
 	now := os.nw.eng.Now()
 	for _, tx := range aborted {
 		os.nw.col.RecordAbort(tx.SubmitTime, now)
+		os.nw.deliverOutcome(os.NodeName(0), tx, ledger.AbortedInOrdering)
 	}
 	if len(kept) == 0 {
 		if cost > 0 {

@@ -175,6 +175,10 @@ func (p *Peer) commit(b *ledger.Block, res *valResult) {
 	p.nw.col.RecordBlock()
 	for i, tx := range b.Transactions {
 		p.nw.col.RecordTx(res.codes[i], tx.SubmitTime, now)
+		// Commit-event delivery for retry/closed-loop clients: the
+		// metrics peer doubles as the event hub every client
+		// subscribes to.
+		p.nw.deliverOutcome(p.name, tx, res.codes[i])
 		if p.nw.cfg.StripAfterCommit {
 			stripTx(tx)
 		}

@@ -1,0 +1,137 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy decides whether a client resubmits a failed transaction
+// and after what backoff. Fabric clients observe failures through
+// commit events (§2 step 7) and the paper's motivating premise is that
+// applications must resubmit failed transactions themselves — the SDK
+// does not. A policy is consulted once per failed attempt with the
+// number of attempts made so far (>= 1); returning ok=false abandons
+// the transaction ("give up").
+//
+// All randomness (jitter) must come from the rng passed in, which is
+// the simulation engine's deterministic source: the same (config,
+// seed) pair always produces the same retry schedule.
+type RetryPolicy interface {
+	// Name identifies the policy in reports and experiment tables.
+	Name() string
+	// NextDelay reports whether a transaction that has failed
+	// `attempts` times should be resubmitted, and the backoff to wait
+	// before doing so.
+	NextDelay(attempts int, rng *rand.Rand) (time.Duration, bool)
+}
+
+// NoRetry never resubmits: the fire-and-forget behaviour of the
+// paper's Caliper clients (§4.5, "failed transactions are not
+// resent"). It is the default when Config.Retry is nil.
+type NoRetry struct{}
+
+// Name implements RetryPolicy.
+func (NoRetry) Name() string { return "none" }
+
+// NextDelay implements RetryPolicy.
+func (NoRetry) NextDelay(int, *rand.Rand) (time.Duration, bool) { return 0, false }
+
+// ImmediateRetry resubmits a failed transaction right away, with no
+// backoff. MaxAttempts caps the total number of submissions (first
+// attempt included); 0 means unlimited. Immediate resubmission is the
+// naive client loop — under contention it amplifies the very conflicts
+// that failed the transaction.
+type ImmediateRetry struct {
+	MaxAttempts int
+}
+
+// Name implements RetryPolicy.
+func (p ImmediateRetry) Name() string {
+	if p.MaxAttempts > 0 {
+		return fmt.Sprintf("immediate(%d)", p.MaxAttempts)
+	}
+	return "immediate"
+}
+
+// NextDelay implements RetryPolicy.
+func (p ImmediateRetry) NextDelay(attempts int, _ *rand.Rand) (time.Duration, bool) {
+	if p.MaxAttempts > 0 && attempts >= p.MaxAttempts {
+		return 0, false
+	}
+	return 0, true
+}
+
+// ExponentialBackoff resubmits after a capped exponential backoff with
+// multiplicative jitter: the k'th retry waits
+// min(Initial*2^(k-1), Cap) scaled by a uniform factor in
+// [1-Jitter, 1+Jitter] drawn from the simulation rng. MaxAttempts caps
+// total submissions (0 = unlimited).
+type ExponentialBackoff struct {
+	Initial     time.Duration // first backoff (default 250ms)
+	Cap         time.Duration // backoff ceiling (default 8s)
+	MaxAttempts int           // total submissions, first included (0 = unlimited)
+	Jitter      float64       // uniform ± fraction applied to each backoff
+}
+
+// Name implements RetryPolicy.
+func (p ExponentialBackoff) Name() string {
+	if p.MaxAttempts > 0 {
+		return fmt.Sprintf("backoff(%d)", p.MaxAttempts)
+	}
+	return "backoff"
+}
+
+// NextDelay implements RetryPolicy.
+func (p ExponentialBackoff) NextDelay(attempts int, rng *rand.Rand) (time.Duration, bool) {
+	if p.MaxAttempts > 0 && attempts >= p.MaxAttempts {
+		return 0, false
+	}
+	initial := p.Initial
+	if initial <= 0 {
+		initial = 250 * time.Millisecond
+	}
+	cap := p.Cap
+	if cap <= 0 {
+		cap = 8 * time.Second
+	}
+	d := initial
+	for i := 1; i < attempts && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	if p.Jitter > 0 {
+		f := 1 + p.Jitter*(2*rng.Float64()-1)
+		d = time.Duration(float64(d) * f)
+		if d < 0 {
+			d = 0
+		}
+	}
+	return d, true
+}
+
+// GiveUpAfter wraps a policy with a hard attempt budget: the inner
+// policy's schedule applies, but after n total submissions the
+// transaction is abandoned regardless of what the inner policy says.
+// It turns an unlimited policy into a give-up-after-N one.
+func GiveUpAfter(inner RetryPolicy, n int) RetryPolicy {
+	return giveUpAfter{inner: inner, n: n}
+}
+
+type giveUpAfter struct {
+	inner RetryPolicy
+	n     int
+}
+
+// Name implements RetryPolicy.
+func (g giveUpAfter) Name() string { return fmt.Sprintf("%s-cap%d", g.inner.Name(), g.n) }
+
+// NextDelay implements RetryPolicy.
+func (g giveUpAfter) NextDelay(attempts int, rng *rand.Rand) (time.Duration, bool) {
+	if attempts >= g.n {
+		return 0, false
+	}
+	return g.inner.NextDelay(attempts, rng)
+}

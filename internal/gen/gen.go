@@ -14,8 +14,10 @@ package gen
 
 import (
 	"fmt"
+	"go/token"
 	"math/rand"
 	"strconv"
+	"unicode"
 
 	"repro/internal/chaincode"
 	"repro/internal/dist"
@@ -50,10 +52,32 @@ type ChaincodeSpec struct {
 	Functions []FunctionSpec
 }
 
-// Validate checks the spec for configuration errors.
+// validIdent reports whether s can be emitted as a Go identifier
+// (Render uses the chaincode name as the package name and function
+// names as method names, so anything else would break the
+// "syntactically correct chaincode" promise of §4.4).
+func validIdent(s string) bool {
+	// The blank identifier is a valid token but not a usable package
+	// or method name ("package _" and "c._(...)" do not compile).
+	if s == "" || s == "_" || token.Lookup(s).IsKeyword() {
+		return false
+	}
+	for i, r := range s {
+		if unicode.IsLetter(r) || r == '_' || (i > 0 && unicode.IsDigit(r)) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// Validate checks the spec for configuration errors. Names must be
+// valid Go identifiers and function names must not collide with the
+// generated Contract's own methods — NewChaincode and Render accept
+// exactly the same specs.
 func (s ChaincodeSpec) Validate() error {
-	if s.Name == "" {
-		return fmt.Errorf("gen: chaincode needs a name")
+	if !validIdent(s.Name) {
+		return fmt.Errorf("gen: chaincode name %q is not a valid Go identifier", s.Name)
 	}
 	if s.Keys <= 0 {
 		return fmt.Errorf("gen: chaincode %q needs a positive key count", s.Name)
@@ -63,8 +87,12 @@ func (s ChaincodeSpec) Validate() error {
 	}
 	seen := map[string]bool{}
 	for _, f := range s.Functions {
-		if f.Name == "" {
-			return fmt.Errorf("gen: chaincode %q has an unnamed function", s.Name)
+		if !validIdent(f.Name) {
+			return fmt.Errorf("gen: function name %q is not a valid Go identifier", f.Name)
+		}
+		switch f.Name {
+		case "Name", "Init", "Invoke":
+			return fmt.Errorf("gen: function name %q collides with a generated method", f.Name)
 		}
 		if seen[f.Name] {
 			return fmt.Errorf("gen: duplicate function %q", f.Name)

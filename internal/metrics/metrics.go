@@ -27,11 +27,24 @@ type Collector struct {
 	firstEvent  sim.Time
 	lastEvent   sim.Time
 	started     bool
+
+	// Effective (client-side) metrics, fed by the retry subsystem: a
+	// "job" is one logical transaction tracked across resubmissions.
+	jobs          int                                   // resolved logical transactions
+	jobValid      int                                   // jobs that eventually committed (or were served)
+	jobGaveUp     int                                   // jobs abandoned after exhausting the policy
+	jobAttempts   int                                   // total submissions across resolved jobs
+	jobLatencySum time.Duration                         // first submission -> final resolution
+	firstTryValid int                                   // jobs valid on their first submission
+	attempts      map[int]map[ledger.ValidationCode]int // outcome of each attempt number
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{counts: map[ledger.ValidationCode]int{}}
+	return &Collector{
+		counts:   map[ledger.ValidationCode]int{},
+		attempts: map[int]map[ledger.ValidationCode]int{},
+	}
 }
 
 func (c *Collector) touch(t sim.Time) {
@@ -80,6 +93,39 @@ func (c *Collector) RecordServedRead(submit, done sim.Time) {
 // RecordBlock counts one committed block.
 func (c *Collector) RecordBlock() { c.blocks++ }
 
+// RecordAttempt records the outcome of one submission attempt of a
+// tracked logical transaction. attempt is 1-based (1 = the first
+// submission); code is Valid for commits and served reads, a failure
+// code otherwise.
+func (c *Collector) RecordAttempt(attempt int, code ledger.ValidationCode) {
+	byCode := c.attempts[attempt]
+	if byCode == nil {
+		byCode = map[ledger.ValidationCode]int{}
+		c.attempts[attempt] = byCode
+	}
+	byCode[code]++
+	if attempt == 1 && code == ledger.Valid {
+		c.firstTryValid++
+	}
+}
+
+// RecordJob records the final resolution of a tracked logical
+// transaction: after `attempts` submissions it either committed
+// (success) or was abandoned by the retry policy. firstSubmit/done
+// bound the end-to-end latency including every resubmission.
+func (c *Collector) RecordJob(attempts int, success bool, firstSubmit, done sim.Time) {
+	c.jobs++
+	c.jobAttempts += attempts
+	if success {
+		c.jobValid++
+	} else {
+		c.jobGaveUp++
+	}
+	c.jobLatencySum += time.Duration(done - firstSubmit)
+	c.touch(firstSubmit)
+	c.touch(done)
+}
+
 // Report summarizes a run.
 type Report struct {
 	Total     int // all finished transactions (committed + aborted)
@@ -110,6 +156,47 @@ type Report struct {
 	Throughput float64
 	Duration   time.Duration
 	Blocks     int
+
+	// Effective client-side metrics (the retry subsystem). A "job" is
+	// one logical transaction tracked across resubmissions. With
+	// fire-and-forget clients (no retry policy, open loop) these are
+	// synthesized from the chain-level counts: every transaction is a
+	// single-attempt job.
+
+	// Jobs is the number of resolved logical transactions.
+	Jobs int
+	// EventualValid counts jobs that eventually committed as valid
+	// (including read-only jobs served directly from endorsement).
+	EventualValid int
+	// GaveUp counts jobs abandoned after exhausting the retry policy.
+	GaveUp int
+	// Attempts is the total number of submissions across resolved
+	// jobs, resubmissions included.
+	Attempts int
+	// FirstAttemptValid counts jobs that committed on their first
+	// submission.
+	FirstAttemptValid int
+	// Goodput is the first-submission success throughput in tps: the
+	// rate of transactions that succeed without any resubmission —
+	// work the chain did not have to repeat. Read-only transactions
+	// served directly from endorsement count as first-attempt
+	// successes, so with SkipReadOnlySubmission enabled Goodput can
+	// exceed the committed-transaction Throughput.
+	Goodput float64
+	// RetryAmplification is Attempts / Jobs: how many submissions the
+	// network processed per logical transaction (1.0 = no retries).
+	RetryAmplification float64
+	// AvgEndToEnd is the mean latency from a job's first submission
+	// to its final resolution, resubmission backoffs included.
+	AvgEndToEnd time.Duration
+	// AttemptBreakdown maps each attempt number (1-based) to its
+	// outcome counts: how first submissions fail vs how retries fare.
+	// Empty when no tracking was active. Unlike Attempts (which spans
+	// resolved jobs only), the breakdown records every attempt whose
+	// outcome was observed — including attempts of jobs whose next
+	// resubmission was still pending when the run ended — so its
+	// totals can slightly exceed Attempts.
+	AttemptBreakdown map[int]map[ledger.ValidationCode]int
 }
 
 // Report computes the summary.
@@ -146,16 +233,51 @@ func (c *Collector) Report() Report {
 	if r.Duration > 0 {
 		r.Throughput = float64(c.committed) / r.Duration.Seconds()
 	}
+	if c.jobs > 0 {
+		r.Jobs = c.jobs
+		r.EventualValid = c.jobValid
+		r.GaveUp = c.jobGaveUp
+		r.Attempts = c.jobAttempts
+		r.FirstAttemptValid = c.firstTryValid
+		r.RetryAmplification = float64(c.jobAttempts) / float64(c.jobs)
+		r.AvgEndToEnd = c.jobLatencySum / time.Duration(c.jobs)
+		r.AttemptBreakdown = map[int]map[ledger.ValidationCode]int{}
+		for attempt, byCode := range c.attempts {
+			cp := make(map[ledger.ValidationCode]int, len(byCode))
+			for code, n := range byCode {
+				cp[code] = n
+			}
+			r.AttemptBreakdown[attempt] = cp
+		}
+	} else {
+		// Fire-and-forget clients: every finished transaction is a
+		// single-attempt job, so goodput degenerates to valid
+		// throughput and amplification to 1. Served reads count as
+		// first-attempt successes, exactly as the tracked path
+		// resolves them.
+		r.Jobs = r.Total + r.ServedReads
+		r.EventualValid = r.Valid + r.ServedReads
+		r.Attempts = r.Total + r.ServedReads
+		r.FirstAttemptValid = r.Valid + r.ServedReads
+		r.AvgEndToEnd = r.AvgLatency
+		if r.Jobs > 0 {
+			r.RetryAmplification = 1
+		}
+	}
+	if r.Duration > 0 {
+		r.Goodput = float64(r.FirstAttemptValid) / r.Duration.Seconds()
+	}
 	return r
 }
 
 // String renders a compact single-line summary.
 func (r Report) String() string {
 	return fmt.Sprintf(
-		"total=%d valid=%d fail=%.2f%% (endorse=%.2f%% intra=%.2f%% inter=%.2f%% phantom=%.2f%% aborted=%.2f%%) lat=%v tput=%.1ftps",
+		"total=%d valid=%d fail=%.2f%% (endorse=%.2f%% intra=%.2f%% inter=%.2f%% phantom=%.2f%% aborted=%.2f%%) lat=%v tput=%.1ftps goodput=%.1ftps amp=%.2f",
 		r.Total, r.Valid, r.FailurePct, r.EndorsementPct, r.IntraBlockPct,
 		r.InterBlockPct, r.PhantomPct, r.AbortedPct,
-		r.AvgLatency.Round(time.Millisecond), r.Throughput)
+		r.AvgLatency.Round(time.Millisecond), r.Throughput,
+		r.Goodput, r.RetryAmplification)
 }
 
 // ParseChain rebuilds the failure counts by walking the blockchain,

@@ -170,3 +170,107 @@ func TestTableRendering(t *testing.T) {
 		}
 	}
 }
+
+func TestEffectiveMetricsFromJobs(t *testing.T) {
+	c := NewCollector()
+	// Job A: fails twice (intra, inter), commits on attempt 3.
+	c.RecordAttempt(1, ledger.MVCCConflictIntraBlock)
+	c.RecordAttempt(2, ledger.MVCCConflictInterBlock)
+	c.RecordAttempt(3, ledger.Valid)
+	c.RecordJob(3, true, sec(0), sec(6))
+	// Job B: commits first try.
+	c.RecordAttempt(1, ledger.Valid)
+	c.RecordJob(1, true, sec(1), sec(2))
+	// Job C: fails once, client gives up.
+	c.RecordAttempt(1, ledger.PhantomReadConflict)
+	c.RecordJob(1, false, sec(2), sec(4))
+	// Chain-level view: the attempts that reached the chain.
+	for _, code := range []ledger.ValidationCode{
+		ledger.MVCCConflictIntraBlock, ledger.MVCCConflictInterBlock,
+		ledger.Valid, ledger.Valid, ledger.PhantomReadConflict,
+	} {
+		c.RecordTx(code, sec(0), sec(6))
+	}
+
+	r := c.Report()
+	if r.Jobs != 3 || r.EventualValid != 2 || r.GaveUp != 1 {
+		t.Fatalf("jobs: %+v", r)
+	}
+	if r.Attempts != 5 {
+		t.Errorf("Attempts = %d, want 5", r.Attempts)
+	}
+	if r.FirstAttemptValid != 1 {
+		t.Errorf("FirstAttemptValid = %d, want 1 (only job B)", r.FirstAttemptValid)
+	}
+	if want := 5.0 / 3; r.RetryAmplification != want {
+		t.Errorf("RetryAmplification = %v, want %v", r.RetryAmplification, want)
+	}
+	// End-to-end: (6 + 1 + 2) / 3 seconds.
+	if want := 3 * time.Second; r.AvgEndToEnd != want {
+		t.Errorf("AvgEndToEnd = %v, want %v", r.AvgEndToEnd, want)
+	}
+	// Goodput: 1 first-try success over the 6s window.
+	if want := 1.0 / 6; r.Goodput != want {
+		t.Errorf("Goodput = %v, want %v", r.Goodput, want)
+	}
+	if r.AttemptBreakdown[1][ledger.Valid] != 1 ||
+		r.AttemptBreakdown[1][ledger.MVCCConflictIntraBlock] != 1 ||
+		r.AttemptBreakdown[3][ledger.Valid] != 1 {
+		t.Errorf("breakdown: %v", r.AttemptBreakdown)
+	}
+}
+
+func TestEffectiveMetricsFallback(t *testing.T) {
+	c := NewCollector()
+	c.RecordTx(ledger.Valid, sec(0), sec(1))
+	c.RecordTx(ledger.Valid, sec(0), sec(2))
+	c.RecordTx(ledger.MVCCConflictInterBlock, sec(1), sec(2))
+	r := c.Report()
+	// Fire-and-forget: every transaction is a single-attempt job.
+	if r.Jobs != 3 || r.Attempts != 3 || r.EventualValid != 2 || r.FirstAttemptValid != 2 {
+		t.Fatalf("fallback: %+v", r)
+	}
+	if r.RetryAmplification != 1 {
+		t.Errorf("RetryAmplification = %v, want 1", r.RetryAmplification)
+	}
+	if r.AvgEndToEnd != r.AvgLatency {
+		t.Errorf("AvgEndToEnd %v != AvgLatency %v", r.AvgEndToEnd, r.AvgLatency)
+	}
+	if want := 2.0 / 2; r.Goodput != want { // 2 valid over the 2s window
+		t.Errorf("Goodput = %v, want %v", r.Goodput, want)
+	}
+	if r.GaveUp != 0 || len(r.AttemptBreakdown) != 0 {
+		t.Errorf("fallback leaked tracking state: %+v", r)
+	}
+}
+
+func TestReportStringIncludesEffective(t *testing.T) {
+	c := NewCollector()
+	c.RecordAttempt(1, ledger.Valid)
+	c.RecordJob(1, true, sec(0), sec(1))
+	c.RecordTx(ledger.Valid, sec(0), sec(1))
+	s := c.Report().String()
+	if !strings.Contains(s, "goodput=") || !strings.Contains(s, "amp=") {
+		t.Errorf("summary lacks effective metrics: %s", s)
+	}
+}
+
+func TestFallbackCountsServedReadsAsFirstTrySuccess(t *testing.T) {
+	c := NewCollector()
+	c.RecordTx(ledger.Valid, sec(0), sec(1))
+	c.RecordTx(ledger.MVCCConflictInterBlock, sec(0), sec(2))
+	c.RecordServedRead(sec(1), sec(2))
+	r := c.Report()
+	// Served reads are successful single-attempt jobs in both the
+	// tracked and the fire-and-forget view.
+	if r.Jobs != 3 || r.Attempts != 3 {
+		t.Fatalf("jobs=%d attempts=%d, want 3/3", r.Jobs, r.Attempts)
+	}
+	if r.EventualValid != 2 || r.FirstAttemptValid != 2 {
+		t.Errorf("eventual=%d first=%d, want 2/2 (1 valid + 1 served read)",
+			r.EventualValid, r.FirstAttemptValid)
+	}
+	if r.RetryAmplification != 1 {
+		t.Errorf("amplification = %v, want 1", r.RetryAmplification)
+	}
+}
