@@ -1,0 +1,122 @@
+// Command docscheck is the docs-freshness gate run by CI: it fails
+// when any Go package in the repository is missing a package doc
+// comment ("// Package <name> ..." attached to the package clause in
+// at least one file), so the documentation layer cannot silently rot
+// as new packages are added.
+//
+// Usage:
+//
+//	go run ./cmd/docscheck [root]
+//
+// root defaults to ".". Test-only packages (only _test.go files) and
+// testdata/vendored trees are skipped; every other package —
+// internal/*, cmd/*, examples/* and the module root — must carry a
+// doc comment.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	missing, checked, err := check(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d of %d packages missing a package doc comment:\n",
+			len(missing), checked)
+		for _, dir := range missing {
+			fmt.Fprintf(os.Stderr, "  %s\n", dir)
+		}
+		fmt.Fprintln(os.Stderr, `add "// Package <name> ..." above the package clause (or a doc.go)`)
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: all %d packages documented\n", checked)
+}
+
+// check walks every directory under root that contains non-test Go
+// files and reports the ones whose package lacks a doc comment.
+func check(root string) (missing []string, checked int, err error) {
+	dirs := map[string]bool{}
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+
+	var sorted []string
+	for dir := range dirs {
+		sorted = append(sorted, dir)
+	}
+	sort.Strings(sorted)
+
+	for _, dir := range sorted {
+		documented, found, err := dirDocumented(dir)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !found {
+			continue
+		}
+		checked++
+		if !documented {
+			missing = append(missing, dir)
+		}
+	}
+	return missing, checked, nil
+}
+
+// dirDocumented parses the package clause (and its comments) of every
+// non-test Go file in dir and reports whether any carries a package
+// doc comment. found is false when the directory holds no non-test Go
+// files.
+func dirDocumented(dir string) (documented, found bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, false, err
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+			parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return false, false, fmt.Errorf("%s: %w", filepath.Join(dir, name), err)
+		}
+		found = true
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true, true, nil
+		}
+	}
+	return false, found, nil
+}

@@ -1,20 +1,23 @@
 // Command hyperlab regenerates the tables and figures of "Why Do My
 // Blockchain Transactions Fail? A Study of Hyperledger Fabric"
 // (SIGMOD 2021) from the simulated testbed, plus the lab's own
-// experiments (retry-policies).
+// experiments (retry-policies, retry-cotune). See docs/EXPERIMENTS.md
+// for every experiment id and its sweep axes.
 //
 // Usage:
 //
 //	hyperlab -list                      list all experiments
 //	hyperlab -exp fig7                  quick regime (30 virtual s, 1 seed)
 //	hyperlab -run retry-policies -quick same as -exp (-quick is the default regime)
+//	hyperlab -run retry-cotune -smoke   smoke regime (5 virtual s, shrunken grid; CI)
 //	hyperlab -exp fig7 -full            paper regime (3 virtual min, 3 seeds)
 //	hyperlab -exp all                   run everything (quick unless -full)
 //	hyperlab -exp all -parallel 8       cap the worker pool (default: all cores)
 //	hyperlab -adhoc -chaincode ehr -rate 100 -block 50 -db leveldb -system fabric++
 //	                                    one ad-hoc run with a report line
-//	hyperlab -adhoc -retry backoff -closedloop
-//	                                    ad-hoc run with client resubmission
+//	hyperlab -adhoc -retry adaptive -budget 1:3:drop -closedloop -think exp:500ms
+//	                                    ad-hoc run with adaptive resubmission,
+//	                                    a per-client retry budget and think time
 //	hyperlab -render                    emit a generated genChain chaincode
 package main
 
@@ -22,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -39,6 +43,7 @@ func main() {
 		runID      = flag.String("run", "", "experiment id to run (alias of -exp)")
 		full       = flag.Bool("full", false, "paper regime: 3 virtual minutes x 3 seeds")
 		quick      = flag.Bool("quick", false, "quick regime: 30 virtual s, 1 seed (the default; overrides -full)")
+		smoke      = flag.Bool("smoke", false, "smoke regime: 5 virtual s, shrunken grids (CI; overrides -full and -quick)")
 		parallel   = flag.Int("parallel", 0, "simulations run concurrently per experiment (0 = all cores)")
 		render     = flag.Bool("render", false, "print a generated genChain chaincode and exit")
 		adhocRun   = flag.Bool("adhoc", false, "run one ad-hoc configuration")
@@ -52,9 +57,11 @@ func main() {
 		duration   = flag.Duration("duration", 30*time.Second, "ad-hoc run: virtual send window")
 		seed       = flag.Int64("seed", 1, "ad-hoc run: random seed")
 		dump       = flag.Int("dump", 0, "ad-hoc run: print JSON summaries of the first N blocks")
-		retry      = flag.String("retry", "none", "ad-hoc run: retry policy none|immediate|backoff")
+		retry      = flag.String("retry", "none", "ad-hoc run: retry policy none|immediate|backoff|adaptive")
+		budget     = flag.String("budget", "", "ad-hoc run: retry budget 'rate:burst[:drop|defer]', e.g. 1:3, 2:5:drop (empty = unlimited; default mode defer)")
 		closedLoop = flag.Bool("closedloop", false, "ad-hoc run: closed-loop clients instead of Poisson arrivals")
 		inflight   = flag.Int("inflight", 1, "ad-hoc run: closed-loop in-flight window per client")
+		think      = flag.String("think", "none", "ad-hoc run: closed-loop think time none|fixed:<dur>|exp:<dur>|lognormal:<dur>[:sigma]")
 		verbose    = flag.Bool("v", false, "print per-seed progress")
 	)
 	flag.Parse()
@@ -79,13 +86,14 @@ func main() {
 		}
 		fmt.Println(src)
 	case id != "":
-		runExperiments(id, *full && !*quick, *verbose, *parallel)
+		runExperiments(id, *full && !*quick, *smoke, *verbose, *parallel)
 	case *adhocRun:
 		adhoc(adhocOptions{
 			ccName: *ccName, rate: *rate, blockSize: *blockSize,
 			db: *db, system: *system, cluster: *cluster, skew: *skew,
 			duration: *duration, seed: *seed, dump: *dump,
-			retry: *retry, closedLoop: *closedLoop, inflight: *inflight,
+			retry: *retry, budget: *budget, think: *think,
+			closedLoop: *closedLoop, inflight: *inflight,
 		})
 	default:
 		flag.Usage()
@@ -98,12 +106,16 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runExperiments(id string, full, verbose bool, parallel int) {
+func runExperiments(id string, full, smoke, verbose bool, parallel int) {
 	opts := lab.QuickOptions()
 	regime := "quick regime (30 virtual s, 1 seed)"
 	if full {
 		opts = lab.FullOptions()
 		regime = "paper regime (3 virtual min, 3 seeds)"
+	}
+	if smoke {
+		opts = lab.SmokeOptions()
+		regime = "smoke regime (5 virtual s, shrunken grid)"
 	}
 	opts.Parallelism = parallel
 	if verbose {
@@ -134,11 +146,51 @@ func runExperiments(id string, full, verbose bool, parallel int) {
 // adhocOptions bundles the ad-hoc runner's knobs.
 type adhocOptions struct {
 	ccName, db, system, cluster, retry string
+	budget, think                      string
 	rate, skew                         float64
 	blockSize, dump, inflight          int
 	duration                           time.Duration
 	seed                               int64
 	closedLoop                         bool
+}
+
+// parseBudget parses the -budget syntax "rate:burst[:drop]" into a
+// RetryBudget ("" = no budget).
+func parseBudget(s string) (*fabric.RetryBudget, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return nil, fmt.Errorf("budget %q: want rate:burst[:drop]", s)
+	}
+	var b fabric.RetryBudget
+	rate, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return nil, fmt.Errorf("budget rate %q: %w", parts[0], err)
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("budget rate must be > 0 (got %g); omit -budget for no budget", rate)
+	}
+	b.RefillPerSec = rate
+	burst, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return nil, fmt.Errorf("budget burst %q: %w", parts[1], err)
+	}
+	if burst <= 0 {
+		return nil, fmt.Errorf("budget burst must be > 0 (got %g)", burst)
+	}
+	b.Burst = burst
+	if len(parts) == 3 {
+		switch parts[2] {
+		case "drop":
+			b.DropOnEmpty = true
+		case "defer":
+		default:
+			return nil, fmt.Errorf("budget mode %q: want drop or defer", parts[2])
+		}
+	}
+	return &b, b.Validate()
 }
 
 func adhoc(o adhocOptions) {
@@ -187,9 +239,21 @@ func adhoc(o adhocOptions) {
 			Initial: 200 * time.Millisecond, Cap: 2 * time.Second,
 			MaxAttempts: 5, Jitter: 0.2,
 		}
+	case "adaptive":
+		cfg.Retry = fabric.AdaptivePolicy{MaxAttempts: 5, Jitter: 0.2}
 	default:
 		fatal(fmt.Errorf("unknown retry policy %q", o.retry))
 	}
+	budget, err := parseBudget(o.budget)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.RetryBudget = budget
+	thinkTime, err := fabric.ParseThinkTime(o.think)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.ThinkTime = thinkTime
 	cfg.ClosedLoop = o.closedLoop
 	cfg.InFlightPerClient = o.inflight
 
@@ -235,6 +299,16 @@ func adhoc(o adhocOptions) {
 		fmt.Printf("effective: jobs=%d eventual-valid=%d gave-up=%d attempts=%d e2e=%v\n",
 			rep.Jobs, rep.EventualValid, rep.GaveUp, rep.Attempts,
 			rep.AvgEndToEnd.Round(time.Millisecond))
+	}
+	if cfg.RetryBudget != nil {
+		fmt.Printf("budget %s: exhausted=%d deferred=%d max-deferred-depth=%d\n",
+			cfg.RetryBudget.Name(), rep.BudgetExhausted, rep.DeferredRetries, rep.MaxDeferredDepth)
+	}
+	if rep.AdaptiveBackoffMax > 0 {
+		fmt.Printf("adaptive backoff: avg=%v max=%v final=%v\n",
+			rep.AdaptiveBackoffAvg.Round(time.Millisecond),
+			rep.AdaptiveBackoffMax.Round(time.Millisecond),
+			rep.AdaptiveBackoffFinal.Round(time.Millisecond))
 	}
 	if err := nw.Chain().Verify(); err != nil {
 		fatal(fmt.Errorf("chain verification failed: %w", err))

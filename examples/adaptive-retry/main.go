@@ -1,0 +1,127 @@
+// Adaptive-retry demonstrates the congestion-controlled client model:
+// retry *budgets* (per-client token buckets) and the *adaptive* AIMD
+// backoff policy, on the workload where naive resubmission hurts the
+// most — the Digital Voting chaincode, whose range-query phantoms turn
+// every retry into another doomed, orderer-saturating submission.
+//
+// Three acts:
+//
+//  1. the retry storm: static exponential backoff on DV versus the
+//     adaptive controller that watches the failure rate and backs off
+//     multiplicatively while failures persist;
+//  2. budgets: the same static policy gated by a token bucket, in
+//     drop mode (bound the load, abandon the excess) and defer mode
+//     (pace the excess out at the refill rate);
+//  3. interactive clients: a closed loop whose think time follows a
+//     log-normal distribution — the knob PR 2 left hardcoded to zero.
+//
+// Everything is deterministic: same seeds, same tables, at any
+// parallelism.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	lab "repro"
+)
+
+// options is the sweep regime: 40 virtual seconds, one seed.
+func options() lab.Options {
+	return lab.Options{
+		Duration: 40 * time.Second,
+		Drain:    30 * time.Second,
+		Seeds:    []int64{1},
+	}
+}
+
+// dvCell builds one DV run with the given retry control.
+func dvCell(policy lab.RetryPolicy, budget *lab.RetryBudget) lab.Builder {
+	return func(seed int64) lab.Config {
+		cfg := lab.DefaultConfig()
+		cfg.Chaincode = lab.DVChaincode()
+		cfg.Workload = lab.DVWorkload(1)
+		cfg.Retry = policy
+		cfg.RetryBudget = budget
+		return cfg
+	}
+}
+
+func main() {
+	static := lab.ExponentialBackoff{
+		Initial: 200 * time.Millisecond, Cap: 2 * time.Second,
+		MaxAttempts: 5, Jitter: 0.2,
+	}
+	adaptive := lab.AdaptivePolicy{
+		Floor: 100 * time.Millisecond, Ceiling: 4 * time.Second,
+		MaxAttempts: 5, Jitter: 0.2,
+	}
+
+	cells := []struct {
+		label  string
+		policy lab.RetryPolicy
+		budget *lab.RetryBudget
+	}{
+		{"none", lab.NoRetry{}, nil},
+		{"static", static, nil},
+		{"adaptive", adaptive, nil},
+		{"budget-drop", static, &lab.RetryBudget{RefillPerSec: 1, Burst: 3, DropOnEmpty: true}},
+		{"budget-defer", static, &lab.RetryBudget{RefillPerSec: 1, Burst: 3}},
+	}
+	var builds []lab.Builder
+	for _, c := range cells {
+		builds = append(builds, dvCell(c.policy, c.budget))
+	}
+	results, err := options().RunAll(builds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== DV at 100 tps: taming the phantom-conflict retry storm")
+	fmt.Printf("%-13s %-12s %-10s %-6s %-9s %-10s %-9s %-9s\n",
+		"control", "goodput tps", "tput tps", "amp", "e2e lat", "exhausted", "deferred", "aimd fin")
+	for i, c := range cells {
+		r := results[i]
+		fmt.Printf("%-13s %-12.1f %-10.1f %-6.2f %-9v %-10.0f %-9.0f %-9v\n",
+			c.label, r.Goodput, r.Throughput, r.RetryAmp,
+			time.Duration(r.EndToEndSec*float64(time.Second)).Round(time.Millisecond),
+			r.BudgetExhausted, r.DeferredRetries,
+			time.Duration(r.AdaptiveBackSec*float64(time.Second)).Round(time.Millisecond))
+	}
+
+	// Interactive clients: closed loop, think time drawn log-normally.
+	thinks := []lab.ThinkTime{
+		{},
+		{Kind: lab.ThinkFixed, Mean: 500 * time.Millisecond},
+		{Kind: lab.ThinkExponential, Mean: 500 * time.Millisecond},
+		{Kind: lab.ThinkLogNormal, Mean: 500 * time.Millisecond, Sigma: 1},
+	}
+	builds = builds[:0]
+	for _, tt := range thinks {
+		tt := tt
+		builds = append(builds, func(seed int64) lab.Config {
+			cfg := dvCell(adaptive, nil)(seed)
+			cfg.ClosedLoop = true
+			cfg.InFlightPerClient = 4
+			cfg.ThinkTime = tt
+			return cfg
+		})
+	}
+	results, err = options().RunAll(builds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== DV, closed loop (4 in flight), adaptive policy: think-time distributions")
+	fmt.Printf("%-28s %-12s %-10s %-6s %-9s\n",
+		"think time", "goodput tps", "tput tps", "amp", "e2e lat")
+	for i, tt := range thinks {
+		r := results[i]
+		fmt.Printf("%-28s %-12.1f %-10.1f %-6.2f %-9v\n",
+			tt.Name(), r.Goodput, r.Throughput, r.RetryAmp,
+			time.Duration(r.EndToEndSec*float64(time.Second)).Round(time.Millisecond))
+	}
+	fmt.Println("\nThe adaptive controller converges on a backoff near its ceiling while")
+	fmt.Println("phantoms persist, budgets cap the duplicate load outright (drop) or")
+	fmt.Println("pace it to the refill rate (defer), and think time thins the closed")
+	fmt.Println("loop's arrival pressure without changing the protocol at all.")
+}

@@ -35,21 +35,31 @@
 // simply gone (§4.5). Real applications must detect the failure from
 // commit events and resubmit — so the lab also models the client side
 // of the story. Config.Retry selects a RetryPolicy (NoRetry,
-// ImmediateRetry, ExponentialBackoff with deterministic jitter, or
-// any policy truncated by GiveUpAfter); clients then track pending
-// transactions, listen for commit events from the metrics peer, and
-// resubmit failures on the policy's backoff schedule. Config.ClosedLoop
+// ImmediateRetry, ExponentialBackoff with deterministic jitter, any
+// policy truncated by GiveUpAfter, or the AIMD AdaptivePolicy that
+// watches each client's windowed failure rate and grows/shrinks its
+// backoff); clients then track pending transactions, listen for
+// commit events from the metrics peer, and resubmit failures on the
+// policy's backoff schedule. Config.RetryBudget adds a per-client
+// token bucket that rate-limits resubmissions regardless of policy
+// (deferring or dropping over-budget retries). Config.ClosedLoop
 // switches from open-loop Poisson arrivals to a closed loop with
-// Config.InFlightPerClient outstanding transactions per client.
+// Config.InFlightPerClient outstanding transactions per client and an
+// optional Config.ThinkTime distribution (fixed, exponential or
+// log-normal) between jobs.
 //
 // Reports expose the resulting effective metrics next to the paper's
 // chain-level ones: Goodput (first-submission success throughput),
 // RetryAmplification (submissions per logical transaction),
-// AvgEndToEnd (latency through every resubmission), GaveUp, and a
-// per-attempt failure breakdown. The "retry-policies" experiment
-// (cmd/hyperlab -run retry-policies) sweeps policy × skew × block
-// size over the four use-case chaincodes to answer what a failure
-// actually costs end-to-end.
+// AvgEndToEnd (latency through every resubmission), GaveUp, a
+// per-attempt failure breakdown, budget exhaustion/deferral counts,
+// and the adaptive-backoff trajectory summary. The "retry-policies"
+// experiment (cmd/hyperlab -run retry-policies) sweeps policy × skew
+// × block size over the four use-case chaincodes to answer what a
+// failure actually costs end-to-end; "retry-cotune" co-tunes block
+// size × retry-control strategy (static vs adaptive vs budgeted vs
+// paced) × variant (Fabric 1.4 vs Fabric++ early abort). See
+// docs/ARCHITECTURE.md and docs/EXPERIMENTS.md.
 //
 // # Test matrix
 //
@@ -154,6 +164,27 @@ type (
 	// ExponentialBackoff resubmits after a capped exponential backoff
 	// with deterministic jitter drawn from the simulation rng.
 	ExponentialBackoff = fabric.ExponentialBackoff
+	// AdaptivePolicy is the AIMD controller: each client watches its
+	// own failure rate over a sliding window and grows/shrinks its
+	// backoff (multiplicative increase on aborts, additive decrease on
+	// commits).
+	AdaptivePolicy = fabric.AdaptivePolicy
+	// RetryBudget rate-limits resubmissions per client with a token
+	// bucket (Config.RetryBudget), independent of the retry policy.
+	RetryBudget = fabric.RetryBudget
+	// ThinkTime is the closed-loop think-time distribution
+	// (Config.ThinkTime): fixed, exponential or log-normal.
+	ThinkTime = fabric.ThinkTime
+	// ThinkTimeKind selects the think-time distribution.
+	ThinkTimeKind = fabric.ThinkTimeKind
+)
+
+// Think-time distributions for Config.ThinkTime.
+const (
+	ThinkNone        = fabric.ThinkNone
+	ThinkFixed       = fabric.ThinkFixed
+	ThinkExponential = fabric.ThinkExponential
+	ThinkLogNormal   = fabric.ThinkLogNormal
 )
 
 // GiveUpAfter truncates any retry policy to at most n submissions.
@@ -162,6 +193,18 @@ func GiveUpAfter(inner RetryPolicy, n int) RetryPolicy { return fabric.GiveUpAft
 // RetryPolicies returns the policy ladder compared by the
 // retry-policies experiment.
 func RetryPolicies() []RetryPolicy { return core.RetryPolicies() }
+
+// CotunePolicy is one rung of the retry-control ladder compared by
+// the retry-cotune experiment: a named policy + optional budget.
+type CotunePolicy = core.CotunePolicy
+
+// CotunePolicies returns the retry-control strategies (static,
+// adaptive, budgeted, paced) compared by the retry-cotune experiment.
+func CotunePolicies() []CotunePolicy { return core.CotunePolicies() }
+
+// ParseThinkTime parses a think-time spec such as "exp:500ms" or
+// "lognormal:1s:0.8" (the CLI's -think syntax).
+func ParseThinkTime(s string) (ThinkTime, error) { return fabric.ParseThinkTime(s) }
 
 // DefaultConfig returns the paper's Table 3 defaults on the C1
 // cluster. Chaincode and Workload must still be set.
@@ -274,3 +317,6 @@ func FullOptions() Options { return core.FullOptions() }
 
 // QuickOptions is a fast smoke regime (30 virtual seconds, 1 seed).
 func QuickOptions() Options { return core.QuickOptions() }
+
+// SmokeOptions is the CI regime (5 virtual seconds, shrunken grids).
+func SmokeOptions() Options { return core.SmokeOptions() }

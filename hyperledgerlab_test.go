@@ -102,13 +102,16 @@ func TestVariantsViaFacade(t *testing.T) {
 }
 
 func TestExperimentRegistryComplete(t *testing.T) {
-	if len(Experiments()) != 26 {
-		t.Errorf("%d experiments exposed, want 26 (25 paper + retry-policies)", len(Experiments()))
+	if len(Experiments()) != 27 {
+		t.Errorf("%d experiments exposed, want 27 (25 paper + retry-policies + retry-cotune)", len(Experiments()))
 	}
 	if _, err := LookupExperiment("fig26"); err != nil {
 		t.Error(err)
 	}
 	if _, err := LookupExperiment("retry-policies"); err != nil {
+		t.Error(err)
+	}
+	if _, err := LookupExperiment("retry-cotune"); err != nil {
 		t.Error(err)
 	}
 	if FullOptions().Duration != 3*time.Minute {

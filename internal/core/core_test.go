@@ -151,8 +151,8 @@ func TestLookup(t *testing.T) {
 			t.Errorf("experiment %s incomplete", e.ID)
 		}
 	}
-	if len(seen) != 26 {
-		t.Errorf("%d experiments, want 26 (2 tables + 23 figures + retry-policies)", len(seen))
+	if len(seen) != 27 {
+		t.Errorf("%d experiments, want 27 (2 tables + 23 figures + retry-policies + retry-cotune)", len(seen))
 	}
 }
 

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// cotuneOpts is a tiny deterministic regime for the co-tuning grid:
+// smoke-sized so the full parallel-vs-serial comparison stays cheap.
+func cotuneOpts(parallelism int) Options {
+	o := SmokeOptions()
+	o.Parallelism = parallelism
+	return o
+}
+
+func TestRetryCotuneDeterministicAcrossParallelism(t *testing.T) {
+	serial, err := RetryCotuneExp(cotuneOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RetryCotuneExp(cotuneOpts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Errorf("retry-cotune differs between -parallel 1 and 8:\n--- serial\n%s\n--- parallel\n%s",
+			serial, parallel)
+	}
+}
+
+func TestRetryCotuneTableShape(t *testing.T) {
+	out, err := RetryCotuneExp(cotuneOpts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"goodput (tps)", "amp", "exhausted", "deferred", "aimd (s)"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("table missing column %q", col)
+		}
+	}
+	for _, label := range []string{"static", "adaptive", "budgeted", "paced"} {
+		if !strings.Contains(out, label) {
+			t.Errorf("table missing policy %q", label)
+		}
+	}
+	for _, sys := range []string{"Fabric 1.4", "Fabric++"} {
+		if !strings.Contains(out, sys) {
+			t.Errorf("table missing system %q", sys)
+		}
+	}
+	// Smoke mode shrinks the grid to EHR only.
+	if strings.Contains(out, "dv") || strings.Contains(out, "scm") {
+		t.Error("smoke grid still sweeps the full chaincode axis")
+	}
+	rows := len(strings.Split(strings.TrimSpace(out), "\n")) - 2 // header + rule
+	if want := 2 * len(CotunePolicies()) * len(CotuneBlockSizes); rows != want {
+		t.Errorf("smoke grid has %d rows, want %d", rows, want)
+	}
+}
+
+func TestRetryCotuneFullGridEnumeration(t *testing.T) {
+	cells := cotuneGrid(false)
+	want := 4 * 2 * len(CotunePolicies()) * len(CotuneBlockSizes)
+	if len(cells) != want {
+		t.Fatalf("full grid has %d cells, want %d", len(cells), want)
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		seen[c.ccName] = true
+	}
+	for _, cc := range []string{"ehr", "dv", "scm", "drm"} {
+		if !seen[cc] {
+			t.Errorf("full grid missing chaincode %s", cc)
+		}
+	}
+}
+
+func TestSmokeOptionsRegime(t *testing.T) {
+	o := SmokeOptions()
+	if !o.Smoke {
+		t.Error("SmokeOptions must set Smoke")
+	}
+	if o.Duration > 10*time.Second {
+		t.Errorf("smoke duration %v too long for CI", o.Duration)
+	}
+	if len(o.Seeds) != 1 {
+		t.Errorf("smoke regime runs %d seeds, want 1", len(o.Seeds))
+	}
+}

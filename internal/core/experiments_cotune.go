@@ -1,0 +1,148 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+)
+
+// CotunePolicy is one rung of the retry-control ladder compared by the
+// retry-cotune experiment: a named combination of a backoff policy and
+// an optional per-client retry budget.
+type CotunePolicy struct {
+	Label  string
+	Policy fabric.RetryPolicy
+	Budget *fabric.RetryBudget
+}
+
+// CotunePolicies returns the four retry-control strategies the
+// co-tuning study compares, all capped at 5 submissions so grids stay
+// comparable:
+//
+//   - "static": the PR-2 exponential backoff — a fixed schedule that
+//     ignores what the network is doing;
+//   - "adaptive": the AIMD controller, which watches each client's
+//     windowed failure rate and grows/shrinks its backoff;
+//   - "budgeted": the static backoff gated by a drop-mode token bucket
+//     (1 token/s, burst 3 per client), which bounds retry load at the
+//     price of abandoning transactions when the budget runs dry;
+//   - "paced": the same bucket in defer mode — no transaction is
+//     dropped, but retries beyond the budget queue up and drain into
+//     the network at the refill rate.
+func CotunePolicies() []CotunePolicy {
+	staticBackoff := fabric.ExponentialBackoff{
+		Initial:     200 * time.Millisecond,
+		Cap:         2 * time.Second,
+		MaxAttempts: 5,
+		Jitter:      0.2,
+	}
+	return []CotunePolicy{
+		{"static", staticBackoff, nil},
+		{"adaptive", fabric.AdaptivePolicy{
+			Floor:       100 * time.Millisecond,
+			Ceiling:     4 * time.Second,
+			Increase:    2,
+			Decrease:    50 * time.Millisecond,
+			Window:      32,
+			Target:      0.1,
+			MaxAttempts: 5,
+			Jitter:      0.2,
+		}, nil},
+		{"budgeted", staticBackoff,
+			&fabric.RetryBudget{RefillPerSec: 1, Burst: 3, DropOnEmpty: true}},
+		{"paced", staticBackoff,
+			&fabric.RetryBudget{RefillPerSec: 1, Burst: 3}},
+	}
+}
+
+// CotuneBlockSizes is the block-size axis of the co-tuning study: the
+// paper's Table 3 default and the half-size block that cuts
+// intra-block conflict windows.
+var CotuneBlockSizes = []int{50, 100}
+
+// cotuneSystems is the variant axis: does Fabric++'s early abort tame
+// the retry storm that vanilla Fabric feeds back into the orderer?
+var cotuneSystems = []System{Fabric14, FabricPP}
+
+// cotuneCell is one cell of the retry-cotune grid.
+type cotuneCell struct {
+	ccName string
+	sys    System
+	pol    CotunePolicy
+	bs     int
+}
+
+// cotuneGrid enumerates the sweep in deterministic row order:
+// chaincode, system, policy, block size. Smoke mode keeps only the
+// EHR rows so CI can run the experiment end-to-end in seconds.
+func cotuneGrid(smoke bool) []cotuneCell {
+	ccs := []string{"ehr", "dv", "scm", "drm"}
+	if smoke {
+		ccs = []string{"ehr"}
+	}
+	var cells []cotuneCell
+	for _, ccName := range ccs {
+		for _, sys := range cotuneSystems {
+			for _, pol := range CotunePolicies() {
+				for _, bs := range CotuneBlockSizes {
+					cells = append(cells, cotuneCell{ccName, sys, pol, bs})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// RetryCotuneExp is the block-size × backoff co-tuning study: it
+// sweeps block size × retry-control strategy (static backoff vs AIMD
+// adaptive vs budgeted) × variant (vanilla Fabric 1.4 vs Fabric++
+// early abort) over the four use-case chaincodes on C1, at the
+// default skew. It extends the retry-policies experiment along the
+// ROADMAP's two open axes: can a client-side controller (adaptive
+// backoff, retry budgets) or a server-side one (Fabric++ aborting
+// doomed transactions before they waste a block slot) tame the retry
+// storm that PR 2 exposed — DV's phantom conflicts being resubmitted
+// into a saturated orderer — and how does the answer shift with block
+// size?
+//
+// Columns: goodput (first-submission success throughput), committed
+// throughput, retry amplification (submissions per logical
+// transaction), end-to-end latency including resubmissions, budget
+// exhaustions (retries dropped by an empty token bucket), deferred
+// retries, the final AIMD backoff level, give-up rate and chain-level
+// failure rate. All cells fan out across the worker pool; the table
+// is byte-for-byte identical at any Options.Parallelism.
+func RetryCotuneExp(o Options) (string, error) {
+	cells := cotuneGrid(o.Smoke)
+	builds := make([]Builder, len(cells))
+	for i, c := range cells {
+		cc, err := UseCase(c.ccName)
+		if err != nil {
+			return "", err
+		}
+		c := c
+		builds[i] = func(seed int64) fabric.Config {
+			cfg := baseConfig(C1, cc, 1, c.sys)(seed)
+			cfg.BlockSize = c.bs
+			cfg.Retry = c.pol.Policy
+			cfg.RetryBudget = c.pol.Budget
+			return cfg
+		}
+	}
+	results, err := o.RunAll(builds)
+	if err != nil {
+		return "", err
+	}
+	t := metrics.NewTable("chaincode", "system", "policy", "block",
+		"goodput (tps)", "tput (tps)", "amp", "e2e lat (s)",
+		"exhausted", "deferred", "aimd (s)", "gave up %", "failures %")
+	for i, c := range cells {
+		res := results[i]
+		t.AddRow(c.ccName, c.sys, c.pol.Label, c.bs,
+			res.Goodput, res.Throughput, res.RetryAmp, res.EndToEndSec,
+			res.BudgetExhausted, res.DeferredRetries, res.AdaptiveBackSec,
+			res.GaveUpPct, res.FailurePct)
+	}
+	return t.String(), nil
+}

@@ -183,6 +183,10 @@ type Options struct {
 	// Calls are serialized through a single funnel goroutine, so the
 	// callback never runs concurrently with itself.
 	Progress func(string)
+	// Smoke asks experiments with large grids to shrink their sweep to
+	// a CI-sized subset (analogous to -benchtime=1x for benchmarks).
+	// Row values change; determinism and table structure do not.
+	Smoke bool
 }
 
 // FullOptions reproduces the paper's regime: 3 virtual minutes, 3
@@ -196,6 +200,14 @@ func FullOptions() Options {
 func QuickOptions() Options {
 	return Options{Duration: 30 * time.Second, Drain: 30 * time.Second,
 		Seeds: []int64{1}, GenKeys: 20000}
+}
+
+// SmokeOptions is the tiniest regime: 5 virtual seconds, one seed, a
+// 5k-key genChain, and Smoke set so experiments shrink their grids.
+// CI uses it to prove every experiment still runs end-to-end.
+func SmokeOptions() Options {
+	return Options{Duration: 5 * time.Second, Drain: 5 * time.Second,
+		Seeds: []int64{1}, GenKeys: 5000, Smoke: true}
 }
 
 // Result is a seed-averaged run summary.
@@ -218,6 +230,12 @@ type Result struct {
 	RetryAmp    float64 // submissions per logical transaction
 	EndToEndSec float64 // first submission -> final resolution, seconds
 	GaveUpPct   float64 // jobs abandoned by the retry policy, % of jobs
+
+	// Retry-budget and adaptive-policy metrics (zero without them).
+	BudgetExhausted float64 // retries dropped on an empty token bucket
+	DeferredRetries float64 // retries parked waiting for a budget token
+	MaxDeferred     float64 // peak concurrently parked retries
+	AdaptiveBackSec float64 // final AIMD backoff level, seconds
 }
 
 // Run executes build(seed) for every seed and averages the reports.
@@ -234,20 +252,24 @@ func (o Options) Run(build func(seed int64) fabric.Config) (Result, error) {
 
 func fromReport(r metrics.Report) Result {
 	res := Result{
-		Total:          float64(r.Total),
-		Committed:      float64(r.Committed),
-		FailurePct:     r.FailurePct,
-		EndorsementPct: r.EndorsementPct,
-		IntraPct:       r.IntraBlockPct,
-		InterPct:       r.InterBlockPct,
-		MVCCPct:        r.MVCCPct,
-		PhantomPct:     r.PhantomPct,
-		AbortedPct:     r.AbortedPct,
-		LatencySec:     r.AvgLatency.Seconds(),
-		Throughput:     r.Throughput,
-		Goodput:        r.Goodput,
-		RetryAmp:       r.RetryAmplification,
-		EndToEndSec:    r.AvgEndToEnd.Seconds(),
+		Total:           float64(r.Total),
+		Committed:       float64(r.Committed),
+		FailurePct:      r.FailurePct,
+		EndorsementPct:  r.EndorsementPct,
+		IntraPct:        r.IntraBlockPct,
+		InterPct:        r.InterBlockPct,
+		MVCCPct:         r.MVCCPct,
+		PhantomPct:      r.PhantomPct,
+		AbortedPct:      r.AbortedPct,
+		LatencySec:      r.AvgLatency.Seconds(),
+		Throughput:      r.Throughput,
+		Goodput:         r.Goodput,
+		RetryAmp:        r.RetryAmplification,
+		EndToEndSec:     r.AvgEndToEnd.Seconds(),
+		BudgetExhausted: float64(r.BudgetExhausted),
+		DeferredRetries: float64(r.DeferredRetries),
+		MaxDeferred:     float64(r.MaxDeferredDepth),
+		AdaptiveBackSec: r.AdaptiveBackoffFinal.Seconds(),
 	}
 	if r.Jobs > 0 {
 		res.GaveUpPct = 100 * float64(r.GaveUp) / float64(r.Jobs)
@@ -271,6 +293,10 @@ func (r Result) add(o Result) Result {
 	r.RetryAmp += o.RetryAmp
 	r.EndToEndSec += o.EndToEndSec
 	r.GaveUpPct += o.GaveUpPct
+	r.BudgetExhausted += o.BudgetExhausted
+	r.DeferredRetries += o.DeferredRetries
+	r.MaxDeferred += o.MaxDeferred
+	r.AdaptiveBackSec += o.AdaptiveBackSec
 	return r
 }
 
@@ -290,6 +316,10 @@ func (r Result) scale(f float64) Result {
 	r.RetryAmp *= f
 	r.EndToEndSec *= f
 	r.GaveUpPct *= f
+	r.BudgetExhausted *= f
+	r.DeferredRetries *= f
+	r.MaxDeferred *= f
+	r.AdaptiveBackSec *= f
 	return r
 }
 

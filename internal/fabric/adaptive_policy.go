@@ -1,0 +1,242 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// AdaptivePolicy is a failure-rate-watching retry policy: instead of a
+// fixed backoff schedule, each client runs an AIMD (additive increase
+// is the *recovery* direction here — additive decrease of the backoff
+// on commits, multiplicative increase on aborts) controller fed by the
+// commit events the client already listens to. The client observes
+// every attempt outcome, keeps the last Window outcomes in a sliding
+// window, and adjusts a single current-backoff level:
+//
+//   - a failed attempt while the windowed failure rate is at or above
+//     Target multiplies the backoff by Increase (capped at Ceiling) —
+//     the client interprets sustained failures as congestion and
+//     backs off hard, like a TCP sender halving its window;
+//   - a committed attempt subtracts Decrease (floored at Floor) — the
+//     client probes for capacity additively;
+//   - isolated failures below the Target rate leave the level alone,
+//     so one unlucky MVCC conflict does not stall an otherwise healthy
+//     client.
+//
+// Every resubmission then waits the current level, jittered by ±Jitter
+// with randomness from the simulation rng, so runs remain
+// deterministic for a given (config, seed).
+//
+// The network gives every client its own controller instance: the
+// failure rate being watched is the client's own, not the fleet's.
+// Calling NextDelay on the AdaptivePolicy value itself (outside a
+// Network) behaves as a constant Floor-level backoff.
+type AdaptivePolicy struct {
+	// Floor is the minimum backoff and the starting level.
+	// 0 defaults to 50ms; negative is a validation error.
+	Floor time.Duration
+	// Ceiling is the maximum backoff the multiplicative increase can
+	// reach. 0 defaults to 8s.
+	Ceiling time.Duration
+	// Increase is the multiplicative factor applied to the backoff on
+	// a failure at or above the Target rate. 0 defaults to 2.
+	Increase float64
+	// Decrease is the additive step subtracted from the backoff on
+	// every commit. 0 defaults to 25ms.
+	Decrease time.Duration
+	// Window is the number of most-recent attempt outcomes over which
+	// the failure rate is computed. 0 defaults to 32.
+	Window int
+	// Target is the windowed failure-rate threshold (0..1) at or above
+	// which failures trigger the multiplicative increase. 0 defaults
+	// to 0.1 (10% failures).
+	Target float64
+	// MaxAttempts caps total submissions per logical transaction,
+	// first attempt included. 0 = unlimited.
+	MaxAttempts int
+	// Jitter is the uniform ± fraction applied to each delay.
+	// 0 means no jitter.
+	Jitter float64
+}
+
+// withDefaults resolves the documented zero-value defaults.
+func (p AdaptivePolicy) withDefaults() AdaptivePolicy {
+	if p.Floor == 0 {
+		p.Floor = 50 * time.Millisecond
+	}
+	if p.Ceiling == 0 {
+		p.Ceiling = 8 * time.Second
+	}
+	if p.Increase == 0 {
+		p.Increase = 2
+	}
+	if p.Decrease == 0 {
+		p.Decrease = 25 * time.Millisecond
+	}
+	if p.Window == 0 {
+		p.Window = 32
+	}
+	if p.Target == 0 {
+		p.Target = 0.1
+	}
+	return p
+}
+
+// Validate reports configuration errors. The floor/ceiling relation
+// is checked against the resolved defaults, so a floor above the
+// default 8s ceiling is rejected too.
+func (p AdaptivePolicy) Validate() error {
+	switch {
+	case p.Floor < 0:
+		return fmt.Errorf("fabric: adaptive floor must be >= 0, got %v", p.Floor)
+	case p.Ceiling < 0:
+		return fmt.Errorf("fabric: adaptive ceiling must be >= 0, got %v", p.Ceiling)
+	case p.Increase < 0 || (p.Increase > 0 && p.Increase < 1):
+		return fmt.Errorf("fabric: adaptive increase factor must be >= 1, got %g", p.Increase)
+	case p.Decrease < 0:
+		return fmt.Errorf("fabric: adaptive decrease step must be >= 0, got %v", p.Decrease)
+	case p.Window < 0:
+		return fmt.Errorf("fabric: adaptive window must be >= 0, got %d", p.Window)
+	case p.Target < 0 || p.Target > 1:
+		return fmt.Errorf("fabric: adaptive target rate must be in [0,1], got %g", p.Target)
+	}
+	if d := p.withDefaults(); d.Floor > d.Ceiling {
+		return fmt.Errorf("fabric: adaptive floor %v above ceiling %v", d.Floor, d.Ceiling)
+	}
+	return nil
+}
+
+// Name implements RetryPolicy.
+func (p AdaptivePolicy) Name() string {
+	if p.MaxAttempts > 0 {
+		return fmt.Sprintf("adaptive(%d)", p.MaxAttempts)
+	}
+	return "adaptive"
+}
+
+// NextDelay implements RetryPolicy on the bare config value: with no
+// per-client state it backs off at the Floor level. Inside a Network
+// each client consults its own *adaptiveState instead.
+func (p AdaptivePolicy) NextDelay(attempts int, rng *rand.Rand) (time.Duration, bool) {
+	if p.MaxAttempts > 0 && attempts >= p.MaxAttempts {
+		return 0, false
+	}
+	d := p.withDefaults()
+	return jitterDelay(d.Floor, d.Jitter, rng), true
+}
+
+// perClient implements perClientPolicy: every client gets a fresh
+// controller seeded at the floor.
+func (p AdaptivePolicy) perClient() RetryPolicy {
+	d := p.withDefaults()
+	return &adaptiveState{cfg: d, cur: d.Floor, window: make([]bool, 0, d.Window)}
+}
+
+// adaptiveState is one client's AIMD controller.
+type adaptiveState struct {
+	cfg AdaptivePolicy // defaults resolved
+	cur time.Duration  // current backoff level
+
+	// window is a ring of the last cfg.Window outcomes (true = the
+	// attempt failed); next is the write cursor, failures the count of
+	// true entries currently in the ring.
+	window   []bool
+	next     int
+	failures int
+}
+
+// Name implements RetryPolicy.
+func (s *adaptiveState) Name() string { return s.cfg.Name() }
+
+// NextDelay implements RetryPolicy: the current AIMD level, jittered.
+func (s *adaptiveState) NextDelay(attempts int, rng *rand.Rand) (time.Duration, bool) {
+	if s.cfg.MaxAttempts > 0 && attempts >= s.cfg.MaxAttempts {
+		return 0, false
+	}
+	return jitterDelay(s.cur, s.cfg.Jitter, rng), true
+}
+
+// observe implements outcomeObserver: slide the window and run the
+// AIMD update.
+func (s *adaptiveState) observe(failed bool) {
+	if len(s.window) < s.cfg.Window {
+		s.window = append(s.window, failed)
+		if failed {
+			s.failures++
+		}
+	} else {
+		if s.window[s.next] {
+			s.failures--
+		}
+		s.window[s.next] = failed
+		if failed {
+			s.failures++
+		}
+		s.next = (s.next + 1) % len(s.window)
+	}
+	if failed {
+		if s.FailureRate() >= s.cfg.Target {
+			s.cur = time.Duration(float64(s.cur) * s.cfg.Increase)
+			if s.cur > s.cfg.Ceiling {
+				s.cur = s.cfg.Ceiling
+			}
+		}
+		return
+	}
+	s.cur -= s.cfg.Decrease
+	if s.cur < s.cfg.Floor {
+		s.cur = s.cfg.Floor
+	}
+}
+
+// currentBackoff implements backoffReporter.
+func (s *adaptiveState) currentBackoff() time.Duration { return s.cur }
+
+// FailureRate reports the failure fraction over the sliding window.
+// The denominator is the configured window size even while the window
+// is still filling: a client's first failure reads as 1/Window, not
+// 100%, so early unlucky conflicts cannot trip the multiplicative
+// increase on their own.
+func (s *adaptiveState) FailureRate() float64 {
+	return float64(s.failures) / float64(s.cfg.Window)
+}
+
+// jitterDelay applies a uniform ±frac factor to d using the
+// simulation rng (no draw when frac is zero, so unjittered policies
+// stay rng-neutral).
+func jitterDelay(d time.Duration, frac float64, rng *rand.Rand) time.Duration {
+	if frac <= 0 || d <= 0 {
+		return d
+	}
+	f := 1 + frac*(2*rng.Float64()-1)
+	j := time.Duration(float64(d) * f)
+	if j < 0 {
+		return 0
+	}
+	return j
+}
+
+// perClientPolicy is implemented by stateful retry policies: the
+// network hands every client its own instance so that per-client
+// adaptation (AIMD levels, failure windows) never aliases across
+// clients.
+type perClientPolicy interface {
+	RetryPolicy
+	perClient() RetryPolicy
+}
+
+// outcomeObserver is implemented by policies that want to see every
+// attempt outcome of their client — commits as well as the failures
+// they are consulted about — mirroring an SDK client reacting to its
+// own commit-event stream.
+type outcomeObserver interface {
+	observe(failed bool)
+}
+
+// backoffReporter is implemented by policies whose backoff level
+// evolves over the run; the client samples it into the collector after
+// every observed outcome so reports can summarize the trajectory.
+type backoffReporter interface {
+	currentBackoff() time.Duration
+}

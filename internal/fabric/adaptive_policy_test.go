@@ -1,0 +1,238 @@
+package fabric
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// newState builds a per-client controller from a config.
+func newState(t *testing.T, p AdaptivePolicy) *adaptiveState {
+	t.Helper()
+	s, ok := p.perClient().(*adaptiveState)
+	if !ok {
+		t.Fatal("perClient did not return an adaptiveState")
+	}
+	return s
+}
+
+func TestAdaptiveGrowsUnderFailures(t *testing.T) {
+	p := AdaptivePolicy{
+		Floor: 100 * time.Millisecond, Ceiling: 2 * time.Second,
+		Increase: 2, Decrease: 10 * time.Millisecond, Window: 8, Target: 0.1,
+	}
+	s := newState(t, p)
+	if got := s.currentBackoff(); got != p.Floor {
+		t.Fatalf("initial backoff %v, want floor %v", got, p.Floor)
+	}
+	// Sustained failures: multiplicative growth 100ms -> 200 -> 400 ->
+	// 800 -> 1600 -> capped at the 2s ceiling.
+	want := []time.Duration{
+		200 * time.Millisecond, 400 * time.Millisecond, 800 * time.Millisecond,
+		1600 * time.Millisecond, 2 * time.Second, 2 * time.Second,
+	}
+	for i, w := range want {
+		s.observe(true)
+		if got := s.currentBackoff(); got != w {
+			t.Errorf("after %d failures: backoff %v, want %v", i+1, got, w)
+		}
+	}
+	// 6 failures over the configured window of 8.
+	if got := s.FailureRate(); got != 0.75 {
+		t.Errorf("failure rate %g after 6 failures in a window of 8, want 0.75", got)
+	}
+}
+
+func TestAdaptiveWarmupFailureNotOverweighted(t *testing.T) {
+	// A fresh client's very first failure is 1/Window, not 100%: with
+	// the default 10% target and a window of 32, a couple of isolated
+	// early conflicts must not trigger the multiplicative increase.
+	s := newState(t, AdaptivePolicy{Floor: 100 * time.Millisecond})
+	s.observe(true)
+	if got := s.FailureRate(); got != 1.0/32 {
+		t.Errorf("first-failure rate %g, want 1/32", got)
+	}
+	if got := s.currentBackoff(); got != 100*time.Millisecond {
+		t.Errorf("backoff %v grew on the warm-up failure, want floor", got)
+	}
+}
+
+func TestAdaptiveShrinksToFloorOnCommits(t *testing.T) {
+	p := AdaptivePolicy{
+		Floor: 50 * time.Millisecond, Ceiling: time.Second,
+		Increase: 4, Decrease: 100 * time.Millisecond, Window: 8, Target: 0.1,
+	}
+	s := newState(t, p)
+	for i := 0; i < 4; i++ {
+		s.observe(true)
+	}
+	if got := s.currentBackoff(); got != time.Second {
+		t.Fatalf("backoff %v after failure burst, want ceiling 1s", got)
+	}
+	// All-commits: additive decrease walks it back down and clamps at
+	// the floor (1s / 100ms steps = 10 commits; give it 12).
+	for i := 0; i < 12; i++ {
+		s.observe(false)
+	}
+	if got := s.currentBackoff(); got != p.Floor {
+		t.Errorf("backoff %v after commit streak, want floor %v", got, p.Floor)
+	}
+}
+
+func TestAdaptiveTargetGatesIsolatedFailures(t *testing.T) {
+	// With a 50% target, a lone failure in a healthy window must not
+	// grow the backoff.
+	p := AdaptivePolicy{
+		Floor: 100 * time.Millisecond, Ceiling: time.Second,
+		Increase: 2, Decrease: 10 * time.Millisecond, Window: 10, Target: 0.5,
+	}
+	s := newState(t, p)
+	for i := 0; i < 9; i++ {
+		s.observe(false)
+	}
+	s.observe(true) // 1/10 failures, below the 50% target
+	if got := s.currentBackoff(); got != p.Floor {
+		t.Errorf("backoff %v grew on an isolated sub-target failure, want floor %v", got, p.Floor)
+	}
+}
+
+func TestAdaptiveWindowSlides(t *testing.T) {
+	p := AdaptivePolicy{Window: 4, Target: 0.5}
+	s := newState(t, p)
+	for i := 0; i < 4; i++ {
+		s.observe(true)
+	}
+	if got := s.FailureRate(); got != 1 {
+		t.Fatalf("rate %g, want 1", got)
+	}
+	// Four commits push the failures out of the 4-slot window.
+	for i := 0; i < 4; i++ {
+		s.observe(false)
+	}
+	if got := s.FailureRate(); got != 0 {
+		t.Errorf("rate %g after window slid past the failures, want 0", got)
+	}
+}
+
+func TestAdaptiveNextDelayRespectsCapAndJitter(t *testing.T) {
+	s := newState(t, AdaptivePolicy{MaxAttempts: 3, Jitter: 0.5})
+	rng := rand.New(rand.NewSource(1))
+	if _, ok := s.NextDelay(2, rng); !ok {
+		t.Error("retry refused below MaxAttempts")
+	}
+	if _, ok := s.NextDelay(3, rng); ok {
+		t.Error("retry allowed at MaxAttempts")
+	}
+	// Jitter draws from the rng deterministically.
+	a, _ := newState(t, AdaptivePolicy{Jitter: 0.5}).NextDelay(1, rand.New(rand.NewSource(7)))
+	b, _ := newState(t, AdaptivePolicy{Jitter: 0.5}).NextDelay(1, rand.New(rand.NewSource(7)))
+	if a != b {
+		t.Errorf("identical rng seeds gave %v and %v", a, b)
+	}
+}
+
+func TestAdaptivePolicyValidation(t *testing.T) {
+	bad := []AdaptivePolicy{
+		{Floor: -1},
+		{Ceiling: -1},
+		{Floor: 2 * time.Second, Ceiling: time.Second},
+		{Floor: 10 * time.Second}, // above the defaulted 8s ceiling
+		{Increase: 0.5},
+		{Decrease: -time.Millisecond},
+		{Window: -1},
+		{Target: 1.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: %+v validated", i, p)
+		}
+	}
+	if err := (AdaptivePolicy{}).Validate(); err != nil {
+		t.Errorf("zero value (all defaults) rejected: %v", err)
+	}
+	cfg := retryConfig(1, AdaptivePolicy{Target: 2})
+	if _, err := NewNetwork(cfg); err == nil {
+		t.Error("network accepted an invalid adaptive policy")
+	}
+}
+
+func TestAdaptiveRunProducesTrajectory(t *testing.T) {
+	cfg := retryConfig(5, AdaptivePolicy{
+		Floor: 50 * time.Millisecond, Ceiling: 2 * time.Second,
+		MaxAttempts: 5, Jitter: 0.2,
+	})
+	_, rep := run(t, cfg)
+	if rep.Jobs == 0 {
+		t.Fatal("no jobs tracked")
+	}
+	if rep.AdaptiveBackoffMax == 0 {
+		t.Fatal("no backoff trajectory recorded")
+	}
+	// EHR contention must push the controller above its floor.
+	if rep.AdaptiveBackoffMax <= 50*time.Millisecond {
+		t.Errorf("max backoff %v never left the floor", rep.AdaptiveBackoffMax)
+	}
+	if rep.AdaptiveBackoffAvg > rep.AdaptiveBackoffMax {
+		t.Errorf("avg %v > max %v", rep.AdaptiveBackoffAvg, rep.AdaptiveBackoffMax)
+	}
+	if rep.AdaptiveBackoffFinal > rep.AdaptiveBackoffMax {
+		t.Errorf("final %v > max %v", rep.AdaptiveBackoffFinal, rep.AdaptiveBackoffMax)
+	}
+}
+
+func TestAdaptiveRunsDeterministic(t *testing.T) {
+	p := AdaptivePolicy{MaxAttempts: 4, Jitter: 0.3}
+	_, a := run(t, retryConfig(6, p))
+	_, b := run(t, retryConfig(6, p))
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("identical adaptive runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestGiveUpAfterPreservesAdaptation(t *testing.T) {
+	// Wrapping the adaptive policy must not strip its per-client AIMD
+	// state: the wrapper clones the inner controller per client and
+	// the trajectory still reaches the report.
+	wrapped := GiveUpAfter(AdaptivePolicy{
+		Floor: 50 * time.Millisecond, Ceiling: 2 * time.Second, Jitter: 0.2,
+	}, 5)
+	pc, ok := wrapped.(perClientPolicy)
+	if !ok {
+		t.Fatal("GiveUpAfter(AdaptivePolicy) lost the per-client facet")
+	}
+	a, b := pc.perClient(), pc.perClient()
+	if a == b {
+		t.Error("perClient returned a shared instance")
+	}
+	if a.Name() != "adaptive-cap5" {
+		t.Errorf("name = %q", a.Name())
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, ok := a.NextDelay(5, rng); ok {
+		t.Error("wrapper no longer truncates at 5 attempts")
+	}
+	_, rep := run(t, retryConfig(12, wrapped))
+	if rep.AdaptiveBackoffMax == 0 {
+		t.Error("wrapped adaptive policy recorded no trajectory")
+	}
+	if rep.AdaptiveBackoffMax <= 50*time.Millisecond {
+		t.Errorf("max backoff %v never left the floor: adaptation lost behind the wrapper",
+			rep.AdaptiveBackoffMax)
+	}
+}
+
+func TestGiveUpAfterForwardsValidation(t *testing.T) {
+	cfg := retryConfig(1, GiveUpAfter(AdaptivePolicy{Target: 2}, 3))
+	if _, err := NewNetwork(cfg); err == nil {
+		t.Error("invalid adaptive policy accepted behind GiveUpAfter")
+	}
+}
+
+func TestStaticPoliciesHaveNoTrajectory(t *testing.T) {
+	_, rep := run(t, retryConfig(7, ImmediateRetry{MaxAttempts: 3}))
+	if rep.AdaptiveBackoffMax != 0 || rep.AdaptiveBackoffAvg != 0 {
+		t.Errorf("static policy produced a trajectory: avg=%v max=%v",
+			rep.AdaptiveBackoffAvg, rep.AdaptiveBackoffMax)
+	}
+}

@@ -1,0 +1,140 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// RetryBudget caps the rate at which one client may resubmit failed
+// transactions, independently of which RetryPolicy decides the backoff
+// schedule. Each client owns a token bucket: a resubmission consumes
+// one token, tokens refill continuously at RefillPerSec (in virtual
+// time), and the bucket never holds more than Burst tokens. First
+// submissions are never charged — the budget throttles only the extra
+// load that retries add.
+//
+// When the bucket is empty the behaviour depends on DropOnEmpty:
+//
+//   - false (the default): the retry is *deferred* — the bucket lends
+//     the token and the resubmission waits until the loan is repaid by
+//     the refill stream, on top of whatever backoff the policy chose.
+//     Deferred retries serialize: each waits for its own token, so a
+//     burst of failures drains into the network at RefillPerSec.
+//   - true: the retry is *dropped* — the logical transaction is
+//     abandoned immediately and counted as a budget exhaustion (and as
+//     a given-up job) in the report.
+//
+// The budget is the congestion-control half of the retry subsystem:
+// policies shape *when* an individual transaction comes back, the
+// budget bounds *how much* duplicate work a misbehaving policy (or a
+// pathological workload such as DV's phantom-conflict storm) can
+// inject.
+type RetryBudget struct {
+	// RefillPerSec is the token refill rate in tokens per second of
+	// virtual time. 0 defaults to 1; negative is a validation error.
+	RefillPerSec float64
+	// Burst is the bucket capacity and the initial fill, in tokens.
+	// 0 defaults to 1; negative is a validation error.
+	Burst float64
+	// DropOnEmpty selects drop semantics (abandon the job) instead of
+	// the default defer semantics (wait for a token) when the bucket
+	// is empty.
+	DropOnEmpty bool
+}
+
+// withDefaults resolves the documented zero-value defaults.
+func (b RetryBudget) withDefaults() RetryBudget {
+	if b.RefillPerSec == 0 {
+		b.RefillPerSec = 1
+	}
+	if b.Burst == 0 {
+		b.Burst = 1
+	}
+	return b
+}
+
+// Validate reports configuration errors.
+func (b RetryBudget) Validate() error {
+	if b.RefillPerSec < 0 {
+		return fmt.Errorf("fabric: retry budget refill rate must be >= 0, got %g", b.RefillPerSec)
+	}
+	if b.Burst < 0 {
+		return fmt.Errorf("fabric: retry budget burst must be >= 0, got %g", b.Burst)
+	}
+	return nil
+}
+
+// Name labels the budget in experiment tables, e.g. "budget(1/s,b3)"
+// or "budget(2/s,b5,drop)".
+func (b RetryBudget) Name() string {
+	b = b.withDefaults()
+	mode := ""
+	if b.DropOnEmpty {
+		mode = ",drop"
+	}
+	return fmt.Sprintf("budget(%g/s,b%g%s)", b.RefillPerSec, b.Burst, mode)
+}
+
+// tokenBucket is the per-client budget state. It operates in virtual
+// time and is driven only from simulation events, so it needs no
+// locking and stays deterministic.
+type tokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64 // capacity
+	drop   bool
+	tokens float64  // may go negative in defer mode (borrowed tokens)
+	last   sim.Time // time of the last refill
+}
+
+// newTokenBucket builds a full bucket from a (defaulted) config.
+func newTokenBucket(b RetryBudget) *tokenBucket {
+	b = b.withDefaults()
+	return &tokenBucket{rate: b.RefillPerSec, burst: b.Burst, tokens: b.Burst, drop: b.DropOnEmpty}
+}
+
+// refill accrues tokens for the virtual time elapsed since the last
+// call, capped at the burst size.
+func (tb *tokenBucket) refill(now sim.Time) {
+	if now > tb.last {
+		tb.tokens += time.Duration(now-tb.last).Seconds() * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+		tb.last = now
+	}
+}
+
+// take charges one token at virtual time now. ok=false means the
+// retry must be dropped (drop mode, empty bucket). A positive wait
+// means the retry is deferred: the token was lent and becomes
+// available only wait from now.
+func (tb *tokenBucket) take(now sim.Time) (wait time.Duration, ok bool) {
+	tb.refill(now)
+	if tb.drop {
+		if tb.tokens < 1 {
+			return 0, false
+		}
+		tb.tokens--
+		return 0, true
+	}
+	tb.tokens--
+	if tb.tokens >= 0 {
+		return 0, true
+	}
+	if tb.rate <= 0 {
+		// No refill stream to repay the loan: treat as a drop so the
+		// simulation cannot deadlock on an unpayable debt.
+		tb.tokens++
+		return 0, false
+	}
+	return time.Duration(-tb.tokens / tb.rate * float64(time.Second)), true
+}
+
+// level reports the current token level at virtual time now
+// (diagnostics and tests).
+func (tb *tokenBucket) level(now sim.Time) float64 {
+	tb.refill(now)
+	return tb.tokens
+}

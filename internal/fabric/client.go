@@ -39,6 +39,17 @@ type Client struct {
 	// populated when the network tracks outcomes.
 	pending map[string]*pendingTx
 
+	// policy is this client's retry policy instance. Stateful policies
+	// (AdaptivePolicy) get one instance per client; stateless ones are
+	// shared with the network.
+	policy RetryPolicy
+	// observer/reporter are the optional adaptive facets of policy,
+	// resolved once at construction.
+	observer outcomeObserver
+	reporter backoffReporter
+	// bucket is the per-client retry budget (nil = unlimited).
+	bucket *tokenBucket
+
 	// resubmissions counts retry submissions issued (diagnostics).
 	resubmissions int
 }
@@ -53,8 +64,28 @@ type pendingTx struct {
 }
 
 func newClient(nw *Network, id int) *Client {
-	return &Client{nw: nw, id: id, name: fmt.Sprintf("client%d", id),
+	c := &Client{nw: nw, id: id, name: fmt.Sprintf("client%d", id),
 		pending: map[string]*pendingTx{}}
+	c.policy = nw.retry
+	if pc, ok := c.policy.(perClientPolicy); ok {
+		c.policy = pc.perClient()
+	}
+	// The observer/trajectory facets may sit behind wrappers
+	// (GiveUpAfter): unwrap to find them.
+	base := c.policy
+	for {
+		u, ok := base.(interface{ unwrap() RetryPolicy })
+		if !ok {
+			break
+		}
+		base = u.unwrap()
+	}
+	c.observer, _ = base.(outcomeObserver)
+	c.reporter, _ = base.(backoffReporter)
+	if nw.tracking && nw.cfg.RetryBudget != nil {
+		c.bucket = newTokenBucket(*nw.cfg.RetryBudget)
+	}
+	return c
 }
 
 // Resubmissions reports how many retry submissions this client issued.
@@ -217,19 +248,45 @@ func (c *Client) attemptResolved(j *pendingTx, txID string, code ledger.Validati
 	}
 	delete(c.pending, txID)
 	c.nw.col.RecordAttempt(j.attempts, code)
+	c.observe(false)
 	c.nw.col.RecordJob(j.attempts, true, j.firstSubmit, c.nw.eng.Now())
 	c.jobDone()
 }
 
 // attemptFailed records a failed attempt and either schedules a
-// resubmission per the retry policy or abandons the transaction.
+// resubmission per the retry policy or abandons the transaction. A
+// configured retry budget gates every resubmission the policy asks
+// for: an empty bucket defers the retry until a token accrues, or —
+// with DropOnEmpty — abandons the transaction as a budget exhaustion.
 func (c *Client) attemptFailed(j *pendingTx, txID string, code ledger.ValidationCode) {
 	if !c.nw.tracking {
 		return
 	}
 	delete(c.pending, txID)
 	c.nw.col.RecordAttempt(j.attempts, code)
-	if delay, ok := c.nw.retry.NextDelay(j.attempts, c.nw.eng.Rand()); ok {
+	c.observe(true)
+	if delay, ok := c.policy.NextDelay(j.attempts, c.nw.eng.Rand()); ok {
+		if c.bucket != nil {
+			wait, granted := c.bucket.take(c.nw.eng.Now())
+			if !granted {
+				c.nw.col.RecordBudgetExhausted()
+				c.nw.col.RecordJob(j.attempts, false, j.firstSubmit, c.nw.eng.Now())
+				c.jobDone()
+				return
+			}
+			if wait > delay {
+				// The token becomes available only after the policy's
+				// backoff would have fired: the budget, not the
+				// policy, delays this retry.
+				c.nw.col.RecordDeferStart()
+				c.resubmissions++
+				c.nw.eng.After(wait, func() {
+					c.nw.col.RecordDeferEnd()
+					c.submitAttempt(j)
+				})
+				return
+			}
+		}
 		c.resubmissions++
 		c.nw.eng.After(delay, func() { c.submitAttempt(j) })
 		return
@@ -238,10 +295,37 @@ func (c *Client) attemptFailed(j *pendingTx, txID string, code ledger.Validation
 	c.jobDone()
 }
 
-// jobDone closes a logical transaction; in closed-loop mode it keeps
-// the in-flight window full while the send window is open.
-func (c *Client) jobDone() {
-	if c.nw.cfg.ClosedLoop && c.nw.eng.Now() < sim.Time(c.nw.cfg.Duration) {
-		c.submitJob()
+// observe feeds an attempt outcome to an adaptive policy and samples
+// its resulting backoff level for the trajectory summary. Inert (and
+// rng-neutral) for stateless policies.
+func (c *Client) observe(failed bool) {
+	if c.observer == nil {
+		return
 	}
+	c.observer.observe(failed)
+	if c.reporter != nil {
+		c.nw.col.RecordBackoffSample(c.reporter.currentBackoff())
+	}
+}
+
+// jobDone closes a logical transaction; in closed-loop mode it keeps
+// the in-flight window full while the send window is open, waiting
+// out the configured think time first. With no think time configured
+// the next job starts synchronously — the historical behaviour, with
+// no extra events and no extra rng draws.
+func (c *Client) jobDone() {
+	if !c.nw.cfg.ClosedLoop || c.nw.eng.Now() >= sim.Time(c.nw.cfg.Duration) {
+		return
+	}
+	think := c.nw.cfg.ThinkTime.sample(c.nw.eng)
+	if think <= 0 {
+		c.submitJob()
+		return
+	}
+	c.nw.eng.After(think, func() {
+		// The window may have closed while thinking.
+		if c.nw.eng.Now() < sim.Time(c.nw.cfg.Duration) {
+			c.submitJob()
+		}
+	})
 }

@@ -76,24 +76,43 @@ type Config struct {
 	// instead of chain transactions.
 	SkipReadOnlySubmission bool
 
-	// Retry selects the client resubmission policy. Nil (or NoRetry)
-	// reproduces the paper's fire-and-forget clients: failed
-	// transactions are never resent (§4.5). Any other policy makes
-	// clients track pending transactions, listen for commit events,
-	// and resubmit failures per the policy's backoff schedule.
+	// Retry selects the client resubmission policy. Nil (or NoRetry,
+	// the default) reproduces the paper's fire-and-forget clients:
+	// failed transactions are never resent (§4.5). Any other policy
+	// makes clients track pending transactions, listen for commit
+	// events, and resubmit failures per the policy's backoff schedule.
+	// Stateful policies (AdaptivePolicy) are instantiated once per
+	// client so each client adapts to its own failure rate.
 	Retry RetryPolicy
+
+	// RetryBudget rate-limits resubmissions per client with a token
+	// bucket (RefillPerSec tokens/s of virtual time, capacity Burst),
+	// on top of — and regardless of — whatever Retry policy is
+	// configured. Nil (the default) means unlimited: the policy alone
+	// decides. An empty bucket defers the retry until a token accrues,
+	// or drops the transaction when DropOnEmpty is set. Ignored when
+	// no retry policy is configured.
+	RetryBudget *RetryBudget
 
 	// ClosedLoop switches clients from open-loop Poisson arrivals to
 	// a closed loop: each client keeps InFlightPerClient logical
 	// transactions outstanding and submits the next one as soon as one
-	// resolves (commits, is abandoned, or is served as a read). Rate
-	// is ignored for arrivals in this mode.
+	// resolves (commits, is abandoned, or is served as a read), after
+	// an optional ThinkTime wait. Rate is ignored for arrivals in this
+	// mode. Default false (open loop).
 	ClosedLoop bool
 
 	// InFlightPerClient is the closed-loop window per client
 	// (outstanding logical transactions). 0 defaults to 1. Ignored in
 	// open-loop mode.
 	InFlightPerClient int
+
+	// ThinkTime is the closed-loop think-time distribution: how long a
+	// client waits between resolving one logical transaction and
+	// submitting the next (fixed, exponential or log-normal, mean in
+	// virtual time). The zero value means no think time — the
+	// historical closed-loop behaviour. Ignored in open-loop mode.
+	ThinkTime ThinkTime
 
 	// Variant plugs in a Fabric fork (Fabric++, Streamchain,
 	// FabricSharp). Nil runs vanilla Fabric 1.4.
@@ -166,6 +185,19 @@ func (c *Config) Validate() error {
 	case "solo", "kafka", "raft":
 	default:
 		return fmt.Errorf("fabric: unknown consensus %q", c.Consensus)
+	}
+	if v, ok := c.Retry.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.RetryBudget != nil {
+		if err := c.RetryBudget.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := c.ThinkTime.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -102,20 +102,16 @@ func (p ExponentialBackoff) NextDelay(attempts int, rng *rand.Rand) (time.Durati
 	if d > cap {
 		d = cap
 	}
-	if p.Jitter > 0 {
-		f := 1 + p.Jitter*(2*rng.Float64()-1)
-		d = time.Duration(float64(d) * f)
-		if d < 0 {
-			d = 0
-		}
-	}
-	return d, true
+	return jitterDelay(d, p.Jitter, rng), true
 }
 
 // GiveUpAfter wraps a policy with a hard attempt budget: the inner
 // policy's schedule applies, but after n total submissions the
 // transaction is abandoned regardless of what the inner policy says.
-// It turns an unlimited policy into a give-up-after-N one.
+// It turns an unlimited policy into a give-up-after-N one. Stateful
+// inner policies (AdaptivePolicy) keep their per-client adaptation:
+// the wrapper clones the inner policy per client and exposes its
+// observer/trajectory facets through unwrap.
 func GiveUpAfter(inner RetryPolicy, n int) RetryPolicy {
 	return giveUpAfter{inner: inner, n: n}
 }
@@ -135,3 +131,25 @@ func (g giveUpAfter) NextDelay(attempts int, rng *rand.Rand) (time.Duration, boo
 	}
 	return g.inner.NextDelay(attempts, rng)
 }
+
+// Validate forwards the inner policy's validation (Config.Validate
+// checks it through the optional Validate interface).
+func (g giveUpAfter) Validate() error {
+	if v, ok := g.inner.(interface{ Validate() error }); ok {
+		return v.Validate()
+	}
+	return nil
+}
+
+// perClient implements perClientPolicy: a stateful inner policy is
+// cloned per client and re-wrapped so the attempt cap still applies.
+func (g giveUpAfter) perClient() RetryPolicy {
+	if pc, ok := g.inner.(perClientPolicy); ok {
+		return giveUpAfter{inner: pc.perClient(), n: g.n}
+	}
+	return g
+}
+
+// unwrap exposes the inner policy so the client can find its
+// observer/trajectory facets through the wrapper.
+func (g giveUpAfter) unwrap() RetryPolicy { return g.inner }

@@ -37,6 +37,19 @@ type Collector struct {
 	jobLatencySum time.Duration                         // first submission -> final resolution
 	firstTryValid int                                   // jobs valid on their first submission
 	attempts      map[int]map[ledger.ValidationCode]int // outcome of each attempt number
+
+	// Retry-budget accounting (Config.RetryBudget).
+	budgetExhausted int // retries dropped on an empty bucket
+	deferred        int // retries delayed waiting for a token
+	deferDepth      int // retries currently waiting
+	maxDeferDepth   int // peak of deferDepth over the run
+
+	// Adaptive-backoff trajectory (AdaptivePolicy): one sample per
+	// observed outcome, across all clients.
+	backoffSamples int
+	backoffSum     time.Duration
+	backoffMax     time.Duration
+	backoffLast    time.Duration
 }
 
 // NewCollector returns an empty collector.
@@ -107,6 +120,41 @@ func (c *Collector) RecordAttempt(attempt int, code ledger.ValidationCode) {
 	if attempt == 1 && code == ledger.Valid {
 		c.firstTryValid++
 	}
+}
+
+// RecordBudgetExhausted counts one resubmission dropped because the
+// client's retry budget was empty (token bucket in drop mode). The
+// affected job is additionally recorded as given up via RecordJob.
+func (c *Collector) RecordBudgetExhausted() { c.budgetExhausted++ }
+
+// RecordDeferStart counts one resubmission entering the deferred
+// state: the retry budget lent a token and the retry waits for the
+// refill stream. The paired RecordDeferEnd fires when it resubmits.
+func (c *Collector) RecordDeferStart() {
+	c.deferred++
+	c.deferDepth++
+	if c.deferDepth > c.maxDeferDepth {
+		c.maxDeferDepth = c.deferDepth
+	}
+}
+
+// RecordDeferEnd marks one deferred resubmission leaving the queue.
+func (c *Collector) RecordDeferEnd() {
+	if c.deferDepth > 0 {
+		c.deferDepth--
+	}
+}
+
+// RecordBackoffSample records the current backoff level of an
+// adaptive retry controller after it processed an outcome. The report
+// summarizes the sample stream as the AIMD trajectory.
+func (c *Collector) RecordBackoffSample(d time.Duration) {
+	c.backoffSamples++
+	c.backoffSum += d
+	if d > c.backoffMax {
+		c.backoffMax = d
+	}
+	c.backoffLast = d
 }
 
 // RecordJob records the final resolution of a tracked logical
@@ -197,6 +245,25 @@ type Report struct {
 	// resubmission was still pending when the run ended — so its
 	// totals can slightly exceed Attempts.
 	AttemptBreakdown map[int]map[ledger.ValidationCode]int
+
+	// BudgetExhausted counts resubmissions dropped because the
+	// client's retry budget (token bucket, drop mode) was empty; each
+	// such drop also abandons its job (counted in GaveUp).
+	BudgetExhausted int
+	// DeferredRetries counts resubmissions that had to wait for a
+	// budget token beyond their policy backoff (token bucket, defer
+	// mode).
+	DeferredRetries int
+	// MaxDeferredDepth is the peak number of resubmissions
+	// simultaneously parked waiting for budget tokens.
+	MaxDeferredDepth int
+
+	// Adaptive-backoff trajectory summary (AdaptivePolicy runs only):
+	// the mean, peak and final backoff level across every adjustment
+	// made by every client's AIMD controller. Zero otherwise.
+	AdaptiveBackoffAvg   time.Duration
+	AdaptiveBackoffMax   time.Duration
+	AdaptiveBackoffFinal time.Duration
 }
 
 // Report computes the summary.
@@ -266,6 +333,14 @@ func (c *Collector) Report() Report {
 	}
 	if r.Duration > 0 {
 		r.Goodput = float64(r.FirstAttemptValid) / r.Duration.Seconds()
+	}
+	r.BudgetExhausted = c.budgetExhausted
+	r.DeferredRetries = c.deferred
+	r.MaxDeferredDepth = c.maxDeferDepth
+	if c.backoffSamples > 0 {
+		r.AdaptiveBackoffAvg = c.backoffSum / time.Duration(c.backoffSamples)
+		r.AdaptiveBackoffMax = c.backoffMax
+		r.AdaptiveBackoffFinal = c.backoffLast
 	}
 	return r
 }

@@ -274,3 +274,50 @@ func TestFallbackCountsServedReadsAsFirstTrySuccess(t *testing.T) {
 		t.Errorf("amplification = %v, want 1", r.RetryAmplification)
 	}
 }
+
+func TestBudgetAndDeferAccounting(t *testing.T) {
+	c := NewCollector()
+	c.RecordBudgetExhausted()
+	c.RecordBudgetExhausted()
+	// Two deferrals overlap (depth 2), a third follows alone.
+	c.RecordDeferStart()
+	c.RecordDeferStart()
+	c.RecordDeferEnd()
+	c.RecordDeferEnd()
+	c.RecordDeferStart()
+	c.RecordDeferEnd()
+	// A spurious extra end must not drive the depth negative.
+	c.RecordDeferEnd()
+	c.RecordDeferStart()
+	r := c.Report()
+	if r.BudgetExhausted != 2 {
+		t.Errorf("exhausted %d, want 2", r.BudgetExhausted)
+	}
+	if r.DeferredRetries != 4 {
+		t.Errorf("deferred %d, want 4", r.DeferredRetries)
+	}
+	if r.MaxDeferredDepth != 2 {
+		t.Errorf("max depth %d, want 2", r.MaxDeferredDepth)
+	}
+}
+
+func TestBackoffTrajectorySummary(t *testing.T) {
+	c := NewCollector()
+	r := c.Report()
+	if r.AdaptiveBackoffAvg != 0 || r.AdaptiveBackoffMax != 0 || r.AdaptiveBackoffFinal != 0 {
+		t.Error("empty collector reported a trajectory")
+	}
+	c.RecordBackoffSample(100 * time.Millisecond)
+	c.RecordBackoffSample(400 * time.Millisecond)
+	c.RecordBackoffSample(200 * time.Millisecond)
+	r = c.Report()
+	if want := (100 + 400 + 200) * time.Millisecond / 3; r.AdaptiveBackoffAvg != want {
+		t.Errorf("avg %v, want %v", r.AdaptiveBackoffAvg, want)
+	}
+	if r.AdaptiveBackoffMax != 400*time.Millisecond {
+		t.Errorf("max %v, want 400ms", r.AdaptiveBackoffMax)
+	}
+	if r.AdaptiveBackoffFinal != 200*time.Millisecond {
+		t.Errorf("final %v, want 200ms", r.AdaptiveBackoffFinal)
+	}
+}

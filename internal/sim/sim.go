@@ -157,6 +157,26 @@ func (e *Engine) Normal(mean, stddev time.Duration) time.Duration {
 	return d
 }
 
+// LogNormal draws a log-normally distributed duration whose mean is
+// mean and whose underlying normal has standard deviation sigma. The
+// location parameter is derived as µ = ln(mean) − σ²/2 so that the
+// distribution's expectation equals mean regardless of sigma. It
+// models heavy-tailed client think times.
+func (e *Engine) LogNormal(mean time.Duration, sigma float64) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	if sigma <= 0 {
+		return mean
+	}
+	mu := math.Log(float64(mean)) - sigma*sigma/2
+	d := time.Duration(math.Exp(mu + sigma*e.rng.NormFloat64()))
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
 // Uniform draws a duration uniformly from [lo, hi).
 func (e *Engine) Uniform(lo, hi time.Duration) time.Duration {
 	if hi <= lo {
