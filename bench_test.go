@@ -92,6 +92,13 @@ func BenchmarkFig26_AllSystems(b *testing.B)            { runExperiment(b, "fig2
 // amplification and end-to-end-latency columns.
 func BenchmarkRetryPolicies_Goodput(b *testing.B) { runExperiment(b, "retry-policies") }
 
+// BenchmarkRetryCoordination_Backpressure exercises the orderer-driven
+// backpressure subsystem: the coordination ladder × block size ×
+// variant sweep with its paced/hint columns.
+func BenchmarkRetryCoordination_Backpressure(b *testing.B) {
+	runExperiment(b, "retry-coordination")
+}
+
 // BenchmarkExpAllParallelism measures how the harness's wall-clock
 // for a full sweep scales with the worker-pool size (see also
 // BenchmarkBlockSizeSweepParallelism in internal/core for the raw

@@ -1,8 +1,8 @@
 // Command hyperlab regenerates the tables and figures of "Why Do My
 // Blockchain Transactions Fail? A Study of Hyperledger Fabric"
 // (SIGMOD 2021) from the simulated testbed, plus the lab's own
-// experiments (retry-policies, retry-cotune). See docs/EXPERIMENTS.md
-// for every experiment id and its sweep axes.
+// experiments (retry-policies, retry-cotune, retry-coordination). See
+// docs/EXPERIMENTS.md for every experiment id and its sweep axes.
 //
 // Usage:
 //
@@ -18,6 +18,9 @@
 //	hyperlab -adhoc -retry adaptive -budget 1:3:drop -closedloop -think exp:500ms
 //	                                    ad-hoc run with adaptive resubmission,
 //	                                    a per-client retry budget and think time
+//	hyperlab -adhoc -retry hinted -backpressure on
+//	                                    ad-hoc run with orderer-driven
+//	                                    backpressure hints pacing the clients
 //	hyperlab -render                    emit a generated genChain chaincode
 package main
 
@@ -57,8 +60,9 @@ func main() {
 		duration   = flag.Duration("duration", 30*time.Second, "ad-hoc run: virtual send window")
 		seed       = flag.Int64("seed", 1, "ad-hoc run: random seed")
 		dump       = flag.Int("dump", 0, "ad-hoc run: print JSON summaries of the first N blocks")
-		retry      = flag.String("retry", "none", "ad-hoc run: retry policy none|immediate|backoff|adaptive")
+		retry      = flag.String("retry", "none", "ad-hoc run: retry policy none|immediate|backoff|adaptive|hinted")
 		budget     = flag.String("budget", "", "ad-hoc run: retry budget 'rate:burst[:drop|defer]', e.g. 1:3, 2:5:drop (empty = unlimited; default mode defer)")
+		backpress  = flag.String("backpressure", "", "ad-hoc run: orderer congestion hints off|on|'smoothing:gain[:maxpause]', e.g. 0.5:1s:2s (empty = off)")
 		closedLoop = flag.Bool("closedloop", false, "ad-hoc run: closed-loop clients instead of Poisson arrivals")
 		inflight   = flag.Int("inflight", 1, "ad-hoc run: closed-loop in-flight window per client")
 		think      = flag.String("think", "none", "ad-hoc run: closed-loop think time none|fixed:<dur>|exp:<dur>|lognormal:<dur>[:sigma]")
@@ -93,7 +97,8 @@ func main() {
 			db: *db, system: *system, cluster: *cluster, skew: *skew,
 			duration: *duration, seed: *seed, dump: *dump,
 			retry: *retry, budget: *budget, think: *think,
-			closedLoop: *closedLoop, inflight: *inflight,
+			backpressure: *backpress,
+			closedLoop:   *closedLoop, inflight: *inflight,
 		})
 	default:
 		flag.Usage()
@@ -146,7 +151,7 @@ func runExperiments(id string, full, smoke, verbose bool, parallel int) {
 // adhocOptions bundles the ad-hoc runner's knobs.
 type adhocOptions struct {
 	ccName, db, system, cluster, retry string
-	budget, think                      string
+	budget, think, backpressure        string
 	rate, skew                         float64
 	blockSize, dump, inflight          int
 	duration                           time.Duration
@@ -241,6 +246,8 @@ func adhoc(o adhocOptions) {
 		}
 	case "adaptive":
 		cfg.Retry = fabric.AdaptivePolicy{MaxAttempts: 5, Jitter: 0.2}
+	case "hinted":
+		cfg.Retry = fabric.BackpressurePolicy{MaxAttempts: 5, Jitter: 0.2}
 	default:
 		fatal(fmt.Errorf("unknown retry policy %q", o.retry))
 	}
@@ -249,6 +256,14 @@ func adhoc(o adhocOptions) {
 		fatal(err)
 	}
 	cfg.RetryBudget = budget
+	bp, err := fabric.ParseBackpressure(o.backpressure)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Backpressure = bp
+	if _, hinted := cfg.Retry.(fabric.BackpressurePolicy); hinted && bp == nil {
+		fmt.Fprintln(os.Stderr, "hyperlab: note: -retry hinted without -backpressure degenerates to a constant floor backoff")
+	}
 	thinkTime, err := fabric.ParseThinkTime(o.think)
 	if err != nil {
 		fatal(err)
@@ -309,6 +324,12 @@ func adhoc(o adhocOptions) {
 			rep.AdaptiveBackoffAvg.Round(time.Millisecond),
 			rep.AdaptiveBackoffMax.Round(time.Millisecond),
 			rep.AdaptiveBackoffFinal.Round(time.Millisecond))
+	}
+	if cfg.Backpressure != nil {
+		fmt.Printf("backpressure %s: hint avg=%.3f max=%.3f final=%.3f paced=%d time-paced=%v\n",
+			cfg.Backpressure.Name(), rep.BackpressureHintAvg, rep.BackpressureHintMax,
+			rep.BackpressureHintFinal, rep.PacedSubmissions,
+			rep.TimePaced.Round(time.Millisecond))
 	}
 	if err := nw.Chain().Verify(); err != nil {
 		fatal(fmt.Errorf("chain verification failed: %w", err))

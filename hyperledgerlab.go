@@ -42,8 +42,13 @@
 // commit events from the metrics peer, and resubmit failures on the
 // policy's backoff schedule. Config.RetryBudget adds a per-client
 // token bucket that rate-limits resubmissions regardless of policy
-// (deferring or dropping over-budget retries). Config.ClosedLoop
-// switches from open-loop Poisson arrivals to a closed loop with
+// (deferring or dropping over-budget retries). Config.Backpressure
+// adds the coordinated half: the ordering service condenses its own
+// backlog into a congestion hint stamped onto commit events, clients
+// pace resubmissions and new closed-loop work by hint×gain, and the
+// hint feeds the orderer-hinted BackpressurePolicy (or blends into
+// AdaptivePolicy via HintWeight). Config.ClosedLoop switches from
+// open-loop Poisson arrivals to a closed loop with
 // Config.InFlightPerClient outstanding transactions per client and an
 // optional Config.ThinkTime distribution (fixed, exponential or
 // log-normal) between jobs.
@@ -53,12 +58,15 @@
 // RetryAmplification (submissions per logical transaction),
 // AvgEndToEnd (latency through every resubmission), GaveUp, a
 // per-attempt failure breakdown, budget exhaustion/deferral counts,
-// and the adaptive-backoff trajectory summary. The "retry-policies"
+// the adaptive-backoff trajectory summary, and the backpressure
+// summary (hint trajectory, time spent paced). The "retry-policies"
 // experiment (cmd/hyperlab -run retry-policies) sweeps policy × skew
 // × block size over the four use-case chaincodes to answer what a
 // failure actually costs end-to-end; "retry-cotune" co-tunes block
 // size × retry-control strategy (static vs adaptive vs budgeted vs
-// paced) × variant (Fabric 1.4 vs Fabric++ early abort). See
+// paced) × variant (Fabric 1.4 vs Fabric++ early abort);
+// "retry-coordination" compares client-local control against the
+// orderer-driven backpressure hints head-to-head. See
 // docs/ARCHITECTURE.md and docs/EXPERIMENTS.md.
 //
 // # Test matrix
@@ -172,6 +180,13 @@ type (
 	// RetryBudget rate-limits resubmissions per client with a token
 	// bucket (Config.RetryBudget), independent of the retry policy.
 	RetryBudget = fabric.RetryBudget
+	// Backpressure enables the orderer-driven congestion signal
+	// (Config.Backpressure): the ordering service publishes a smoothed
+	// hint with each cut block and clients pace submissions from it.
+	Backpressure = fabric.Backpressure
+	// BackpressurePolicy is the orderer-hinted retry policy: backoff
+	// slides from Floor to Ceiling with the shared congestion hint.
+	BackpressurePolicy = fabric.BackpressurePolicy
 	// ThinkTime is the closed-loop think-time distribution
 	// (Config.ThinkTime): fixed, exponential or log-normal.
 	ThinkTime = fabric.ThinkTime
@@ -202,9 +217,24 @@ type CotunePolicy = core.CotunePolicy
 // adaptive, budgeted, paced) compared by the retry-cotune experiment.
 func CotunePolicies() []CotunePolicy { return core.CotunePolicies() }
 
+// CoordinationPolicy is one rung of the coordination ladder compared
+// by the retry-coordination experiment: a named policy + optional
+// budget + optional orderer backpressure signal.
+type CoordinationPolicy = core.CoordinationPolicy
+
+// CoordinationPolicies returns the retry-control strategies (aimd,
+// budgeted, hinted, hinted+budgeted) compared by the
+// retry-coordination experiment.
+func CoordinationPolicies() []CoordinationPolicy { return core.CoordinationPolicies() }
+
 // ParseThinkTime parses a think-time spec such as "exp:500ms" or
 // "lognormal:1s:0.8" (the CLI's -think syntax).
 func ParseThinkTime(s string) (ThinkTime, error) { return fabric.ParseThinkTime(s) }
+
+// ParseBackpressure parses a backpressure spec such as "on" or
+// "0.5:1s:2s" (the CLI's -backpressure syntax); "off" and "" return
+// nil (disabled).
+func ParseBackpressure(s string) (*Backpressure, error) { return fabric.ParseBackpressure(s) }
 
 // DefaultConfig returns the paper's Table 3 defaults on the C1
 // cluster. Chaincode and Workload must still be set.

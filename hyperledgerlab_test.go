@@ -102,8 +102,8 @@ func TestVariantsViaFacade(t *testing.T) {
 }
 
 func TestExperimentRegistryComplete(t *testing.T) {
-	if len(Experiments()) != 27 {
-		t.Errorf("%d experiments exposed, want 27 (25 paper + retry-policies + retry-cotune)", len(Experiments()))
+	if len(Experiments()) != 28 {
+		t.Errorf("%d experiments exposed, want 28 (25 paper + retry-policies + retry-cotune + retry-coordination)", len(Experiments()))
 	}
 	if _, err := LookupExperiment("fig26"); err != nil {
 		t.Error(err)
@@ -112,6 +112,9 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		t.Error(err)
 	}
 	if _, err := LookupExperiment("retry-cotune"); err != nil {
+		t.Error(err)
+	}
+	if _, err := LookupExperiment("retry-coordination"); err != nil {
 		t.Error(err)
 	}
 	if FullOptions().Duration != 3*time.Minute {

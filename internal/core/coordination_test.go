@@ -1,0 +1,82 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRetryCoordinationDeterministicAcrossParallelism(t *testing.T) {
+	serial, err := RetryCoordinationExp(cotuneOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RetryCoordinationExp(cotuneOpts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Errorf("retry-coordination differs between -parallel 1 and 8:\n--- serial\n%s\n--- parallel\n%s",
+			serial, parallel)
+	}
+}
+
+func TestRetryCoordinationTableShape(t *testing.T) {
+	out, err := RetryCoordinationExp(cotuneOpts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"goodput (tps)", "amp", "paced (s)", "hint", "exhausted"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("table missing column %q", col)
+		}
+	}
+	for _, label := range []string{"aimd", "budgeted", "hinted", "hinted+budgeted"} {
+		if !strings.Contains(out, label) {
+			t.Errorf("table missing control %q", label)
+		}
+	}
+	for _, sys := range []string{"Fabric 1.4", "Fabric++"} {
+		if !strings.Contains(out, sys) {
+			t.Errorf("table missing system %q", sys)
+		}
+	}
+	// Smoke mode shrinks the grid to EHR only.
+	if strings.Contains(out, "dv") || strings.Contains(out, "scm") {
+		t.Error("smoke grid still sweeps the full chaincode axis")
+	}
+	rows := len(strings.Split(strings.TrimSpace(out), "\n")) - 2 // header + rule
+	if want := 2 * len(CoordinationPolicies()) * len(CoordinationBlockSizes); rows != want {
+		t.Errorf("smoke grid has %d rows, want %d", rows, want)
+	}
+}
+
+func TestRetryCoordinationFullGridEnumeration(t *testing.T) {
+	cells := coordinationGrid(false)
+	want := 4 * 2 * len(CoordinationPolicies()) * len(CoordinationBlockSizes)
+	if len(cells) != want {
+		t.Fatalf("full grid has %d cells, want %d", len(cells), want)
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		seen[c.ccName] = true
+	}
+	for _, cc := range []string{"ehr", "dv", "scm", "drm"} {
+		if !seen[cc] {
+			t.Errorf("full grid missing chaincode %s", cc)
+		}
+	}
+}
+
+func TestCoordinationPoliciesWireTheSignal(t *testing.T) {
+	var sawHinted, sawLocal bool
+	for _, p := range CoordinationPolicies() {
+		if p.Backpressure != nil {
+			sawHinted = true
+		} else {
+			sawLocal = true
+		}
+	}
+	if !sawHinted || !sawLocal {
+		t.Fatal("coordination ladder must compare hinted against client-local rungs")
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+)
+
+// CoordinationPolicy is one rung of the coordination ladder compared
+// by the retry-coordination experiment: a named combination of a
+// retry policy, an optional per-client budget, and the optional
+// orderer-driven backpressure signal.
+type CoordinationPolicy struct {
+	Label        string
+	Policy       fabric.RetryPolicy
+	Budget       *fabric.RetryBudget
+	Backpressure *fabric.Backpressure
+}
+
+// CoordinationPolicies returns the four retry-control strategies the
+// coordination study compares, all capped at 5 submissions so grids
+// stay comparable with retry-cotune:
+//
+//   - "aimd": the PR-3 client-local AIMD controller — each client
+//     watches only its own windowed failure rate;
+//   - "budgeted": static exponential backoff gated by a drop-mode
+//     token bucket (1 token/s, burst 3 per client) — still
+//     client-local, but the duplicate load is bounded outright;
+//   - "hinted": the orderer-driven BackpressurePolicy — every client
+//     backs off from the *shared* congestion hint the ordering
+//     service stamps onto commit events, with the pacer also
+//     stretching resubmission delays by hint×gain;
+//   - "hinted+budgeted": the shared signal and the drop-mode bucket
+//     together — coordination plus a hard bound.
+func CoordinationPolicies() []CoordinationPolicy {
+	staticBackoff := fabric.ExponentialBackoff{
+		Initial:     200 * time.Millisecond,
+		Cap:         2 * time.Second,
+		MaxAttempts: 5,
+		Jitter:      0.2,
+	}
+	budget := &fabric.RetryBudget{RefillPerSec: 1, Burst: 3, DropOnEmpty: true}
+	hinted := fabric.BackpressurePolicy{
+		Floor:       100 * time.Millisecond,
+		Ceiling:     4 * time.Second,
+		MaxAttempts: 5,
+		Jitter:      0.2,
+	}
+	signal := &fabric.Backpressure{} // documented defaults: s0.5, 1s gain, 2s max pause
+	return []CoordinationPolicy{
+		{"aimd", fabric.AdaptivePolicy{
+			Floor:       100 * time.Millisecond,
+			Ceiling:     4 * time.Second,
+			Increase:    2,
+			Decrease:    50 * time.Millisecond,
+			Window:      32,
+			Target:      0.1,
+			MaxAttempts: 5,
+			Jitter:      0.2,
+		}, nil, nil},
+		{"budgeted", staticBackoff, budget, nil},
+		{"hinted", hinted, nil, signal},
+		{"hinted+budgeted", hinted, budget, signal},
+	}
+}
+
+// CoordinationBlockSizes is the block-size axis of the coordination
+// study, matching retry-cotune so the two grids line up.
+var CoordinationBlockSizes = []int{50, 100}
+
+// coordinationSystems is the variant axis: does Fabric++'s early
+// abort still matter once clients share a congestion signal?
+var coordinationSystems = []System{Fabric14, FabricPP}
+
+// coordinationCell is one cell of the retry-coordination grid.
+type coordinationCell struct {
+	ccName string
+	sys    System
+	pol    CoordinationPolicy
+	bs     int
+}
+
+// coordinationGrid enumerates the sweep in deterministic row order:
+// chaincode, system, policy, block size. Smoke mode keeps only the
+// EHR rows so CI can run the experiment end-to-end in seconds.
+func coordinationGrid(smoke bool) []coordinationCell {
+	ccs := []string{"ehr", "dv", "scm", "drm"}
+	if smoke {
+		ccs = []string{"ehr"}
+	}
+	var cells []coordinationCell
+	for _, ccName := range ccs {
+		for _, sys := range coordinationSystems {
+			for _, pol := range CoordinationPolicies() {
+				for _, bs := range CoordinationBlockSizes {
+					cells = append(cells, coordinationCell{ccName, sys, pol, bs})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// RetryCoordinationExp answers the ROADMAP's coordination question
+// head-to-head: the AIMD controllers of retry-cotune are per-client
+// and cannot see orderer congestion until their own transactions
+// fail, while an orderer-driven backpressure hint in the commit event
+// — the SDK-level flow control a real deployment would use — lets
+// every client back off from the same signal at once. The experiment
+// sweeps retry-control strategy {client-local AIMD, budgeted,
+// orderer-hinted, hinted+budgeted} × block size × variant {Fabric
+// 1.4, Fabric++} over the four use-case chaincodes on C1 at the
+// default skew.
+//
+// Columns: goodput (first-submission success throughput), committed
+// throughput, retry amplification, end-to-end latency including
+// resubmissions and pacing, time spent paced by the shared signal,
+// the final smoothed congestion hint, budget exhaustions, give-up
+// rate and chain-level failure rate. All cells fan out across the
+// worker pool; the table is byte-for-byte identical at any
+// Options.Parallelism.
+func RetryCoordinationExp(o Options) (string, error) {
+	cells := coordinationGrid(o.Smoke)
+	builds := make([]Builder, len(cells))
+	for i, c := range cells {
+		cc, err := UseCase(c.ccName)
+		if err != nil {
+			return "", err
+		}
+		c := c
+		builds[i] = func(seed int64) fabric.Config {
+			cfg := baseConfig(C1, cc, 1, c.sys)(seed)
+			cfg.BlockSize = c.bs
+			cfg.Retry = c.pol.Policy
+			cfg.RetryBudget = c.pol.Budget
+			cfg.Backpressure = c.pol.Backpressure
+			return cfg
+		}
+	}
+	results, err := o.RunAll(builds)
+	if err != nil {
+		return "", err
+	}
+	t := metrics.NewTable("chaincode", "system", "control", "block",
+		"goodput (tps)", "tput (tps)", "amp", "e2e lat (s)",
+		"paced (s)", "hint", "exhausted", "gave up %", "failures %")
+	for i, c := range cells {
+		res := results[i]
+		t.AddRow(c.ccName, c.sys, c.pol.Label, c.bs,
+			res.Goodput, res.Throughput, res.RetryAmp, res.EndToEndSec,
+			res.PacedSec, res.HintFinal, res.BudgetExhausted,
+			res.GaveUpPct, res.FailurePct)
+	}
+	return t.String(), nil
+}

@@ -236,6 +236,12 @@ type Result struct {
 	DeferredRetries float64 // retries parked waiting for a budget token
 	MaxDeferred     float64 // peak concurrently parked retries
 	AdaptiveBackSec float64 // final AIMD backoff level, seconds
+
+	// Orderer-backpressure metrics (zero without Config.Backpressure).
+	HintAvg   float64 // mean congestion hint over block cuts, [0,1]
+	HintFinal float64 // final smoothed congestion hint, [0,1]
+	Paced     float64 // submissions delayed by the backpressure pacer
+	PacedSec  float64 // total pacer-added delay, seconds
 }
 
 // Run executes build(seed) for every seed and averages the reports.
@@ -270,6 +276,10 @@ func fromReport(r metrics.Report) Result {
 		DeferredRetries: float64(r.DeferredRetries),
 		MaxDeferred:     float64(r.MaxDeferredDepth),
 		AdaptiveBackSec: r.AdaptiveBackoffFinal.Seconds(),
+		HintAvg:         r.BackpressureHintAvg,
+		HintFinal:       r.BackpressureHintFinal,
+		Paced:           float64(r.PacedSubmissions),
+		PacedSec:        r.TimePaced.Seconds(),
 	}
 	if r.Jobs > 0 {
 		res.GaveUpPct = 100 * float64(r.GaveUp) / float64(r.Jobs)
@@ -297,6 +307,10 @@ func (r Result) add(o Result) Result {
 	r.DeferredRetries += o.DeferredRetries
 	r.MaxDeferred += o.MaxDeferred
 	r.AdaptiveBackSec += o.AdaptiveBackSec
+	r.HintAvg += o.HintAvg
+	r.HintFinal += o.HintFinal
+	r.Paced += o.Paced
+	r.PacedSec += o.PacedSec
 	return r
 }
 
@@ -320,6 +334,10 @@ func (r Result) scale(f float64) Result {
 	r.DeferredRetries *= f
 	r.MaxDeferred *= f
 	r.AdaptiveBackSec *= f
+	r.HintAvg *= f
+	r.HintFinal *= f
+	r.Paced *= f
+	r.PacedSec *= f
 	return r
 }
 

@@ -58,6 +58,14 @@ type AdaptivePolicy struct {
 	// Jitter is the uniform ± fraction applied to each delay.
 	// 0 means no jitter.
 	Jitter float64
+	// HintWeight optionally blends the orderer's backpressure hint
+	// (Config.Backpressure) into each delay: the backoff slides from
+	// the AIMD level toward Ceiling by HintWeight×hint of the
+	// remaining headroom. 0 (the default) ignores the hint entirely —
+	// the controller stays purely client-local and byte-identical to
+	// PR-3 behaviour. Must be in [0,1]; without Config.Backpressure
+	// the hint is always zero and the weight is inert.
+	HintWeight float64
 }
 
 // withDefaults resolves the documented zero-value defaults.
@@ -100,6 +108,8 @@ func (p AdaptivePolicy) Validate() error {
 		return fmt.Errorf("fabric: adaptive window must be >= 0, got %d", p.Window)
 	case p.Target < 0 || p.Target > 1:
 		return fmt.Errorf("fabric: adaptive target rate must be in [0,1], got %g", p.Target)
+	case p.HintWeight < 0 || p.HintWeight > 1:
+		return fmt.Errorf("fabric: adaptive hint weight must be in [0,1], got %g", p.HintWeight)
 	}
 	if d := p.withDefaults(); d.Floor > d.Ceiling {
 		return fmt.Errorf("fabric: adaptive floor %v above ceiling %v", d.Floor, d.Ceiling)
@@ -138,6 +148,10 @@ type adaptiveState struct {
 	cfg AdaptivePolicy // defaults resolved
 	cur time.Duration  // current backoff level
 
+	// hint is the latest orderer congestion hint, blended into delays
+	// when cfg.HintWeight > 0 (zero otherwise).
+	hint float64
+
 	// window is a ring of the last cfg.Window outcomes (true = the
 	// attempt failed); next is the write cursor, failures the count of
 	// true entries currently in the ring.
@@ -149,13 +163,27 @@ type adaptiveState struct {
 // Name implements RetryPolicy.
 func (s *adaptiveState) Name() string { return s.cfg.Name() }
 
-// NextDelay implements RetryPolicy: the current AIMD level, jittered.
+// NextDelay implements RetryPolicy: the current AIMD level — slid
+// toward the ceiling by the weighted congestion hint when HintWeight
+// is set — jittered.
 func (s *adaptiveState) NextDelay(attempts int, rng *rand.Rand) (time.Duration, bool) {
 	if s.cfg.MaxAttempts > 0 && attempts >= s.cfg.MaxAttempts {
 		return 0, false
 	}
-	return jitterDelay(s.cur, s.cfg.Jitter, rng), true
+	d := s.cur
+	if w := s.cfg.HintWeight; w > 0 && s.hint > 0 && d < s.cfg.Ceiling {
+		d += time.Duration(w * s.hint * float64(s.cfg.Ceiling-d))
+		if d > s.cfg.Ceiling {
+			d = s.cfg.Ceiling
+		}
+	}
+	return jitterDelay(d, s.cfg.Jitter, rng), true
 }
+
+// observeHint implements hintObserver: remember the shared signal for
+// the next delay computation. The AIMD state itself is untouched —
+// the hint shifts delays, it does not rewrite the controller.
+func (s *adaptiveState) observeHint(h float64) { s.hint = h }
 
 // observe implements outcomeObserver: slide the window and run the
 // AIMD update.

@@ -1,0 +1,237 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Backpressure enables the orderer-driven congestion signal
+// (Config.Backpressure): at every block cut the ordering service
+// condenses its own load — the serial-server backlog and the
+// arrival-vs-service pressure estimated from the ordered-transaction
+// stream — into a hint in [0,1], smooths it with an EWMA, and stamps
+// it onto the block. The hint travels to clients on the commit events
+// they already listen to (and on early-abort notifications), exactly
+// where a Fabric SDK would read block metadata, so no extra events and
+// no extra rng draws exist anywhere on the path.
+//
+// Clients use the hint two ways:
+//
+//   - pacing: every resubmission and every new closed-loop submission
+//     is delayed by hint×Gain (capped at MaxPause) on top of whatever
+//     the retry policy or think time decided — SDK-level flow control
+//     driven by the shared signal instead of each client's private
+//     failure history;
+//   - policy input: BackpressurePolicy derives its whole backoff from
+//     the hint, and AdaptivePolicy.HintWeight blends the hint into the
+//     AIMD level.
+//
+// Nil (the default) disables the subsystem completely: the orderer
+// computes nothing, hints stay zero, and runs are byte-identical to a
+// build without it. Pacing requires outcome tracking (a retry policy
+// or closed-loop mode), since the hint arrives on outcome events.
+type Backpressure struct {
+	// Smoothing is the EWMA weight of the newest raw congestion sample
+	// in (0,1]: smoothed = Smoothing*raw + (1-Smoothing)*previous.
+	// 0 defaults to 0.5; 1 disables smoothing (raw hints pass through);
+	// outside [0,1] is a validation error.
+	Smoothing float64
+	// Gain converts the hint into a pacing pause: a client delays its
+	// next submission by hint×Gain, so a fully congested orderer
+	// (hint 1) paces by the whole Gain. 0 defaults to 1s; negative is a
+	// validation error.
+	Gain time.Duration
+	// MaxPause caps one pacing pause. 0 defaults to 2s; negative is a
+	// validation error.
+	MaxPause time.Duration
+}
+
+// withDefaults resolves the documented zero-value defaults.
+func (b Backpressure) withDefaults() Backpressure {
+	if b.Smoothing == 0 {
+		b.Smoothing = 0.5
+	}
+	if b.Gain == 0 {
+		b.Gain = time.Second
+	}
+	if b.MaxPause == 0 {
+		b.MaxPause = 2 * time.Second
+	}
+	return b
+}
+
+// Validate reports configuration errors.
+func (b Backpressure) Validate() error {
+	switch {
+	case b.Smoothing < 0 || b.Smoothing > 1:
+		return fmt.Errorf("fabric: backpressure smoothing must be in [0,1], got %g", b.Smoothing)
+	case b.Gain < 0:
+		return fmt.Errorf("fabric: backpressure gain must be >= 0, got %v", b.Gain)
+	case b.MaxPause < 0:
+		return fmt.Errorf("fabric: backpressure max pause must be >= 0, got %v", b.MaxPause)
+	}
+	return nil
+}
+
+// Name labels the signal in experiment tables, e.g. "bp(s0.5,1s,max2s)".
+func (b Backpressure) Name() string {
+	b = b.withDefaults()
+	return fmt.Sprintf("bp(s%g,%v,max%v)", b.Smoothing, b.Gain, b.MaxPause)
+}
+
+// pause converts a hint into the pacing delay: hint×Gain capped at
+// MaxPause. Zero hints pause nothing.
+func (b Backpressure) pause(hint float64) time.Duration {
+	if hint <= 0 {
+		return 0
+	}
+	d := time.Duration(hint * float64(b.Gain))
+	if d > b.MaxPause {
+		d = b.MaxPause
+	}
+	return d
+}
+
+// ParseBackpressure parses the CLI syntax for the backpressure spec:
+// "off" (or "") disables it, "on" enables it with the documented
+// defaults, and "smoothing:gain[:maxpause]" — e.g. "0.5:1s:2s" — sets
+// the knobs explicitly.
+func ParseBackpressure(s string) (*Backpressure, error) {
+	switch strings.ToLower(s) {
+	case "", "off":
+		return nil, nil
+	case "on", "default":
+		return &Backpressure{}, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return nil, fmt.Errorf("fabric: backpressure %q: want off, on or smoothing:gain[:maxpause]", s)
+	}
+	var b Backpressure
+	smooth, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: backpressure smoothing %q: %w", parts[0], err)
+	}
+	b.Smoothing = smooth
+	gain, err := time.ParseDuration(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("fabric: backpressure gain %q: %w", parts[1], err)
+	}
+	b.Gain = gain
+	if len(parts) == 3 {
+		maxPause, err := time.ParseDuration(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("fabric: backpressure max pause %q: %w", parts[2], err)
+		}
+		b.MaxPause = maxPause
+	}
+	return &b, b.Validate()
+}
+
+// BackpressurePolicy is the orderer-hinted retry policy: instead of a
+// private backoff schedule (ExponentialBackoff) or a private failure
+// window (AdaptivePolicy), every resubmission waits a delay derived
+// from the shared congestion hint the ordering service stamps onto
+// commit events — Floor when the orderer is idle, sliding linearly to
+// Ceiling at full congestion. All clients therefore back off from the
+// *same* signal, the coordination the client-local controllers lack.
+//
+// The policy needs Config.Backpressure to be set; without the signal
+// the hint stays zero and the policy degenerates to a constant
+// Floor-level backoff.
+type BackpressurePolicy struct {
+	// Floor is the backoff at hint 0. 0 defaults to 50ms; negative is
+	// a validation error.
+	Floor time.Duration
+	// Ceiling is the backoff at hint 1. 0 defaults to 4s.
+	Ceiling time.Duration
+	// MaxAttempts caps total submissions per logical transaction,
+	// first attempt included. 0 = unlimited.
+	MaxAttempts int
+	// Jitter is the uniform ± fraction applied to each delay.
+	// 0 means no jitter.
+	Jitter float64
+}
+
+// withDefaults resolves the documented zero-value defaults.
+func (p BackpressurePolicy) withDefaults() BackpressurePolicy {
+	if p.Floor == 0 {
+		p.Floor = 50 * time.Millisecond
+	}
+	if p.Ceiling == 0 {
+		p.Ceiling = 4 * time.Second
+	}
+	return p
+}
+
+// Validate reports configuration errors. The floor/ceiling relation is
+// checked against the resolved defaults, like AdaptivePolicy.
+func (p BackpressurePolicy) Validate() error {
+	switch {
+	case p.Floor < 0:
+		return fmt.Errorf("fabric: backpressure policy floor must be >= 0, got %v", p.Floor)
+	case p.Ceiling < 0:
+		return fmt.Errorf("fabric: backpressure policy ceiling must be >= 0, got %v", p.Ceiling)
+	}
+	if d := p.withDefaults(); d.Floor > d.Ceiling {
+		return fmt.Errorf("fabric: backpressure policy floor %v above ceiling %v", d.Floor, d.Ceiling)
+	}
+	return nil
+}
+
+// Name implements RetryPolicy.
+func (p BackpressurePolicy) Name() string {
+	if p.MaxAttempts > 0 {
+		return fmt.Sprintf("hinted(%d)", p.MaxAttempts)
+	}
+	return "hinted"
+}
+
+// NextDelay implements RetryPolicy on the bare config value: with no
+// per-client hint state it backs off at the Floor level. Inside a
+// Network each client consults its own *backpressureState instead.
+func (p BackpressurePolicy) NextDelay(attempts int, rng *rand.Rand) (time.Duration, bool) {
+	if p.MaxAttempts > 0 && attempts >= p.MaxAttempts {
+		return 0, false
+	}
+	d := p.withDefaults()
+	return jitterDelay(d.Floor, d.Jitter, rng), true
+}
+
+// perClient implements perClientPolicy: every client tracks the hint
+// it last observed on its own commit-event stream.
+func (p BackpressurePolicy) perClient() RetryPolicy {
+	return &backpressureState{cfg: p.withDefaults()}
+}
+
+// backpressureState is one client's view of the shared signal.
+type backpressureState struct {
+	cfg  BackpressurePolicy // defaults resolved
+	hint float64            // latest observed congestion hint
+}
+
+// Name implements RetryPolicy.
+func (s *backpressureState) Name() string { return s.cfg.Name() }
+
+// NextDelay implements RetryPolicy: Floor + hint×(Ceiling−Floor),
+// jittered.
+func (s *backpressureState) NextDelay(attempts int, rng *rand.Rand) (time.Duration, bool) {
+	if s.cfg.MaxAttempts > 0 && attempts >= s.cfg.MaxAttempts {
+		return 0, false
+	}
+	d := s.cfg.Floor + time.Duration(s.hint*float64(s.cfg.Ceiling-s.cfg.Floor))
+	return jitterDelay(d, s.cfg.Jitter, rng), true
+}
+
+// observeHint implements hintObserver.
+func (s *backpressureState) observeHint(h float64) { s.hint = h }
+
+// hintObserver is implemented by retry policies that consume the
+// orderer's congestion hint delivered with commit events
+// (BackpressurePolicy always, AdaptivePolicy when HintWeight > 0).
+type hintObserver interface {
+	observeHint(h float64)
+}

@@ -1,0 +1,344 @@
+package fabric
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestBackpressureDefaultsAndValidation(t *testing.T) {
+	b := Backpressure{}.withDefaults()
+	if b.Smoothing != 0.5 || b.Gain != time.Second || b.MaxPause != 2*time.Second {
+		t.Errorf("defaults = %+v, want s0.5 gain 1s max 2s", b)
+	}
+	for i, bad := range []Backpressure{
+		{Smoothing: -0.1},
+		{Smoothing: 1.5},
+		{Gain: -time.Second},
+		{MaxPause: -time.Second},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("case %d: %+v validated", i, bad)
+		}
+	}
+	if got := (Backpressure{}).Name(); got != "bp(s0.5,1s,max2s)" {
+		t.Errorf("name = %q", got)
+	}
+	cfg := retryConfig(1, ImmediateRetry{MaxAttempts: 3})
+	cfg.Backpressure = &Backpressure{Smoothing: 2}
+	if _, err := NewNetwork(cfg); err == nil {
+		t.Error("network accepted an invalid backpressure config")
+	}
+}
+
+func TestBackpressurePause(t *testing.T) {
+	b := Backpressure{Gain: time.Second, MaxPause: 2 * time.Second}.withDefaults()
+	if got := b.pause(0); got != 0 {
+		t.Errorf("pause(0) = %v", got)
+	}
+	if got := b.pause(0.5); got != 500*time.Millisecond {
+		t.Errorf("pause(0.5) = %v, want 500ms", got)
+	}
+	if got := b.pause(1); got != time.Second {
+		t.Errorf("pause(1) = %v, want 1s", got)
+	}
+	steep := Backpressure{Gain: 4 * time.Second, MaxPause: 2 * time.Second}.withDefaults()
+	if got := steep.pause(1); got != 2*time.Second {
+		t.Errorf("pause(1) with 4s gain = %v, want the 2s cap", got)
+	}
+}
+
+func TestParseBackpressure(t *testing.T) {
+	if bp, err := ParseBackpressure(""); err != nil || bp != nil {
+		t.Errorf("ParseBackpressure(\"\") = %+v, %v", bp, err)
+	}
+	if bp, err := ParseBackpressure("off"); err != nil || bp != nil {
+		t.Errorf("ParseBackpressure(off) = %+v, %v", bp, err)
+	}
+	if bp, err := ParseBackpressure("on"); err != nil || bp == nil || *bp != (Backpressure{}) {
+		t.Errorf("ParseBackpressure(on) = %+v, %v", bp, err)
+	}
+	want := Backpressure{Smoothing: 0.3, Gain: 500 * time.Millisecond, MaxPause: 3 * time.Second}
+	if bp, err := ParseBackpressure("0.3:500ms:3s"); err != nil || bp == nil || *bp != want {
+		t.Errorf("ParseBackpressure(0.3:500ms:3s) = %+v, %v", bp, err)
+	}
+	if bp, err := ParseBackpressure("0.3:500ms"); err != nil || bp == nil || bp.MaxPause != 0 {
+		t.Errorf("two-field spec = %+v, %v", bp, err)
+	}
+	for _, in := range []string{"x", "0.3", "a:1s", "0.3:zz", "0.3:1s:zz", "2:1s", "0.3:1s:2s:4"} {
+		if _, err := ParseBackpressure(in); err == nil {
+			t.Errorf("ParseBackpressure(%q) accepted", in)
+		}
+	}
+}
+
+func TestUpdateHintBacklogAndSmoothing(t *testing.T) {
+	nw := harness(t)
+	bp := Backpressure{Smoothing: 0.5}.withDefaults()
+	nw.bp = &bp
+	os := nw.orderer
+	// A backlog far past the block timeout saturates the raw sample at
+	// 1; the EWMA walks the smoothed hint toward it in halves.
+	os.occupy(10 * nw.cfg.BlockTimeout)
+	os.updateHint()
+	if got := os.CongestionHint(); got != 0.5 {
+		t.Fatalf("hint after one saturated sample = %g, want 0.5", got)
+	}
+	os.updateHint()
+	if got := os.CongestionHint(); got != 0.75 {
+		t.Fatalf("hint after two saturated samples = %g, want 0.75", got)
+	}
+	// An idle orderer decays the hint instead of resetting it.
+	os.busyUntil = 0
+	nw.eng.RunUntil(sim.Time(time.Second))
+	os.updateHint()
+	if got := os.CongestionHint(); got != 0.375 {
+		t.Fatalf("hint after an idle sample = %g, want 0.375", got)
+	}
+}
+
+func TestServiceRateEstimate(t *testing.T) {
+	nw := harness(t)
+	svc := nw.orderer.serviceRate()
+	if svc <= 0 {
+		t.Fatalf("service rate = %g, want > 0", svc)
+	}
+	// Larger blocks amortize the fixed per-block cost: the estimated
+	// service rate must not shrink when the block size grows.
+	nw.orderer.blockSize = 1
+	if small := nw.orderer.serviceRate(); small >= svc {
+		t.Errorf("service rate at block 1 (%g) >= at block 100 (%g)", small, svc)
+	}
+}
+
+func TestBackpressurePolicyDelayScalesWithHint(t *testing.T) {
+	p := BackpressurePolicy{Floor: 100 * time.Millisecond, Ceiling: 1100 * time.Millisecond}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := p.perClient().(*backpressureState)
+	rng := sim.NewEngine(1).Rand()
+	if d, ok := s.NextDelay(1, rng); !ok || d != 100*time.Millisecond {
+		t.Errorf("delay at hint 0 = %v ok=%v, want the 100ms floor", d, ok)
+	}
+	s.observeHint(0.5)
+	if d, _ := s.NextDelay(1, rng); d != 600*time.Millisecond {
+		t.Errorf("delay at hint 0.5 = %v, want the 600ms midpoint", d)
+	}
+	s.observeHint(1)
+	if d, _ := s.NextDelay(1, rng); d != 1100*time.Millisecond {
+		t.Errorf("delay at hint 1 = %v, want the 1.1s ceiling", d)
+	}
+	capped := BackpressurePolicy{MaxAttempts: 2}.perClient()
+	if _, ok := capped.NextDelay(2, rng); ok {
+		t.Error("policy retried past MaxAttempts")
+	}
+	if (BackpressurePolicy{}).Name() != "hinted" || (BackpressurePolicy{MaxAttempts: 5}).Name() != "hinted(5)" {
+		t.Error("unexpected policy names")
+	}
+	if err := (BackpressurePolicy{Floor: 5 * time.Second, Ceiling: time.Second}).Validate(); err == nil {
+		t.Error("floor above ceiling validated")
+	}
+}
+
+func TestAdaptiveHintWeightBlending(t *testing.T) {
+	base := AdaptivePolicy{Floor: 100 * time.Millisecond, Ceiling: 1100 * time.Millisecond}
+	rng := sim.NewEngine(1).Rand()
+
+	unweighted := base.perClient().(*adaptiveState)
+	unweighted.observeHint(1)
+	if d, _ := unweighted.NextDelay(1, rng); d != 100*time.Millisecond {
+		t.Errorf("HintWeight 0 delay = %v, want the untouched 100ms floor", d)
+	}
+
+	weighted := base
+	weighted.HintWeight = 0.5
+	s := weighted.perClient().(*adaptiveState)
+	s.observeHint(1)
+	// Half the headroom above the current level: 100ms + 0.5×1s.
+	if d, _ := s.NextDelay(1, rng); d != 600*time.Millisecond {
+		t.Errorf("blended delay = %v, want 600ms", d)
+	}
+	s.observeHint(0)
+	if d, _ := s.NextDelay(1, rng); d != 100*time.Millisecond {
+		t.Errorf("delay after the hint cleared = %v, want 100ms", d)
+	}
+	if err := (AdaptivePolicy{HintWeight: 1.5}).Validate(); err == nil {
+		t.Error("hint weight above 1 validated")
+	}
+	if err := (AdaptivePolicy{HintWeight: -0.5}).Validate(); err == nil {
+		t.Error("negative hint weight validated")
+	}
+}
+
+// congestedConfig deliberately undersizes the ordering service (25 ms
+// of serial CPU per transaction ≈ 40 tps capacity against a 50 tps
+// offered load plus retries), so the backlog — and with it the
+// congestion hint — must climb.
+func congestedConfig(seed int64) Config {
+	cfg := retryConfig(seed, ImmediateRetry{MaxAttempts: 5})
+	cfg.OrdererCosts.PerTx = 25 * time.Millisecond
+	cfg.Backpressure = &Backpressure{}
+	return cfg
+}
+
+func TestBackpressureHintsRiseUnderCongestion(t *testing.T) {
+	_, rep := run(t, congestedConfig(1))
+	if rep.BackpressureHintMax <= 0 || rep.BackpressureHintMax > 1 {
+		t.Fatalf("hint max = %g, want in (0,1]", rep.BackpressureHintMax)
+	}
+	if rep.BackpressureHintFinal <= 0 {
+		t.Errorf("final hint = %g, want > 0 with a saturated orderer", rep.BackpressureHintFinal)
+	}
+	if rep.PacedSubmissions == 0 || rep.TimePaced == 0 {
+		t.Errorf("paced=%d time-paced=%v, want pacing under congestion",
+			rep.PacedSubmissions, rep.TimePaced)
+	}
+}
+
+func TestBackpressurePacingShedsRetryLoad(t *testing.T) {
+	paced := congestedConfig(2)
+	_, withBP := run(t, paced)
+	unpaced := congestedConfig(2)
+	unpaced.Backpressure = nil
+	_, without := run(t, unpaced)
+	if without.PacedSubmissions != 0 || without.TimePaced != 0 ||
+		without.BackpressureHintMax != 0 {
+		t.Fatalf("nil backpressure left traces: %+v", without)
+	}
+	// Pacing spreads resubmissions out, so the paced run must issue no
+	// more attempts than the unpaced one into the same congested
+	// orderer.
+	if withBP.Attempts > without.Attempts {
+		t.Errorf("paced attempts %d > unpaced %d", withBP.Attempts, without.Attempts)
+	}
+}
+
+func TestBackpressureInertWithoutTracking(t *testing.T) {
+	// Fire-and-forget open loop: hints are still computed at each cut
+	// (they appear in the report) but nothing is delivered or paced,
+	// and the chain-level results are untouched.
+	cfg := testConfig(3)
+	cfg.Backpressure = &Backpressure{}
+	_, withBP := run(t, cfg)
+	_, plain := run(t, testConfig(3))
+	withBP.BackpressureHintAvg = 0
+	withBP.BackpressureHintMax = 0
+	withBP.BackpressureHintFinal = 0
+	if !reflect.DeepEqual(withBP, plain) {
+		t.Error("backpressure changed a fire-and-forget run beyond the hint summary")
+	}
+}
+
+func TestBackpressureRunsDeterministic(t *testing.T) {
+	cfg := congestedConfig(4)
+	cfg.Retry = BackpressurePolicy{MaxAttempts: 5, Jitter: 0.2}
+	_, a := run(t, cfg)
+	cfg2 := congestedConfig(4)
+	cfg2.Retry = BackpressurePolicy{MaxAttempts: 5, Jitter: 0.2}
+	_, b := run(t, cfg2)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("identical hinted runs diverged:\n%+v\n%+v", a, b)
+	}
+	if a.BackpressureHintMax <= 0 {
+		t.Error("hinted run never observed congestion")
+	}
+}
+
+func TestBackpressurePolicyBacksOffHarderUnderCongestion(t *testing.T) {
+	// Same congested network, hinted policy vs a floor-only baseline:
+	// the shared signal must stretch backoffs, reducing the duplicate
+	// submissions pushed into the saturated orderer.
+	hinted := congestedConfig(5)
+	hinted.Retry = BackpressurePolicy{Floor: 100 * time.Millisecond, Ceiling: 4 * time.Second, MaxAttempts: 5}
+	_, h := run(t, hinted)
+
+	floorOnly := congestedConfig(5)
+	floorOnly.Backpressure = nil
+	floorOnly.Retry = BackpressurePolicy{Floor: 100 * time.Millisecond, Ceiling: 4 * time.Second, MaxAttempts: 5}
+	_, f := run(t, floorOnly)
+
+	if h.RetryAmplification >= f.RetryAmplification {
+		t.Errorf("hinted amplification %.3f >= floor-only %.3f: the signal did not slow retries",
+			h.RetryAmplification, f.RetryAmplification)
+	}
+}
+
+// TestBudgetWaitAbsorbsPacingTime pins the pacing accounting against
+// the retry budget: a token wait that dominates the paced backoff
+// absorbs the whole pause (nothing is recorded as pacer-added time),
+// and a shorter wait absorbs exactly the part it covers.
+func TestBudgetWaitAbsorbsPacingTime(t *testing.T) {
+	mkNet := func(seed int64) (*Network, *Client) {
+		cfg := retryConfig(seed, ImmediateRetry{MaxAttempts: 5})
+		cfg.RetryBudget = &RetryBudget{RefillPerSec: 0.1, Burst: 1}
+		cfg.Backpressure = &Backpressure{Gain: time.Second, MaxPause: 2 * time.Second}
+		nw, err := NewNetwork(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := nw.clients[0]
+		c.hint = 1 // pause = Gain = 1s
+		return nw, c
+	}
+	job := func(nw *Network) *pendingTx {
+		return &pendingTx{inv: nw.cfg.Workload.Next(nw.eng.Rand()), attempts: 1}
+	}
+
+	// Token wait (10s at 0.1/s) dominates the paced zero-backoff (1s):
+	// a deferral, with the pause fully absorbed.
+	nw, c := mkNet(7)
+	c.bucket = &tokenBucket{rate: 0.1, burst: 1, tokens: 0}
+	c.attemptFailed(job(nw), "tx-deferred", 0)
+	rep := nw.col.Report()
+	if rep.DeferredRetries != 1 {
+		t.Fatalf("deferred = %d, want 1", rep.DeferredRetries)
+	}
+	if rep.PacedSubmissions != 0 || rep.TimePaced != 0 {
+		t.Errorf("budget-dominated deferral recorded pacing: paced=%d time=%v",
+			rep.PacedSubmissions, rep.TimePaced)
+	}
+
+	// Token wait of 400ms against the 1s pause: the retry fires at the
+	// paced delay, but only the 600ms the wait did not cover count as
+	// pacer-added time.
+	nw, c = mkNet(8)
+	c.bucket = &tokenBucket{rate: 2.5, burst: 1, tokens: 0}
+	c.attemptFailed(job(nw), "tx-partial", 0)
+	rep = nw.col.Report()
+	if rep.DeferredRetries != 0 {
+		t.Fatalf("partial-wait retry deferred, want immediate paced schedule")
+	}
+	if rep.PacedSubmissions != 1 || rep.TimePaced != 600*time.Millisecond {
+		t.Errorf("partial absorption: paced=%d time=%v, want 1 and 600ms",
+			rep.PacedSubmissions, rep.TimePaced)
+	}
+}
+
+func TestClosedLoopPacingThrottlesNewJobs(t *testing.T) {
+	// A wide in-flight window defeats the closed loop's natural
+	// self-throttling, so the undersized orderer backlogs and hints
+	// climb.
+	busy := closedConfig(6)
+	busy.InFlightPerClient = 40
+	busy.OrdererCosts.PerTx = 25 * time.Millisecond
+	busy.Retry = nil
+	_, unpaced := run(t, busy)
+
+	paced := closedConfig(6)
+	paced.InFlightPerClient = 40
+	paced.OrdererCosts.PerTx = 25 * time.Millisecond
+	paced.Retry = nil
+	paced.Backpressure = &Backpressure{Gain: 2 * time.Second, MaxPause: 2 * time.Second}
+	_, withBP := run(t, paced)
+
+	if withBP.PacedSubmissions == 0 {
+		t.Fatal("closed-loop run under congestion never paced a new job")
+	}
+	if withBP.Jobs >= unpaced.Jobs {
+		t.Errorf("paced closed loop resolved %d jobs vs %d unpaced: pacing did not throttle",
+			withBP.Jobs, unpaced.Jobs)
+	}
+}

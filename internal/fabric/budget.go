@@ -107,27 +107,23 @@ func (tb *tokenBucket) refill(now sim.Time) {
 }
 
 // take charges one token at virtual time now. ok=false means the
-// retry must be dropped (drop mode, empty bucket). A positive wait
-// means the retry is deferred: the token was lent and becomes
-// available only wait from now.
+// retry must be dropped — the caller records it as a budget
+// exhaustion, never as a deferral, and no token is consumed. A
+// positive wait means the retry is deferred: the token was lent and
+// becomes available only wait from now.
 func (tb *tokenBucket) take(now sim.Time) (wait time.Duration, ok bool) {
 	tb.refill(now)
-	if tb.drop {
-		if tb.tokens < 1 {
-			return 0, false
-		}
-		tb.tokens--
-		return 0, true
+	if tb.tokens < 1 && (tb.drop || tb.rate <= 0) {
+		// Drop mode refuses on an empty bucket by design. Defer mode
+		// refuses too when there is no refill stream to repay a loan
+		// (rate <= 0, unreachable through Config but guarded here):
+		// lending would park the retry forever, so the outcome must
+		// read as an exhaustion drop, not an open-ended deferral.
+		return 0, false
 	}
 	tb.tokens--
 	if tb.tokens >= 0 {
 		return 0, true
-	}
-	if tb.rate <= 0 {
-		// No refill stream to repay the loan: treat as a drop so the
-		// simulation cannot deadlock on an unpayable debt.
-		tb.tokens++
-		return 0, false
 	}
 	return time.Duration(-tb.tokens / tb.rate * float64(time.Second)), true
 }

@@ -87,6 +87,62 @@ func TestTokenBucketDeferMode(t *testing.T) {
 	}
 }
 
+func TestTokenBucketDeferModeWithoutRefillDrops(t *testing.T) {
+	// Regression: a defer-mode bucket with no refill stream (rate <= 0
+	// is unreachable through Config — withDefaults maps 0 to 1 — but
+	// the bucket guards it defensively) must refuse outright once the
+	// burst is spent. Lending would park the retry forever; the old
+	// code refunded correctly but the refusal semantics are what the
+	// client's exhaustion/deferral split depends on.
+	tb := &tokenBucket{rate: 0, burst: 2, tokens: 2}
+	for i := 0; i < 2; i++ {
+		if wait, ok := tb.take(0); !ok || wait != 0 {
+			t.Fatalf("take %d: wait=%v ok=%v, want the burst granted immediately", i, wait, ok)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		wait, ok := tb.take(sec(float64(i)))
+		if ok {
+			t.Fatalf("take %d on an unrefillable bucket granted a loan", i)
+		}
+		if wait != 0 {
+			t.Fatalf("take %d refused with a deferral wait %v, want a plain drop", i, wait)
+		}
+	}
+	// Refusals must not consume or lend tokens.
+	if got := tb.level(sec(10)); got != 0 {
+		t.Fatalf("refusals moved the token level to %g, want 0", got)
+	}
+}
+
+func TestDeferModeWithoutRefillCountsAsExhaustion(t *testing.T) {
+	// Client/metrics classification for the defensive path: swap every
+	// client's bucket for the unrefillable defer-mode bucket and pin
+	// the counts — each over-burst retry must land in BudgetExhausted
+	// (and abandon its job into GaveUp), never in DeferredRetries.
+	cfg := retryConfig(5, ImmediateRetry{MaxAttempts: 5})
+	cfg.RetryBudget = &RetryBudget{RefillPerSec: 1, Burst: 2}
+	nw, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cl := range nw.Clients() {
+		cl.bucket = &tokenBucket{rate: 0, burst: 2, tokens: 2}
+	}
+	rep := nw.Run()
+	if rep.BudgetExhausted == 0 {
+		t.Fatal("unrefillable defer bucket never exhausted under EHR contention")
+	}
+	if rep.DeferredRetries != 0 || rep.MaxDeferredDepth != 0 {
+		t.Errorf("unrefillable drops classified as deferrals: deferred=%d depth=%d",
+			rep.DeferredRetries, rep.MaxDeferredDepth)
+	}
+	if rep.GaveUp < rep.BudgetExhausted {
+		t.Errorf("gave up %d < budget exhausted %d: drops must abandon their jobs",
+			rep.GaveUp, rep.BudgetExhausted)
+	}
+}
+
 func TestRetryBudgetDefaultsAndValidation(t *testing.T) {
 	b := RetryBudget{}.withDefaults()
 	if b.RefillPerSec != 1 || b.Burst != 1 {

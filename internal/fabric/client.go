@@ -50,6 +50,15 @@ type Client struct {
 	// bucket is the per-client retry budget (nil = unlimited).
 	bucket *tokenBucket
 
+	// pacer is the resolved backpressure config when the run both
+	// enables the orderer's congestion signal and tracks outcomes (the
+	// hint arrives on outcome events); nil otherwise. hint is the
+	// latest congestion hint observed on this client's event stream,
+	// and hintObs is the optional hint-consuming facet of the policy.
+	pacer   *Backpressure
+	hint    float64
+	hintObs hintObserver
+
 	// resubmissions counts retry submissions issued (diagnostics).
 	resubmissions int
 }
@@ -84,6 +93,10 @@ func newClient(nw *Network, id int) *Client {
 	c.reporter, _ = base.(backoffReporter)
 	if nw.tracking && nw.cfg.RetryBudget != nil {
 		c.bucket = newTokenBucket(*nw.cfg.RetryBudget)
+	}
+	if nw.tracking && nw.bp != nil {
+		c.pacer = nw.bp
+		c.hintObs, _ = base.(hintObserver)
 	}
 	return c
 }
@@ -226,9 +239,17 @@ func (c *Client) assemble(j *pendingTx, tx *ledger.Transaction, ends []*ledger.E
 }
 
 // onOutcome handles a commit (or early-abort) event for one of this
-// client's pending attempts. Events for unknown transaction ids are
-// ignored (the attempt was already resolved locally).
-func (c *Client) onOutcome(txID string, code ledger.ValidationCode) {
+// client's pending attempts. Events for unknown transaction ids still
+// refresh the congestion hint — the orderer's signal is fresh
+// regardless of which attempt carried it — but are otherwise ignored
+// (the attempt was already resolved locally).
+func (c *Client) onOutcome(txID string, code ledger.ValidationCode, hint float64) {
+	if c.pacer != nil {
+		c.hint = hint
+		if c.hintObs != nil {
+			c.hintObs.observeHint(hint)
+		}
+	}
 	j, ok := c.pending[txID]
 	if !ok {
 		return
@@ -254,10 +275,15 @@ func (c *Client) attemptResolved(j *pendingTx, txID string, code ledger.Validati
 }
 
 // attemptFailed records a failed attempt and either schedules a
-// resubmission per the retry policy or abandons the transaction. A
-// configured retry budget gates every resubmission the policy asks
-// for: an empty bucket defers the retry until a token accrues, or —
-// with DropOnEmpty — abandons the transaction as a budget exhaustion.
+// resubmission per the retry policy or abandons the transaction. The
+// orderer's backpressure pacer stretches the policy's backoff by
+// hint×Gain before the budget sees it. A configured retry budget
+// gates every resubmission the policy asks for: an empty bucket
+// defers the retry until a token accrues, or — with DropOnEmpty —
+// abandons the transaction as a budget exhaustion. Pacing time is
+// recorded only to the extent the pause actually moved the schedule:
+// a dropped retry never waited, and a token wait that covers the
+// paced backoff (in part or in full) absorbs that much of the pause.
 func (c *Client) attemptFailed(j *pendingTx, txID string, code ledger.ValidationCode) {
 	if !c.nw.tracking {
 		return
@@ -266,6 +292,8 @@ func (c *Client) attemptFailed(j *pendingTx, txID string, code ledger.Validation
 	c.nw.col.RecordAttempt(j.attempts, code)
 	c.observe(true)
 	if delay, ok := c.policy.NextDelay(j.attempts, c.nw.eng.Rand()); ok {
+		pause := c.pacePause()
+		delay += pause
 		if c.bucket != nil {
 			wait, granted := c.bucket.take(c.nw.eng.Now())
 			if !granted {
@@ -276,8 +304,9 @@ func (c *Client) attemptFailed(j *pendingTx, txID string, code ledger.Validation
 			}
 			if wait > delay {
 				// The token becomes available only after the policy's
-				// backoff would have fired: the budget, not the
-				// policy, delays this retry.
+				// (paced) backoff would have fired: the budget alone
+				// delays this retry, so none of the pause counts as
+				// pacer-added time.
 				c.nw.col.RecordDeferStart()
 				c.resubmissions++
 				c.nw.eng.After(wait, func() {
@@ -286,6 +315,14 @@ func (c *Client) attemptFailed(j *pendingTx, txID string, code ledger.Validation
 				})
 				return
 			}
+			if unpaced := delay - pause; wait > unpaced {
+				// The token wait already covers part of the pause:
+				// only the remainder stretched the schedule.
+				pause = delay - wait
+			}
+		}
+		if pause > 0 {
+			c.nw.col.RecordPaced(pause)
 		}
 		c.resubmissions++
 		c.nw.eng.After(delay, func() { c.submitAttempt(j) })
@@ -293,6 +330,18 @@ func (c *Client) attemptFailed(j *pendingTx, txID string, code ledger.Validation
 	}
 	c.nw.col.RecordJob(j.attempts, false, j.firstSubmit, c.nw.eng.Now())
 	c.jobDone()
+}
+
+// pacePause converts the latest congestion hint into the extra delay
+// the backpressure pacer adds to the next submission: hint×Gain,
+// capped at MaxPause. Zero without backpressure or when the orderer
+// reports no congestion, so the default configuration never alters
+// scheduling.
+func (c *Client) pacePause() time.Duration {
+	if c.pacer == nil {
+		return 0
+	}
+	return c.pacer.pause(c.hint)
 }
 
 // observe feeds an attempt outcome to an adaptive policy and samples
@@ -310,14 +359,20 @@ func (c *Client) observe(failed bool) {
 
 // jobDone closes a logical transaction; in closed-loop mode it keeps
 // the in-flight window full while the send window is open, waiting
-// out the configured think time first. With no think time configured
-// the next job starts synchronously — the historical behaviour, with
-// no extra events and no extra rng draws.
+// out the configured think time first. The backpressure pacer delays
+// new closed-loop work too — the shared signal throttles fresh load,
+// not just retries. With no think time and no pacing the next job
+// starts synchronously — the historical behaviour, with no extra
+// events and no extra rng draws.
 func (c *Client) jobDone() {
 	if !c.nw.cfg.ClosedLoop || c.nw.eng.Now() >= sim.Time(c.nw.cfg.Duration) {
 		return
 	}
 	think := c.nw.cfg.ThinkTime.sample(c.nw.eng)
+	if pause := c.pacePause(); pause > 0 {
+		c.nw.col.RecordPaced(pause)
+		think += pause
+	}
 	if think <= 0 {
 		c.submitJob()
 		return

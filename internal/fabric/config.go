@@ -94,6 +94,18 @@ type Config struct {
 	// no retry policy is configured.
 	RetryBudget *RetryBudget
 
+	// Backpressure enables the orderer-driven congestion signal: the
+	// ordering service condenses its backlog and arrival-vs-service
+	// pressure into a smoothed hint per cut block, stamps it onto
+	// commit events, and clients pace resubmissions and new closed-loop
+	// submissions by hint×Gain (see the Backpressure type). It also
+	// feeds the hint-driven retry policies (BackpressurePolicy,
+	// AdaptivePolicy.HintWeight). Nil (the default) disables the
+	// subsystem completely — runs are byte-identical to a build
+	// without it. Pacing requires outcome tracking (a retry policy or
+	// closed-loop mode).
+	Backpressure *Backpressure
+
 	// ClosedLoop switches clients from open-loop Poisson arrivals to
 	// a closed loop: each client keeps InFlightPerClient logical
 	// transactions outstanding and submits the next one as soon as one
@@ -193,6 +205,11 @@ func (c *Config) Validate() error {
 	}
 	if c.RetryBudget != nil {
 		if err := c.RetryBudget.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Backpressure != nil {
+		if err := c.Backpressure.Validate(); err != nil {
 			return err
 		}
 	}

@@ -38,6 +38,10 @@ type Network struct {
 
 	// retry is the normalized resubmission policy (never nil).
 	retry RetryPolicy
+	// bp is the resolved backpressure config (defaults applied), nil
+	// when Config.Backpressure is unset — the subsystem is then fully
+	// inert: the orderer computes no hints and clients never pace.
+	bp *Backpressure
 	// tracking reports whether clients track pending transactions and
 	// receive commit events — true when a real retry policy or the
 	// closed-loop mode is configured. When false the commit-event
@@ -80,6 +84,10 @@ func NewNetwork(cfg Config) (*Network, error) {
 		retry:         retry,
 		tracking:      cfg.ClosedLoop || !noRetry,
 		clientsByName: map[string]*Client{},
+	}
+	if cfg.Backpressure != nil {
+		b := cfg.Backpressure.withDefaults()
+		nw.bp = &b
 	}
 	nw.net = netem.New(nw.eng, cfg.LAN)
 	nw.applySpeedFactor()
@@ -159,11 +167,14 @@ func NewNetwork(cfg Config) (*Network, error) {
 
 // deliverOutcome sends a commit (or early-abort) event for tx back to
 // the submitting client over the network, like a peer's block-event
-// stream notifying a subscribed SDK client. It is a no-op unless the
-// run tracks outcomes (retry policy or closed-loop mode), so the
-// default fire-and-forget configuration pays no extra events and no
-// extra rng draws.
-func (nw *Network) deliverOutcome(src string, tx *ledger.Transaction, code ledger.ValidationCode) {
+// stream notifying a subscribed SDK client. The event carries the
+// orderer's congestion hint (stamped on the block, or the live value
+// for early aborts); without Config.Backpressure the hint is always
+// zero and clients ignore it. It is a no-op unless the run tracks
+// outcomes (retry policy or closed-loop mode), so the default
+// fire-and-forget configuration pays no extra events and no extra rng
+// draws.
+func (nw *Network) deliverOutcome(src string, tx *ledger.Transaction, code ledger.ValidationCode, hint float64) {
 	if !nw.tracking {
 		return
 	}
@@ -171,7 +182,7 @@ func (nw *Network) deliverOutcome(src string, tx *ledger.Transaction, code ledge
 	if cl == nil {
 		return
 	}
-	nw.net.Send(src, cl.name, func() { cl.onOutcome(tx.ID, code) })
+	nw.net.Send(src, cl.name, func() { cl.onOutcome(tx.ID, code, hint) })
 }
 
 // applySpeedFactor scales fixed per-block costs for the cluster size.

@@ -43,6 +43,14 @@ type OrderingService struct {
 	// arrival-rate estimation.
 	orderedCount uint64
 
+	// Backpressure hint state (Config.Backpressure; inert otherwise):
+	// the smoothed congestion hint published with each cut block, plus
+	// the previous cut's time and ordered-count for the inter-cut
+	// arrival-rate estimate.
+	hint        float64
+	lastCutAt   sim.Time
+	lastOrdered uint64
+
 	// names of the orderer nodes, for network addressing.
 	nodeNames []string
 }
@@ -75,9 +83,11 @@ func (os *OrderingService) Submit(tx *ledger.Transaction) {
 	}
 	if !accept {
 		// Early abort in the ordering phase: the client is notified;
-		// the transaction never reaches the chain.
+		// the transaction never reaches the chain. The notification
+		// carries the current congestion hint — the orderer is talking
+		// to the client anyway.
 		os.nw.col.RecordAbort(tx.SubmitTime, os.nw.eng.Now())
-		os.nw.deliverOutcome(os.NodeName(0), tx, ledger.AbortedInOrdering)
+		os.nw.deliverOutcome(os.NodeName(0), tx, ledger.AbortedInOrdering, os.hint)
 		return
 	}
 	os.cons.Submit(tx)
@@ -116,7 +126,19 @@ func (os *OrderingService) ordered(tx *ledger.Transaction) {
 		os.timerArmed = true
 		epoch := os.timerEpoch
 		os.nw.eng.After(os.nw.cfg.BlockTimeout, func() {
-			if os.timerEpoch == epoch && len(os.pending) > 0 {
+			if os.timerEpoch != epoch {
+				// A cut (size, bytes or retune) consumed the batch this
+				// timer was armed for; that cut already disarmed the
+				// service, and any transactions ordered since have
+				// re-armed a fresh timer under the new epoch.
+				return
+			}
+			// This timer is spent either way: disarm before cutting so
+			// that even a drained pending queue can never strand the
+			// service armed-but-idle (a state where no future arrival
+			// would start a timeout clock).
+			os.timerArmed = false
+			if len(os.pending) > 0 {
 				os.cut("timeout")
 			}
 		})
@@ -141,7 +163,10 @@ func txBytes(tx *ledger.Transaction) int {
 }
 
 // cut assembles the pending batch into a block, runs the variant's
-// reordering hook, validates the block, and schedules delivery.
+// reordering hook, validates the block, and schedules delivery. With
+// backpressure enabled it first refreshes the congestion hint, so the
+// hint published with this block (and with this batch's early aborts)
+// reflects the orderer's load at cut time.
 func (os *OrderingService) cut(reason string) {
 	_ = reason
 	batch := os.pending
@@ -149,12 +174,15 @@ func (os *OrderingService) cut(reason string) {
 	os.pendingBytes = 0
 	os.timerArmed = false
 	os.timerEpoch++
+	if os.nw.bp != nil {
+		os.updateHint()
+	}
 
 	kept, aborted, cost := os.nw.variant.OnCut(batch)
 	now := os.nw.eng.Now()
 	for _, tx := range aborted {
 		os.nw.col.RecordAbort(tx.SubmitTime, now)
-		os.nw.deliverOutcome(os.NodeName(0), tx, ledger.AbortedInOrdering)
+		os.nw.deliverOutcome(os.NodeName(0), tx, ledger.AbortedInOrdering, os.hint)
 	}
 	if len(kept) == 0 {
 		if cost > 0 {
@@ -165,10 +193,11 @@ func (os *OrderingService) cut(reason string) {
 
 	os.blockNum++
 	b := &ledger.Block{
-		Number:       os.blockNum,
-		PrevHash:     os.prevHash,
-		Transactions: kept,
-		CutTime:      now,
+		Number:         os.blockNum,
+		PrevHash:       os.prevHash,
+		Transactions:   kept,
+		CutTime:        now,
+		CongestionHint: os.hint,
 	}
 	b.Hash = b.ComputeHash()
 	os.prevHash = b.Hash
@@ -191,6 +220,60 @@ func (os *OrderingService) cut(reason string) {
 			os.nw.net.SendOrdered(src, p.name, func() { p.DeliverBlock(b) })
 		}
 	})
+}
+
+// CongestionHint reports the current smoothed backpressure hint
+// (diagnostics and tests; zero without Config.Backpressure).
+func (os *OrderingService) CongestionHint() float64 { return os.hint }
+
+// updateHint refreshes the smoothed congestion hint at a block cut.
+// The raw sample combines the two load signals a real ordering
+// service can observe about itself:
+//
+//   - backlog: how far the serial server's committed work (busyUntil)
+//     extends past the current time, in units of the block timeout —
+//     the mechanism behind the latency explosions of §5.2.3/§5.3.1;
+//   - pressure: the ordered-transaction arrival rate over the
+//     inter-cut window versus the estimated steady-state service rate
+//     at the current block size; only the excess above 1.0 counts.
+//
+// The sum is clamped to [0,1] and folded into an EWMA so one bursty
+// cut cannot whipsaw every client's pacing. Pure arithmetic on
+// simulation state: no rng draws, no extra events, deterministic at
+// any experiment parallelism.
+func (os *OrderingService) updateHint() {
+	now := os.nw.eng.Now()
+	raw := 0.0
+	if os.busyUntil > now {
+		raw = float64(os.busyUntil-now) / float64(os.nw.cfg.BlockTimeout)
+	}
+	if dt := now - os.lastCutAt; dt > 0 {
+		arrivalRate := float64(os.orderedCount-os.lastOrdered) / time.Duration(dt).Seconds()
+		if svc := os.serviceRate(); svc > 0 && arrivalRate > svc {
+			raw += arrivalRate/svc - 1
+		}
+	}
+	if raw > 1 {
+		raw = 1
+	}
+	os.hint = os.nw.bp.Smoothing*raw + (1-os.nw.bp.Smoothing)*os.hint
+	os.lastCutAt = now
+	os.lastOrdered = os.orderedCount
+	os.nw.col.RecordHintSample(os.hint)
+}
+
+// serviceRate estimates the steady-state transactions/second the
+// serial ordering service can drain at the current block size: the
+// per-transaction ordering cost plus the fixed per-block cost
+// (cut + per-peer delivery fan-out) amortized over a full block.
+func (os *OrderingService) serviceRate() float64 {
+	fixed := os.nw.cfg.OrdererCosts.BlockCut +
+		time.Duration(len(os.nw.peers))*os.nw.cfg.OrdererCosts.PerDeliver
+	perTx := os.nw.cfg.OrdererCosts.PerTx + fixed/time.Duration(os.blockSize)
+	if perTx <= 0 {
+		return 0
+	}
+	return float64(time.Second) / float64(perTx)
 }
 
 // occupy charges d of serial ordering-service time and returns the

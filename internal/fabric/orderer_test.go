@@ -92,6 +92,91 @@ func TestSetBlockSizeCutsOversizedPending(t *testing.T) {
 	}
 }
 
+// TestStaleTimeoutAfterEarlierCut drives the timeout/cut interleaving
+// of the batch-timer audit: a retune cut consumes the batch an armed
+// timer was waiting for, the stale timer must fire as a no-op, and
+// the very next transaction must be able to arm a fresh timer and cut
+// by timeout.
+func TestStaleTimeoutAfterEarlierCut(t *testing.T) {
+	nw := harness(t)
+	for i := 0; i < 3; i++ {
+		tx := mkTx(nw, string(rune('a'+i)), &ledger.RWSet{})
+		tx.SubmitTime = nw.eng.Now()
+		nw.orderer.Submit(tx)
+	}
+	nw.eng.RunUntil(sim.Time(100 * time.Millisecond))
+	if !nw.orderer.timerArmed {
+		t.Fatal("partial batch did not arm the timeout")
+	}
+	epoch := nw.orderer.timerEpoch
+	// Retune below the pending depth: cuts immediately, superseding the
+	// armed timer.
+	nw.orderer.SetBlockSize(2)
+	if nw.orderer.blockNum != 1 {
+		t.Fatalf("retune cut %d blocks, want 1", nw.orderer.blockNum)
+	}
+	if nw.orderer.timerArmed || nw.orderer.timerEpoch == epoch {
+		t.Fatal("cut left the timer armed or the epoch unbumped")
+	}
+	// Let the stale timer fire: no second cut, nothing re-armed.
+	nw.eng.RunUntil(sim.Time(2 * nw.cfg.BlockTimeout))
+	if nw.orderer.blockNum != 1 {
+		t.Fatalf("stale timer cut a block: blockNum = %d", nw.orderer.blockNum)
+	}
+	if nw.orderer.timerArmed {
+		t.Fatal("stale timer left the service armed")
+	}
+	// A fresh transaction must arm a fresh timer and flush by timeout.
+	tx := mkTx(nw, "z", &ledger.RWSet{})
+	tx.SubmitTime = nw.eng.Now()
+	nw.orderer.Submit(tx)
+	nw.eng.RunUntil(nw.eng.Now() + sim.Time(100*time.Millisecond))
+	if !nw.orderer.timerArmed {
+		t.Fatal("new transaction did not re-arm the timeout")
+	}
+	nw.eng.RunUntil(nw.eng.Now() + sim.Time(2*nw.cfg.BlockTimeout))
+	if nw.orderer.blockNum != 2 {
+		t.Fatalf("re-armed timeout did not cut: blockNum = %d", nw.orderer.blockNum)
+	}
+	if nw.orderer.timerArmed {
+		t.Fatal("service armed with an empty pending queue after the timeout cut")
+	}
+}
+
+// TestTimeoutOnDrainedQueueDisarms pins the audit's two invariants
+// directly: a timer firing over a drained pending queue (simulated by
+// draining pending under a live epoch, a state no current code path
+// produces) must neither cut an empty block nor leave the service
+// armed-but-idle — a state in which no later arrival would ever start
+// a timeout clock.
+func TestTimeoutOnDrainedQueueDisarms(t *testing.T) {
+	nw := harness(t)
+	tx := mkTx(nw, "a", &ledger.RWSet{})
+	tx.SubmitTime = nw.eng.Now()
+	nw.orderer.Submit(tx)
+	nw.eng.RunUntil(sim.Time(100 * time.Millisecond))
+	if !nw.orderer.timerArmed {
+		t.Fatal("timer not armed")
+	}
+	nw.orderer.pending = nil
+	nw.orderer.pendingBytes = 0
+	nw.eng.RunUntil(sim.Time(2 * nw.cfg.BlockTimeout))
+	if nw.orderer.blockNum != 0 {
+		t.Fatalf("timeout over a drained queue cut %d blocks, want 0", nw.orderer.blockNum)
+	}
+	if nw.orderer.timerArmed {
+		t.Fatal("timeout over a drained queue left the service armed-but-idle")
+	}
+	// The service must still make progress afterwards.
+	tx2 := mkTx(nw, "b", &ledger.RWSet{})
+	tx2.SubmitTime = nw.eng.Now()
+	nw.orderer.Submit(tx2)
+	nw.eng.RunUntil(nw.eng.Now() + sim.Time(2*nw.cfg.BlockTimeout))
+	if nw.orderer.blockNum != 1 {
+		t.Fatalf("service stalled after the drained-queue timeout: blockNum = %d", nw.orderer.blockNum)
+	}
+}
+
 func TestTxBytesAccounting(t *testing.T) {
 	small := &ledger.Transaction{RWSet: &ledger.RWSet{}}
 	big := &ledger.Transaction{RWSet: &ledger.RWSet{

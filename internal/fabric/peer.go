@@ -166,6 +166,7 @@ func (p *Peer) commit(b *ledger.Block, res *valResult) {
 		Hash:            b.Hash,
 		Transactions:    b.Transactions,
 		CutTime:         b.CutTime,
+		CongestionHint:  b.CongestionHint,
 		ValidationCodes: res.codes,
 		CommitTime:      now,
 	}
@@ -177,8 +178,9 @@ func (p *Peer) commit(b *ledger.Block, res *valResult) {
 		p.nw.col.RecordTx(res.codes[i], tx.SubmitTime, now)
 		// Commit-event delivery for retry/closed-loop clients: the
 		// metrics peer doubles as the event hub every client
-		// subscribes to.
-		p.nw.deliverOutcome(p.name, tx, res.codes[i])
+		// subscribes to. The block's congestion hint rides along, like
+		// metadata in a Fabric block event.
+		p.nw.deliverOutcome(p.name, tx, res.codes[i], b.CongestionHint)
 		if p.nw.cfg.StripAfterCommit {
 			stripTx(tx)
 		}

@@ -50,6 +50,16 @@ type Collector struct {
 	backoffSum     time.Duration
 	backoffMax     time.Duration
 	backoffLast    time.Duration
+
+	// Orderer-backpressure accounting (Config.Backpressure): the
+	// congestion-hint trajectory sampled at every block cut, and the
+	// pacing delay clients added to submissions from the shared signal.
+	hintSamples int
+	hintSum     float64
+	hintMax     float64
+	hintLast    float64
+	pacedCount  int
+	pacedTime   time.Duration
 }
 
 // NewCollector returns an empty collector.
@@ -155,6 +165,26 @@ func (c *Collector) RecordBackoffSample(d time.Duration) {
 		c.backoffMax = d
 	}
 	c.backoffLast = d
+}
+
+// RecordHintSample records the ordering service's smoothed congestion
+// hint at one block cut. The report summarizes the sample stream as
+// the backpressure-hint trajectory.
+func (c *Collector) RecordHintSample(h float64) {
+	c.hintSamples++
+	c.hintSum += h
+	if h > c.hintMax {
+		c.hintMax = h
+	}
+	c.hintLast = h
+}
+
+// RecordPaced counts one submission (a resubmission or a new
+// closed-loop job) the backpressure pacer delayed, accumulating the
+// extra delay it added on top of policy backoff and think time.
+func (c *Collector) RecordPaced(d time.Duration) {
+	c.pacedCount++
+	c.pacedTime += d
 }
 
 // RecordJob records the final resolution of a tracked logical
@@ -264,6 +294,19 @@ type Report struct {
 	AdaptiveBackoffAvg   time.Duration
 	AdaptiveBackoffMax   time.Duration
 	AdaptiveBackoffFinal time.Duration
+
+	// Orderer-backpressure summary (Config.Backpressure runs only):
+	// the congestion-hint trajectory over all block cuts — mean, peak
+	// and final smoothed hint in [0,1] — and the client-side pacing it
+	// produced. Zero otherwise.
+	BackpressureHintAvg   float64
+	BackpressureHintMax   float64
+	BackpressureHintFinal float64
+	// PacedSubmissions counts submissions (resubmissions and new
+	// closed-loop jobs) the pacer delayed; TimePaced is the total
+	// extra delay the shared signal injected across all clients.
+	PacedSubmissions int
+	TimePaced        time.Duration
 }
 
 // Report computes the summary.
@@ -342,6 +385,13 @@ func (c *Collector) Report() Report {
 		r.AdaptiveBackoffMax = c.backoffMax
 		r.AdaptiveBackoffFinal = c.backoffLast
 	}
+	if c.hintSamples > 0 {
+		r.BackpressureHintAvg = c.hintSum / float64(c.hintSamples)
+		r.BackpressureHintMax = c.hintMax
+		r.BackpressureHintFinal = c.hintLast
+	}
+	r.PacedSubmissions = c.pacedCount
+	r.TimePaced = c.pacedTime
 	return r
 }
 

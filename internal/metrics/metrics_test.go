@@ -321,3 +321,33 @@ func TestBackoffTrajectorySummary(t *testing.T) {
 		t.Errorf("final %v, want 200ms", r.AdaptiveBackoffFinal)
 	}
 }
+
+func TestBackpressureSummary(t *testing.T) {
+	c := NewCollector()
+	r := c.Report()
+	if r.BackpressureHintAvg != 0 || r.BackpressureHintMax != 0 ||
+		r.BackpressureHintFinal != 0 || r.PacedSubmissions != 0 || r.TimePaced != 0 {
+		t.Error("empty collector reported backpressure activity")
+	}
+	c.RecordHintSample(0.2)
+	c.RecordHintSample(0.8)
+	c.RecordHintSample(0.5)
+	c.RecordPaced(300 * time.Millisecond)
+	c.RecordPaced(700 * time.Millisecond)
+	r = c.Report()
+	if want := (0.2 + 0.8 + 0.5) / 3; r.BackpressureHintAvg != want {
+		t.Errorf("hint avg %g, want %g", r.BackpressureHintAvg, want)
+	}
+	if r.BackpressureHintMax != 0.8 {
+		t.Errorf("hint max %g, want 0.8", r.BackpressureHintMax)
+	}
+	if r.BackpressureHintFinal != 0.5 {
+		t.Errorf("hint final %g, want 0.5", r.BackpressureHintFinal)
+	}
+	if r.PacedSubmissions != 2 {
+		t.Errorf("paced %d, want 2", r.PacedSubmissions)
+	}
+	if r.TimePaced != time.Second {
+		t.Errorf("time paced %v, want 1s", r.TimePaced)
+	}
+}

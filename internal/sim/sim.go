@@ -157,11 +157,21 @@ func (e *Engine) Normal(mean, stddev time.Duration) time.Duration {
 	return d
 }
 
+// MaxLogNormal is the documented ceiling of a LogNormal draw: one
+// virtual hour, far beyond any experiment window yet small enough to
+// keep the event queue sane. An extreme-sigma sample saturates here.
+// Without the clamp, a draw overflowing time.Duration would wrap the
+// float→int64 conversion to the minimum int64 (on amd64), which the
+// old negative-value guard then mapped to 0 — turning the heaviest
+// tail draws into the *shortest* think times.
+const MaxLogNormal = time.Hour
+
 // LogNormal draws a log-normally distributed duration whose mean is
 // mean and whose underlying normal has standard deviation sigma. The
 // location parameter is derived as µ = ln(mean) − σ²/2 so that the
 // distribution's expectation equals mean regardless of sigma. It
-// models heavy-tailed client think times.
+// models heavy-tailed client think times. Draws saturate at
+// MaxLogNormal.
 func (e *Engine) LogNormal(mean time.Duration, sigma float64) time.Duration {
 	if mean <= 0 {
 		return 0
@@ -170,11 +180,11 @@ func (e *Engine) LogNormal(mean time.Duration, sigma float64) time.Duration {
 		return mean
 	}
 	mu := math.Log(float64(mean)) - sigma*sigma/2
-	d := time.Duration(math.Exp(mu + sigma*e.rng.NormFloat64()))
-	if d < 0 {
-		return 0
+	x := math.Exp(mu + sigma*e.rng.NormFloat64())
+	if x >= float64(MaxLogNormal) {
+		return MaxLogNormal
 	}
-	return d
+	return time.Duration(x)
 }
 
 // Uniform draws a duration uniformly from [lo, hi).

@@ -236,6 +236,41 @@ func TestEventOrderProperty(t *testing.T) {
 	}
 }
 
+func TestLogNormalExtremeSigmaSaturates(t *testing.T) {
+	// Regression: with a huge mean and sigma, draws routinely exceed
+	// what a time.Duration can hold. The old float→int64 conversion
+	// wrapped those to the minimum int64, and the d < 0 guard then
+	// mapped the *heaviest* tail draws to 0 — the shortest think time.
+	// They must saturate at the documented MaxLogNormal cap instead.
+	eng := NewEngine(1)
+	mean := time.Duration(5e18) // near the int64 ceiling: overflow is routine
+	sawCap := false
+	for i := 0; i < 1000; i++ {
+		d := eng.LogNormal(mean, 1)
+		if d < 0 {
+			t.Fatalf("draw %d: negative duration %v", i, d)
+		}
+		if d == 0 {
+			t.Fatalf("draw %d: overflow mapped to the 0 minimum", i)
+		}
+		if d > MaxLogNormal {
+			t.Fatalf("draw %d: %v above the documented cap %v", i, d, MaxLogNormal)
+		}
+		if d == MaxLogNormal {
+			sawCap = true
+		}
+	}
+	if !sawCap {
+		t.Fatal("extreme-sigma draws never reached the saturation cap")
+	}
+	// Ordinary parameters never touch the cap and keep their mean.
+	for i := 0; i < 1000; i++ {
+		if d := eng.LogNormal(time.Second, 1); d >= MaxLogNormal {
+			t.Fatalf("sigma-1 second-mean draw hit the cap: %v", d)
+		}
+	}
+}
+
 func BenchmarkEngineScheduleRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := NewEngine(1)
