@@ -21,6 +21,9 @@
 //	hyperlab -adhoc -retry hinted -backpressure on
 //	                                    ad-hoc run with orderer-driven
 //	                                    backpressure hints pacing the clients
+//	hyperlab -adhoc -retry hinted -backpressure on -gossip 2:500ms -hintsource gossip
+//	                                    ad-hoc run paced by the gossiped
+//	                                    client-to-client congestion signal
 //	hyperlab -render                    emit a generated genChain chaincode
 package main
 
@@ -63,6 +66,8 @@ func main() {
 		retry      = flag.String("retry", "none", "ad-hoc run: retry policy none|immediate|backoff|adaptive|hinted")
 		budget     = flag.String("budget", "", "ad-hoc run: retry budget 'rate:burst[:drop|defer]', e.g. 1:3, 2:5:drop (empty = unlimited; default mode defer)")
 		backpress  = flag.String("backpressure", "", "ad-hoc run: orderer congestion hints off|on|'smoothing:gain[:maxpause]', e.g. 0.5:1s:2s (empty = off)")
+		gossip     = flag.String("gossip", "", "ad-hoc run: client-to-client congestion gossip off|on|'fanout:period[:decay]', e.g. 2:500ms:0.5 (empty = off)")
+		hintSource = flag.String("hintsource", "", "ad-hoc run: congestion hint producer orderer|gossip|both (empty = orderer)")
 		closedLoop = flag.Bool("closedloop", false, "ad-hoc run: closed-loop clients instead of Poisson arrivals")
 		inflight   = flag.Int("inflight", 1, "ad-hoc run: closed-loop in-flight window per client")
 		think      = flag.String("think", "none", "ad-hoc run: closed-loop think time none|fixed:<dur>|exp:<dur>|lognormal:<dur>[:sigma]")
@@ -97,8 +102,8 @@ func main() {
 			db: *db, system: *system, cluster: *cluster, skew: *skew,
 			duration: *duration, seed: *seed, dump: *dump,
 			retry: *retry, budget: *budget, think: *think,
-			backpressure: *backpress,
-			closedLoop:   *closedLoop, inflight: *inflight,
+			backpressure: *backpress, gossip: *gossip, hintSource: *hintSource,
+			closedLoop: *closedLoop, inflight: *inflight,
 		})
 	default:
 		flag.Usage()
@@ -152,6 +157,7 @@ func runExperiments(id string, full, smoke, verbose bool, parallel int) {
 type adhocOptions struct {
 	ccName, db, system, cluster, retry string
 	budget, think, backpressure        string
+	gossip, hintSource                 string
 	rate, skew                         float64
 	blockSize, dump, inflight          int
 	duration                           time.Duration
@@ -261,8 +267,23 @@ func adhoc(o adhocOptions) {
 		fatal(err)
 	}
 	cfg.Backpressure = bp
-	if _, hinted := cfg.Retry.(fabric.BackpressurePolicy); hinted && bp == nil {
-		fmt.Fprintln(os.Stderr, "hyperlab: note: -retry hinted without -backpressure degenerates to a constant floor backoff")
+	gp, err := fabric.ParseGossip(o.gossip)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Gossip = gp
+	src, err := fabric.ParseHintSource(o.hintSource)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.HintSource = src
+	// The hinted policy needs a signal that actually reaches the hint
+	// path: the orderer's (requires -backpressure) or the gossip
+	// estimate (requires -gossip AND a -hintsource that uses it).
+	ordererFeeds := bp != nil && src != fabric.HintGossip
+	gossipFeeds := gp != nil && src != fabric.HintOrderer
+	if _, hinted := cfg.Retry.(fabric.BackpressurePolicy); hinted && !ordererFeeds && !gossipFeeds {
+		fmt.Fprintln(os.Stderr, "hyperlab: note: -retry hinted without a hint producer (-backpressure, or -gossip with -hintsource gossip|both) degenerates to a constant floor backoff")
 	}
 	thinkTime, err := fabric.ParseThinkTime(o.think)
 	if err != nil {
@@ -330,6 +351,13 @@ func adhoc(o adhocOptions) {
 			cfg.Backpressure.Name(), rep.BackpressureHintAvg, rep.BackpressureHintMax,
 			rep.BackpressureHintFinal, rep.PacedSubmissions,
 			rep.TimePaced.Round(time.Millisecond))
+	}
+	if cfg.Gossip != nil {
+		fmt.Printf("gossip %s via %s: msgs=%d merges=%d est avg=%.3f max=%.3f final=%.3f stale avg=%v max=%v\n",
+			cfg.Gossip.Name(), cfg.HintSource, rep.GossipMessages, rep.GossipMerges,
+			rep.GossipEstimateAvg, rep.GossipEstimateMax, rep.GossipEstimateFinal,
+			rep.GossipStalenessAvg.Round(time.Millisecond),
+			rep.GossipStalenessMax.Round(time.Millisecond))
 	}
 	if err := nw.Chain().Verify(); err != nil {
 		fatal(fmt.Errorf("chain verification failed: %w", err))

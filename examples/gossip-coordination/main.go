@@ -1,0 +1,126 @@
+// Gossip-coordination stages the source-vs-sharing question behind
+// Config.Gossip: when coordinated retry control beats client-local
+// control, is the win coming from the orderer's privileged global
+// view of its own backlog, or merely from all clients acting on *any*
+// common signal?
+//
+// The stage is the same undersized ordering service as the
+// backpressure example (25 ms of serial CPU per transaction ≈ 40 tps
+// capacity) under a 50 tps EHR load whose conflicts trigger
+// resubmission. Three acts:
+//
+//  1. producers: the hinted BackpressurePolicy fed by the orderer's
+//     hint, by the gossiped client-to-client estimate, and by their
+//     max-combination — against the client-local AIMD baseline, the
+//     ladder of `hyperlab -run retry-coordination`;
+//  2. fanout: the gossip mesh at fanout 1, 2 and 4 — how fast the
+//     fleet's alarm spreads, and what the extra messages buy;
+//  3. decay: slow vs fast fading of adopted estimates — a fleet that
+//     forgets too slowly keeps pacing long after congestion cleared.
+//
+// Everything is deterministic: same seeds, same tables, at any
+// parallelism.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	lab "repro"
+)
+
+// options is the sweep regime: 40 virtual seconds, one seed.
+func options() lab.Options {
+	return lab.Options{
+		Duration: 40 * time.Second,
+		Drain:    30 * time.Second,
+		Seeds:    []int64{1},
+	}
+}
+
+// congestedCell builds one EHR run against the undersized orderer
+// with the given coordination wiring.
+func congestedCell(policy lab.RetryPolicy, bp *lab.Backpressure, g *lab.Gossip, src lab.HintSource) lab.Builder {
+	return func(seed int64) lab.Config {
+		cfg := lab.DefaultConfig()
+		cfg.Chaincode = lab.EHRChaincode()
+		cfg.Workload = lab.EHRWorkload(1)
+		cfg.Rate = 50
+		cfg.OrdererCosts.PerTx = 25 * time.Millisecond
+		cfg.Retry = policy
+		cfg.Backpressure = bp
+		cfg.Gossip = g
+		cfg.HintSource = src
+		return cfg
+	}
+}
+
+func main() {
+	o := options()
+	hinted := lab.BackpressurePolicy{
+		Floor: 100 * time.Millisecond, Ceiling: 4 * time.Second,
+		MaxAttempts: 5, Jitter: 0.2,
+	}
+	aimd := lab.AdaptivePolicy{MaxAttempts: 5, Jitter: 0.2}
+	signal := &lab.Backpressure{}
+
+	// Act 1: who should produce the shared signal?
+	fmt.Println("== Act 1: hint producers on a saturated orderer (EHR, 50 tps vs ~40 tps capacity)")
+	producers := []struct {
+		label string
+		build lab.Builder
+	}{
+		{"aimd (client-local)", congestedCell(aimd, nil, nil, "")},
+		{"hinted-orderer", congestedCell(hinted, signal, nil, lab.HintOrderer)},
+		{"hinted-gossip", congestedCell(hinted, signal, &lab.Gossip{}, lab.HintGossip)},
+		{"hinted-both", congestedCell(hinted, signal, &lab.Gossip{}, lab.HintBoth)},
+	}
+	var builds []lab.Builder
+	for _, p := range producers {
+		builds = append(builds, p.build)
+	}
+	results, err := o.RunAll(builds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, p := range producers {
+		r := results[i]
+		fmt.Printf("  %-22s goodput=%6.2f tps  amp=%.2f  e2e=%6.2fs  paced=%7.2fs  hint=%.3f  gest=%.3f\n",
+			p.label, r.Goodput, r.RetryAmp, r.EndToEndSec, r.PacedSec, r.HintFinal, r.GossipEstFinal)
+	}
+
+	// Act 2: how wide must the mesh be?
+	fmt.Println("\n== Act 2: gossip fanout (messages bought vs goodput gained)")
+	fanouts := []int{1, 2, 4}
+	builds = builds[:0]
+	for _, f := range fanouts {
+		builds = append(builds, congestedCell(hinted, signal, &lab.Gossip{Fanout: f}, lab.HintGossip))
+	}
+	results, err = o.RunAll(builds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, f := range fanouts {
+		r := results[i]
+		fmt.Printf("  fanout %d: msgs=%6.0f merges=%6.0f goodput=%6.2f tps  stale=%.0fms\n",
+			f, r.GossipMsgs, r.GossipMerges, r.Goodput, 1000*r.GossipStaleSec)
+	}
+
+	// Act 3: how fast should adopted panic fade?
+	fmt.Println("\n== Act 3: estimate decay (per-second fade of adopted estimates)")
+	decays := []float64{0.1, 0.5, 2}
+	builds = builds[:0]
+	for _, d := range decays {
+		builds = append(builds, congestedCell(hinted, signal, &lab.Gossip{Decay: d}, lab.HintGossip))
+	}
+	results, err = o.RunAll(builds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, d := range decays {
+		r := results[i]
+		fmt.Printf("  decay %.1f: gest avg=%.3f final=%.3f  paced=%7.2fs  goodput=%6.2f tps\n",
+			d, r.GossipEstAvg, r.GossipEstFinal, r.PacedSec, r.Goodput)
+	}
+}

@@ -47,7 +47,12 @@
 // backlog into a congestion hint stamped onto commit events, clients
 // pace resubmissions and new closed-loop work by hint×gain, and the
 // hint feeds the orderer-hinted BackpressurePolicy (or blends into
-// AdaptivePolicy via HintWeight). Config.ClosedLoop switches from
+// AdaptivePolicy via HintWeight). Config.Gossip adds the
+// decentralized alternative — clients gossip their own windowed
+// failure-rate estimates to sampled peers, merged by max-with-decay —
+// and Config.HintSource selects which producer (orderer, gossip or
+// their max) feeds the shared-hint path. Config.ClosedLoop switches
+// from
 // open-loop Poisson arrivals to a closed loop with
 // Config.InFlightPerClient outstanding transactions per client and an
 // optional Config.ThinkTime distribution (fixed, exponential or
@@ -187,6 +192,13 @@ type (
 	// BackpressurePolicy is the orderer-hinted retry policy: backoff
 	// slides from Floor to Ceiling with the shared congestion hint.
 	BackpressurePolicy = fabric.BackpressurePolicy
+	// Gossip enables the client-to-client congestion signal
+	// (Config.Gossip): clients exchange windowed failure-rate
+	// estimates with sampled peers, merged by max-with-decay.
+	Gossip = fabric.Gossip
+	// HintSource selects which producer feeds the congestion hint
+	// (Config.HintSource): orderer, gossip, or their max.
+	HintSource = fabric.HintSource
 	// ThinkTime is the closed-loop think-time distribution
 	// (Config.ThinkTime): fixed, exponential or log-normal.
 	ThinkTime = fabric.ThinkTime
@@ -200,6 +212,13 @@ const (
 	ThinkFixed       = fabric.ThinkFixed
 	ThinkExponential = fabric.ThinkExponential
 	ThinkLogNormal   = fabric.ThinkLogNormal
+)
+
+// Congestion-hint producers for Config.HintSource.
+const (
+	HintOrderer = fabric.HintOrderer
+	HintGossip  = fabric.HintGossip
+	HintBoth    = fabric.HintBoth
 )
 
 // GiveUpAfter truncates any retry policy to at most n submissions.
@@ -235,6 +254,14 @@ func ParseThinkTime(s string) (ThinkTime, error) { return fabric.ParseThinkTime(
 // "0.5:1s:2s" (the CLI's -backpressure syntax); "off" and "" return
 // nil (disabled).
 func ParseBackpressure(s string) (*Backpressure, error) { return fabric.ParseBackpressure(s) }
+
+// ParseGossip parses a gossip spec such as "on" or "2:500ms:0.5" (the
+// CLI's -gossip syntax); "off" and "" return nil (disabled).
+func ParseGossip(s string) (*Gossip, error) { return fabric.ParseGossip(s) }
+
+// ParseHintSource parses a hint-source spec (the CLI's -hintsource
+// syntax): "orderer" (also ""), "gossip" or "both".
+func ParseHintSource(s string) (HintSource, error) { return fabric.ParseHintSource(s) }
 
 // DefaultConfig returns the paper's Table 3 defaults on the C1
 // cluster. Chaincode and Workload must still be set.

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenCoordinationLine renders one locked retry-coordination cell
+// with enough precision that any drift in the hint plumbing — orderer
+// or gossip side — changes the line. The aimd row must keep zero
+// paced/hint/gossip columns (nothing shared is configured), and the
+// hinted-orderer row must keep zero gossip columns while staying
+// byte-identical to the values PR 4's "hinted" rung produced: a
+// HintSource=orderer run must not change when the gossip subsystem
+// merely exists in the build.
+func goldenCoordinationLine(pol CoordinationPolicy, r Result) string {
+	return fmt.Sprintf(
+		"ehr/%s/bs100: goodput=%.4f tput=%.4f amp=%.4f e2e=%.6f paced=%.0f pacedsec=%.6f hintavg=%.6f hint=%.6f gmsgs=%.0f gmerges=%.0f gest=%.6f gstale=%.6f gaveup=%.4f fail=%.4f",
+		pol.Label, r.Goodput, r.Throughput, r.RetryAmp, r.EndToEndSec,
+		r.Paced, r.PacedSec, r.HintAvg, r.HintFinal,
+		r.GossipMsgs, r.GossipMerges, r.GossipEstFinal, r.GossipStaleSec,
+		r.GaveUpPct, r.FailurePct)
+}
+
+// TestGoldenCoordinationRow locks one retry-coordination row per
+// coordination rung (EHR, Fabric 1.4, block size 100, QuickOptions),
+// gossip variants included, so drift in either hint producer — or in
+// the supposedly inert one — is caught the way TestGoldenCotuneRow
+// catches budget/adaptive drift. Regenerate intentional changes with
+//
+//	go test ./internal/core -run TestGoldenCoordinationRow -update-golden
+//
+// and justify the diff in the commit.
+func TestGoldenCoordinationRow(t *testing.T) {
+	pols := CoordinationPolicies()
+	cc, err := UseCase("ehr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds := make([]Builder, len(pols))
+	for i, pol := range pols {
+		builds[i] = coordinationConfig(cc, coordinationCell{"ehr", Fabric14, pol, 100})
+	}
+	results, err := QuickOptions().RunAll(builds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for i, pol := range pols {
+		lines = append(lines, goldenCoordinationLine(pol, results[i]))
+	}
+	got := strings.Join(lines, "\n") + "\n"
+
+	path := filepath.Join("testdata", "golden_coordination.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	wantLines := strings.Split(strings.TrimRight(string(want), "\n"), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Errorf("coordination golden drift line %d:\n got: %s\nwant: %s", i+1, g, w)
+		}
+	}
+}

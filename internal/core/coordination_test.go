@@ -3,34 +3,21 @@ package core
 import (
 	"strings"
 	"testing"
-)
 
-func TestRetryCoordinationDeterministicAcrossParallelism(t *testing.T) {
-	serial, err := RetryCoordinationExp(cotuneOpts(1))
-	if err != nil {
-		t.Fatal(err)
-	}
-	parallel, err := RetryCoordinationExp(cotuneOpts(8))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if serial != parallel {
-		t.Errorf("retry-coordination differs between -parallel 1 and 8:\n--- serial\n%s\n--- parallel\n%s",
-			serial, parallel)
-	}
-}
+	"repro/internal/fabric"
+)
 
 func TestRetryCoordinationTableShape(t *testing.T) {
 	out, err := RetryCoordinationExp(cotuneOpts(0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, col := range []string{"goodput (tps)", "amp", "paced (s)", "hint", "exhausted"} {
+	for _, col := range []string{"goodput (tps)", "amp", "paced (s)", "hint", "gest", "gmsg"} {
 		if !strings.Contains(out, col) {
 			t.Errorf("table missing column %q", col)
 		}
 	}
-	for _, label := range []string{"aimd", "budgeted", "hinted", "hinted+budgeted"} {
+	for _, label := range []string{"aimd", "hinted-orderer", "hinted-gossip", "hinted-both"} {
 		if !strings.Contains(out, label) {
 			t.Errorf("table missing control %q", label)
 		}
@@ -67,16 +54,73 @@ func TestRetryCoordinationFullGridEnumeration(t *testing.T) {
 	}
 }
 
+// TestCoordinationPoliciesWireTheSignal pins the ladder's wiring: it
+// must compare a client-local rung against shared-signal rungs, and
+// the shared rungs must cover both producers plus their combination,
+// with each rung's HintSource matching the signals it configures.
 func TestCoordinationPoliciesWireTheSignal(t *testing.T) {
-	var sawHinted, sawLocal bool
+	var sawLocal, sawOrderer, sawGossip, sawBoth bool
 	for _, p := range CoordinationPolicies() {
-		if p.Backpressure != nil {
-			sawHinted = true
-		} else {
+		src := p.HintSource
+		if src.Validate() != nil {
+			t.Errorf("%s: invalid hint source %q", p.Label, src)
+		}
+		switch {
+		case p.Backpressure == nil && p.Gossip == nil:
 			sawLocal = true
+		case src == fabric.HintOrderer:
+			sawOrderer = true
+			if p.Gossip != nil {
+				t.Errorf("%s: orderer-sourced rung configures gossip", p.Label)
+			}
+		case src == fabric.HintGossip:
+			sawGossip = true
+			if p.Gossip == nil {
+				t.Errorf("%s: gossip-sourced rung lacks Config.Gossip", p.Label)
+			}
+		case src == fabric.HintBoth:
+			sawBoth = true
+			if p.Gossip == nil || p.Backpressure == nil {
+				t.Errorf("%s: combined rung must configure both signals", p.Label)
+			}
 		}
 	}
-	if !sawHinted || !sawLocal {
-		t.Fatal("coordination ladder must compare hinted against client-local rungs")
+	if !sawLocal || !sawOrderer || !sawGossip || !sawBoth {
+		t.Fatalf("ladder must compare local vs orderer vs gossip vs both rungs (local=%v orderer=%v gossip=%v both=%v)",
+			sawLocal, sawOrderer, sawGossip, sawBoth)
+	}
+}
+
+// TestCoordinationGossipRungsExchangeEstimates proves the gossip
+// rungs actually gossip in the smoke regime — messages flow, merges
+// happen — while the orderer rung keeps every gossip metric at zero.
+func TestCoordinationGossipRungsExchangeEstimates(t *testing.T) {
+	cc, err := UseCase("ehr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cells []coordinationCell
+	for _, pol := range CoordinationPolicies() {
+		cells = append(cells, coordinationCell{"ehr", Fabric14, pol, 100})
+	}
+	builds := make([]Builder, len(cells))
+	for i, c := range cells {
+		builds[i] = coordinationConfig(cc, c)
+	}
+	results, err := cotuneOpts(0).RunAll(builds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cells {
+		r := results[i]
+		if c.pol.Gossip != nil {
+			if r.GossipMsgs == 0 || r.GossipMerges == 0 {
+				t.Errorf("%s: gossip configured but msgs=%.0f merges=%.0f",
+					c.pol.Label, r.GossipMsgs, r.GossipMerges)
+			}
+		} else if r.GossipMsgs != 0 || r.GossipMerges != 0 || r.GossipEstFinal != 0 {
+			t.Errorf("%s: gossip disabled but msgs=%.0f merges=%.0f est=%g",
+				c.pol.Label, r.GossipMsgs, r.GossipMerges, r.GossipEstFinal)
+		}
 	}
 }

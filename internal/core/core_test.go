@@ -224,7 +224,7 @@ func TestRetryPoliciesExperimentRegistered(t *testing.T) {
 }
 
 func TestRetryGridShape(t *testing.T) {
-	cells := retryGrid()
+	cells := retryGrid(false)
 	if len(RetryPolicies()) < 3 || len(RetrySkews) < 3 {
 		t.Fatalf("acceptance needs >= 3 policies x 3 skews, got %d x %d",
 			len(RetryPolicies()), len(RetrySkews))
@@ -266,7 +266,7 @@ func TestRetryGridShape(t *testing.T) {
 		t.Errorf("EHR sweeps %d block sizes, want >= 2", len(bs))
 	}
 	// Grid enumeration is deterministic (it feeds a golden table).
-	again := retryGrid()
+	again := retryGrid(false)
 	if len(again) != len(cells) {
 		t.Fatalf("grid size unstable: %d vs %d", len(again), len(cells))
 	}

@@ -14,21 +14,6 @@ func cotuneOpts(parallelism int) Options {
 	return o
 }
 
-func TestRetryCotuneDeterministicAcrossParallelism(t *testing.T) {
-	serial, err := RetryCotuneExp(cotuneOpts(1))
-	if err != nil {
-		t.Fatal(err)
-	}
-	parallel, err := RetryCotuneExp(cotuneOpts(8))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if serial != parallel {
-		t.Errorf("retry-cotune differs between -parallel 1 and 8:\n--- serial\n%s\n--- parallel\n%s",
-			serial, parallel)
-	}
-}
-
 func TestRetryCotuneTableShape(t *testing.T) {
 	out, err := RetryCotuneExp(cotuneOpts(0))
 	if err != nil {

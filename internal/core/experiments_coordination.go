@@ -9,38 +9,42 @@ import (
 
 // CoordinationPolicy is one rung of the coordination ladder compared
 // by the retry-coordination experiment: a named combination of a
-// retry policy, an optional per-client budget, and the optional
-// orderer-driven backpressure signal.
+// retry policy, an optional per-client budget, the optional
+// orderer-driven backpressure signal, the optional client-to-client
+// gossip signal, and the hint source that selects which of the two
+// produces the hint clients act on.
 type CoordinationPolicy struct {
 	Label        string
 	Policy       fabric.RetryPolicy
 	Budget       *fabric.RetryBudget
 	Backpressure *fabric.Backpressure
+	Gossip       *fabric.Gossip
+	HintSource   fabric.HintSource
 }
 
-// CoordinationPolicies returns the four retry-control strategies the
+// CoordinationPolicies returns the retry-control strategies the
 // coordination study compares, all capped at 5 submissions so grids
 // stay comparable with retry-cotune:
 //
 //   - "aimd": the PR-3 client-local AIMD controller — each client
-//     watches only its own windowed failure rate;
-//   - "budgeted": static exponential backoff gated by a drop-mode
-//     token bucket (1 token/s, burst 3 per client) — still
-//     client-local, but the duplicate load is bounded outright;
-//   - "hinted": the orderer-driven BackpressurePolicy — every client
-//     backs off from the *shared* congestion hint the ordering
-//     service stamps onto commit events, with the pacer also
-//     stretching resubmission delays by hint×gain;
-//   - "hinted+budgeted": the shared signal and the drop-mode bucket
-//     together — coordination plus a hard bound.
+//     watches only its own windowed failure rate, no sharing at all;
+//   - "hinted-orderer": the orderer-driven BackpressurePolicy — every
+//     client backs off from the shared congestion hint the ordering
+//     service stamps onto commit events (the global view, pushed),
+//     with the pacer also stretching resubmission delays by hint×gain;
+//   - "hinted-gossip": the same policy and pacer, but fed by the
+//     client-to-client gossip estimate instead — the orderer computes
+//     no hints, so the clients share only what they each observed
+//     (no privileged source, still a common signal);
+//   - "hinted-both": the max-combination of the two signals — backs
+//     off from whichever view is currently more alarmed.
+//
+// Comparing the three hinted rungs isolates the ROADMAP question of
+// whether the coordination win comes from the signal's *source* (the
+// orderer's global view) or its *sharing* (any common signal). The
+// "hinted-orderer" rung is configuration-identical to PR 4's "hinted"
+// rung, so its rows are byte-identical to that baseline.
 func CoordinationPolicies() []CoordinationPolicy {
-	staticBackoff := fabric.ExponentialBackoff{
-		Initial:     200 * time.Millisecond,
-		Cap:         2 * time.Second,
-		MaxAttempts: 5,
-		Jitter:      0.2,
-	}
-	budget := &fabric.RetryBudget{RefillPerSec: 1, Burst: 3, DropOnEmpty: true}
 	hinted := fabric.BackpressurePolicy{
 		Floor:       100 * time.Millisecond,
 		Ceiling:     4 * time.Second,
@@ -48,6 +52,7 @@ func CoordinationPolicies() []CoordinationPolicy {
 		Jitter:      0.2,
 	}
 	signal := &fabric.Backpressure{} // documented defaults: s0.5, 1s gain, 2s max pause
+	mesh := &fabric.Gossip{}         // documented defaults: fanout 2, 500ms period, decay 0.5
 	return []CoordinationPolicy{
 		{"aimd", fabric.AdaptivePolicy{
 			Floor:       100 * time.Millisecond,
@@ -58,10 +63,10 @@ func CoordinationPolicies() []CoordinationPolicy {
 			Target:      0.1,
 			MaxAttempts: 5,
 			Jitter:      0.2,
-		}, nil, nil},
-		{"budgeted", staticBackoff, budget, nil},
-		{"hinted", hinted, nil, signal},
-		{"hinted+budgeted", hinted, budget, signal},
+		}, nil, nil, nil, ""},
+		{"hinted-orderer", hinted, nil, signal, nil, fabric.HintOrderer},
+		{"hinted-gossip", hinted, nil, signal, mesh, fabric.HintGossip},
+		{"hinted-both", hinted, nil, signal, mesh, fabric.HintBoth},
 	}
 }
 
@@ -102,24 +107,42 @@ func coordinationGrid(smoke bool) []coordinationCell {
 	return cells
 }
 
+// coordinationConfig assembles one cell's fabric.Config (shared with
+// the golden-row test, so the locked rows use exactly the grid's
+// wiring).
+func coordinationConfig(cc CCFactory, c coordinationCell) Builder {
+	return func(seed int64) fabric.Config {
+		cfg := baseConfig(C1, cc, 1, c.sys)(seed)
+		cfg.BlockSize = c.bs
+		cfg.Retry = c.pol.Policy
+		cfg.RetryBudget = c.pol.Budget
+		cfg.Backpressure = c.pol.Backpressure
+		cfg.Gossip = c.pol.Gossip
+		cfg.HintSource = c.pol.HintSource
+		return cfg
+	}
+}
+
 // RetryCoordinationExp answers the ROADMAP's coordination question
-// head-to-head: the AIMD controllers of retry-cotune are per-client
-// and cannot see orderer congestion until their own transactions
-// fail, while an orderer-driven backpressure hint in the commit event
-// — the SDK-level flow control a real deployment would use — lets
-// every client back off from the same signal at once. The experiment
-// sweeps retry-control strategy {client-local AIMD, budgeted,
-// orderer-hinted, hinted+budgeted} × block size × variant {Fabric
-// 1.4, Fabric++} over the four use-case chaincodes on C1 at the
-// default skew.
+// head-to-head and then splits it: the AIMD controllers of
+// retry-cotune are per-client and cannot see orderer congestion until
+// their own transactions fail; an orderer-driven backpressure hint in
+// the commit event lets every client back off from the same global
+// signal at once; and a gossiped client-to-client estimate shares a
+// signal with no orderer involvement at all — isolating whether the
+// coordination win comes from the signal's source or its sharing.
+// The experiment sweeps retry-control strategy {client-local AIMD,
+// hinted-orderer, hinted-gossip, hinted-both} × block size × variant
+// {Fabric 1.4, Fabric++} over the four use-case chaincodes on C1 at
+// the default skew.
 //
 // Columns: goodput (first-submission success throughput), committed
 // throughput, retry amplification, end-to-end latency including
 // resubmissions and pacing, time spent paced by the shared signal,
-// the final smoothed congestion hint, budget exhaustions, give-up
-// rate and chain-level failure rate. All cells fan out across the
-// worker pool; the table is byte-for-byte identical at any
-// Options.Parallelism.
+// the final smoothed orderer hint, the final gossip estimate, gossip
+// messages exchanged, give-up rate and chain-level failure rate. All
+// cells fan out across the worker pool; the table is byte-for-byte
+// identical at any Options.Parallelism.
 func RetryCoordinationExp(o Options) (string, error) {
 	cells := coordinationGrid(o.Smoke)
 	builds := make([]Builder, len(cells))
@@ -128,15 +151,7 @@ func RetryCoordinationExp(o Options) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		c := c
-		builds[i] = func(seed int64) fabric.Config {
-			cfg := baseConfig(C1, cc, 1, c.sys)(seed)
-			cfg.BlockSize = c.bs
-			cfg.Retry = c.pol.Policy
-			cfg.RetryBudget = c.pol.Budget
-			cfg.Backpressure = c.pol.Backpressure
-			return cfg
-		}
+		builds[i] = coordinationConfig(cc, c)
 	}
 	results, err := o.RunAll(builds)
 	if err != nil {
@@ -144,12 +159,12 @@ func RetryCoordinationExp(o Options) (string, error) {
 	}
 	t := metrics.NewTable("chaincode", "system", "control", "block",
 		"goodput (tps)", "tput (tps)", "amp", "e2e lat (s)",
-		"paced (s)", "hint", "exhausted", "gave up %", "failures %")
+		"paced (s)", "hint", "gest", "gmsg", "gave up %", "failures %")
 	for i, c := range cells {
 		res := results[i]
 		t.AddRow(c.ccName, c.sys, c.pol.Label, c.bs,
 			res.Goodput, res.Throughput, res.RetryAmp, res.EndToEndSec,
-			res.PacedSec, res.HintFinal, res.BudgetExhausted,
+			res.PacedSec, res.HintFinal, res.GossipEstFinal, res.GossipMsgs,
 			res.GaveUpPct, res.FailurePct)
 	}
 	return t.String(), nil

@@ -47,10 +47,17 @@ type retryCell struct {
 }
 
 // retryGrid enumerates the retry-policies sweep in deterministic row
-// order: chaincode, policy, skew, block size.
-func retryGrid() []retryCell {
+// order: chaincode, policy, skew, block size. Smoke mode keeps only
+// the EHR rows, like the cotune and coordination grids, so CI (and
+// the determinism matrix test) can run the experiment end-to-end in
+// seconds.
+func retryGrid(smoke bool) []retryCell {
+	ccs := []string{"ehr", "dv", "scm", "drm"}
+	if smoke {
+		ccs = []string{"ehr"}
+	}
 	var cells []retryCell
-	for _, ccName := range []string{"ehr", "dv", "scm", "drm"} {
+	for _, ccName := range ccs {
 		sizes := RetryBlockSizes
 		if ccName == "dv" || ccName == "scm" {
 			sizes = []int{100}
@@ -76,7 +83,7 @@ func retryGrid() []retryCell {
 // failure percentage. All cells fan out across the worker pool; the
 // table is identical at any Options.Parallelism.
 func RetryPoliciesExp(o Options) (string, error) {
-	cells := retryGrid()
+	cells := retryGrid(o.Smoke)
 	builds := make([]Builder, len(cells))
 	for i, c := range cells {
 		cc, err := UseCase(c.ccName)

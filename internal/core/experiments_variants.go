@@ -348,7 +348,7 @@ func Experiments() []Experiment {
 		{"fig26", "Comparison of all Fabric systems (C1)", Fig26},
 		{"retry-policies", "Client retry policies: goodput, amplification, end-to-end cost", RetryPoliciesExp},
 		{"retry-cotune", "Block size × backoff co-tuning: static vs adaptive vs budgeted, Fabric 1.4 vs Fabric++", RetryCotuneExp},
-		{"retry-coordination", "Coordinated retry control: client-local AIMD vs orderer-driven backpressure hints", RetryCoordinationExp},
+		{"retry-coordination", "Coordinated retry control: client-local AIMD vs orderer-hinted vs gossip-hinted vs both", RetryCoordinationExp},
 	}
 }
 

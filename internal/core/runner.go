@@ -242,6 +242,13 @@ type Result struct {
 	HintFinal float64 // final smoothed congestion hint, [0,1]
 	Paced     float64 // submissions delayed by the backpressure pacer
 	PacedSec  float64 // total pacer-added delay, seconds
+
+	// Client-gossip metrics (zero without Config.Gossip).
+	GossipMsgs     float64 // gossip messages sent across all clients
+	GossipMerges   float64 // received estimates adopted by max-with-decay
+	GossipEstAvg   float64 // mean gossip estimate over rounds, [0,1]
+	GossipEstFinal float64 // final sampled gossip estimate, [0,1]
+	GossipStaleSec float64 // mean staleness of the estimate at use, seconds
 }
 
 // Run executes build(seed) for every seed and averages the reports.
@@ -280,6 +287,11 @@ func fromReport(r metrics.Report) Result {
 		HintFinal:       r.BackpressureHintFinal,
 		Paced:           float64(r.PacedSubmissions),
 		PacedSec:        r.TimePaced.Seconds(),
+		GossipMsgs:      float64(r.GossipMessages),
+		GossipMerges:    float64(r.GossipMerges),
+		GossipEstAvg:    r.GossipEstimateAvg,
+		GossipEstFinal:  r.GossipEstimateFinal,
+		GossipStaleSec:  r.GossipStalenessAvg.Seconds(),
 	}
 	if r.Jobs > 0 {
 		res.GaveUpPct = 100 * float64(r.GaveUp) / float64(r.Jobs)
@@ -311,6 +323,11 @@ func (r Result) add(o Result) Result {
 	r.HintFinal += o.HintFinal
 	r.Paced += o.Paced
 	r.PacedSec += o.PacedSec
+	r.GossipMsgs += o.GossipMsgs
+	r.GossipMerges += o.GossipMerges
+	r.GossipEstAvg += o.GossipEstAvg
+	r.GossipEstFinal += o.GossipEstFinal
+	r.GossipStaleSec += o.GossipStaleSec
 	return r
 }
 
@@ -338,6 +355,11 @@ func (r Result) scale(f float64) Result {
 	r.HintFinal *= f
 	r.Paced *= f
 	r.PacedSec *= f
+	r.GossipMsgs *= f
+	r.GossipMerges *= f
+	r.GossipEstAvg *= f
+	r.GossipEstFinal *= f
+	r.GossipStaleSec *= f
 	return r
 }
 

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"reflect"
-	"runtime"
 	"strings"
 	"testing"
 
@@ -45,59 +44,6 @@ func TestParallelMatchesSequentialGolden(t *testing.T) {
 	}
 	if !reflect.DeepEqual(seqGrid, parGrid) {
 		t.Errorf("parallel grid differs from sequential grid:\nseq: %+v\npar: %+v", seqGrid, parGrid)
-	}
-}
-
-// TestRetryGridParallelDeterminism extends the golden grid check to
-// the retry subsystem: with resubmission (and its rng-driven backoff
-// jitter and commit-event traffic) enabled, the policy × skew grid
-// must still produce identical results at Parallelism 1 and NumCPU —
-// every (config, seed) cell owns its rng, workers share nothing.
-func TestRetryGridParallelDeterminism(t *testing.T) {
-	cc, err := UseCase("ehr")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var builds []Builder
-	for _, pol := range RetryPolicies() {
-		for _, skew := range RetrySkews {
-			pol, skew := pol, skew
-			builds = append(builds, func(seed int64) fabric.Config {
-				cfg := baseConfig(C1, cc, skew, Fabric14)(seed)
-				cfg.Rate = 40
-				cfg.BlockSize = 50
-				cfg.Retry = pol
-				return cfg
-			})
-		}
-	}
-	seq := tinyOptions()
-	seq.Parallelism = 1
-	par := tinyOptions()
-	par.Parallelism = runtime.NumCPU() + 2
-	par.Seeds = seq.Seeds
-
-	seqRes, err := seq.RunAll(builds)
-	if err != nil {
-		t.Fatal(err)
-	}
-	parRes, err := par.RunAll(builds)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(seqRes, parRes) {
-		t.Errorf("retry grid differs across worker counts:\nseq: %+v\npar: %+v", seqRes, parRes)
-	}
-	// Sanity: the grid must actually exercise retries somewhere.
-	amplified := false
-	for _, r := range parRes {
-		if r.RetryAmp > 1 {
-			amplified = true
-			break
-		}
-	}
-	if !amplified {
-		t.Error("no cell of the retry grid amplified submissions")
 	}
 }
 

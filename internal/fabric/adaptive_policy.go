@@ -140,7 +140,55 @@ func (p AdaptivePolicy) NextDelay(attempts int, rng *rand.Rand) (time.Duration, 
 // controller seeded at the floor.
 func (p AdaptivePolicy) perClient() RetryPolicy {
 	d := p.withDefaults()
-	return &adaptiveState{cfg: d, cur: d.Floor, window: make([]bool, 0, d.Window)}
+	return &adaptiveState{cfg: d, cur: d.Floor, window: newOutcomeWindow(d.Window)}
+}
+
+// outcomeWindow is a sliding ring over a client's last Size attempt
+// outcomes (true = the attempt failed), shared by adaptiveState (AIMD
+// failure-rate gating) and gossipState (the local congestion
+// estimate) so the two consumers cannot drift apart. The failure
+// rate's denominator is the configured size even while the ring is
+// still filling: a client's first failure reads as 1/Size, not 100%,
+// so early unlucky conflicts cannot alarm a controller on their own.
+type outcomeWindow struct {
+	size     int
+	ring     []bool
+	next     int // write cursor once the ring is full
+	failures int // count of true entries currently in the ring
+}
+
+func newOutcomeWindow(size int) outcomeWindow {
+	return outcomeWindow{size: size, ring: make([]bool, 0, size)}
+}
+
+// observe slides one attempt outcome into the ring.
+func (w *outcomeWindow) observe(failed bool) {
+	if w.size == 0 {
+		return
+	}
+	if len(w.ring) < w.size {
+		w.ring = append(w.ring, failed)
+		if failed {
+			w.failures++
+		}
+		return
+	}
+	if w.ring[w.next] {
+		w.failures--
+	}
+	w.ring[w.next] = failed
+	if failed {
+		w.failures++
+	}
+	w.next = (w.next + 1) % len(w.ring)
+}
+
+// failureRate reports the failure fraction over the window.
+func (w *outcomeWindow) failureRate() float64 {
+	if w.size == 0 {
+		return 0
+	}
+	return float64(w.failures) / float64(w.size)
 }
 
 // adaptiveState is one client's AIMD controller.
@@ -152,12 +200,8 @@ type adaptiveState struct {
 	// when cfg.HintWeight > 0 (zero otherwise).
 	hint float64
 
-	// window is a ring of the last cfg.Window outcomes (true = the
-	// attempt failed); next is the write cursor, failures the count of
-	// true entries currently in the ring.
-	window   []bool
-	next     int
-	failures int
+	// window holds the last cfg.Window outcomes behind FailureRate.
+	window outcomeWindow
 }
 
 // Name implements RetryPolicy.
@@ -188,21 +232,7 @@ func (s *adaptiveState) observeHint(h float64) { s.hint = h }
 // observe implements outcomeObserver: slide the window and run the
 // AIMD update.
 func (s *adaptiveState) observe(failed bool) {
-	if len(s.window) < s.cfg.Window {
-		s.window = append(s.window, failed)
-		if failed {
-			s.failures++
-		}
-	} else {
-		if s.window[s.next] {
-			s.failures--
-		}
-		s.window[s.next] = failed
-		if failed {
-			s.failures++
-		}
-		s.next = (s.next + 1) % len(s.window)
-	}
+	s.window.observe(failed)
 	if failed {
 		if s.FailureRate() >= s.cfg.Target {
 			s.cur = time.Duration(float64(s.cur) * s.cfg.Increase)
@@ -221,13 +251,10 @@ func (s *adaptiveState) observe(failed bool) {
 // currentBackoff implements backoffReporter.
 func (s *adaptiveState) currentBackoff() time.Duration { return s.cur }
 
-// FailureRate reports the failure fraction over the sliding window.
-// The denominator is the configured window size even while the window
-// is still filling: a client's first failure reads as 1/Window, not
-// 100%, so early unlucky conflicts cannot trip the multiplicative
-// increase on their own.
+// FailureRate reports the failure fraction over the sliding window
+// (see outcomeWindow for the fill-phase denominator convention).
 func (s *adaptiveState) FailureRate() float64 {
-	return float64(s.failures) / float64(s.cfg.Window)
+	return s.window.failureRate()
 }
 
 // jitterDelay applies a uniform ±frac factor to d using the

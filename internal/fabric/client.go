@@ -59,6 +59,13 @@ type Client struct {
 	hint    float64
 	hintObs hintObserver
 
+	// gossip is this client's view of the client-to-client congestion
+	// signal (nil without Config.Gossip or outcome tracking), and
+	// hintSrc selects which producer — orderer hint, gossip estimate,
+	// or their max — feeds pacing and the hint-consuming policies.
+	gossip  *gossipState
+	hintSrc HintSource
+
 	// resubmissions counts retry submissions issued (diagnostics).
 	resubmissions int
 }
@@ -94,8 +101,14 @@ func newClient(nw *Network, id int) *Client {
 	if nw.tracking && nw.cfg.RetryBudget != nil {
 		c.bucket = newTokenBucket(*nw.cfg.RetryBudget)
 	}
+	c.hintSrc = nw.hintSrc
 	if nw.tracking && nw.bp != nil {
 		c.pacer = nw.bp
+	}
+	if nw.gossip != nil {
+		c.gossip = newGossipState(*nw.gossip)
+	}
+	if c.pacer != nil || c.gossip != nil {
 		c.hintObs, _ = base.(hintObserver)
 	}
 	return c
@@ -114,6 +127,9 @@ func (c *Client) Pending() int { return len(c.pending) }
 // time-varying) configured rate. Closed loop: the initial in-flight
 // window is opened and each resolved transaction triggers the next.
 func (c *Client) start() {
+	if c.gossip != nil {
+		c.startGossip()
+	}
 	if c.nw.cfg.ClosedLoop {
 		window := c.nw.cfg.InFlightPerClient
 		if window < 1 {
@@ -244,7 +260,7 @@ func (c *Client) assemble(j *pendingTx, tx *ledger.Transaction, ends []*ledger.E
 // regardless of which attempt carried it — but are otherwise ignored
 // (the attempt was already resolved locally).
 func (c *Client) onOutcome(txID string, code ledger.ValidationCode, hint float64) {
-	if c.pacer != nil {
+	if c.pacer != nil && c.hintSrc.usesOrderer() {
 		c.hint = hint
 		if c.hintObs != nil {
 			c.hintObs.observeHint(hint)
@@ -270,6 +286,7 @@ func (c *Client) attemptResolved(j *pendingTx, txID string, code ledger.Validati
 	delete(c.pending, txID)
 	c.nw.col.RecordAttempt(j.attempts, code)
 	c.observe(false)
+	c.gossipObserve(false)
 	c.nw.col.RecordJob(j.attempts, true, j.firstSubmit, c.nw.eng.Now())
 	c.jobDone()
 }
@@ -291,8 +308,24 @@ func (c *Client) attemptFailed(j *pendingTx, txID string, code ledger.Validation
 	delete(c.pending, txID)
 	c.nw.col.RecordAttempt(j.attempts, code)
 	c.observe(true)
+	c.gossipObserve(true)
+	// The gossip estimate is pulled, not pushed: consult the hint once
+	// per failure, refresh the policy's view right before it decides
+	// the backoff (so the delay reflects the fleet's current alarm,
+	// decay included), and reuse the same value for the pacer below.
+	gossipFeeds := c.hintObs != nil && c.gossip != nil && c.hintSrc.usesGossip()
+	var hint float64
+	if gossipFeeds || c.pacer != nil {
+		hint = c.currentHint()
+	}
+	if gossipFeeds {
+		c.hintObs.observeHint(hint)
+	}
 	if delay, ok := c.policy.NextDelay(j.attempts, c.nw.eng.Rand()); ok {
-		pause := c.pacePause()
+		var pause time.Duration
+		if c.pacer != nil {
+			pause = c.pacer.pause(hint)
+		}
 		delay += pause
 		if c.bucket != nil {
 			wait, granted := c.bucket.take(c.nw.eng.Now())
@@ -332,16 +365,104 @@ func (c *Client) attemptFailed(j *pendingTx, txID string, code ledger.Validation
 	c.jobDone()
 }
 
-// pacePause converts the latest congestion hint into the extra delay
+// pacePause converts the current congestion hint into the extra delay
 // the backpressure pacer adds to the next submission: hint×Gain,
-// capped at MaxPause. Zero without backpressure or when the orderer
-// reports no congestion, so the default configuration never alters
-// scheduling.
+// capped at MaxPause. Zero without backpressure or when the selected
+// producer reports no congestion, so the default configuration never
+// alters scheduling.
 func (c *Client) pacePause() time.Duration {
 	if c.pacer == nil {
 		return 0
 	}
-	return c.pacer.pause(c.hint)
+	return c.pacer.pause(c.currentHint())
+}
+
+// currentHint resolves the congestion hint the configured producer(s)
+// currently report: the orderer hint last seen on this client's event
+// stream, the live (decayed) gossip estimate, or their max. Each
+// consultation of a gossip estimate records the age of the
+// information behind it — the staleness-at-use metric.
+func (c *Client) currentHint() float64 {
+	var h float64
+	if c.hintSrc.usesOrderer() {
+		h = c.hint
+	}
+	if c.gossip != nil && c.hintSrc.usesGossip() {
+		g, stale := c.gossip.estimate(c.nw.eng.Now())
+		c.nw.col.RecordGossipUse(stale)
+		if g > h {
+			h = g
+		}
+	}
+	return h
+}
+
+// gossipObserve slides one attempt outcome into the gossip window
+// (no-op without Config.Gossip).
+func (c *Client) gossipObserve(failed bool) {
+	if c.gossip != nil {
+		c.gossip.observe(failed)
+	}
+}
+
+// startGossip schedules this client's gossip rounds: every Period the
+// client samples Fanout distinct peers and sends them its current
+// estimate over the network model, like an SDK-side gossip mesh. The
+// estimate trajectory is sampled once per round. Rounds run for the
+// whole simulation (retries continue through the drain, so the signal
+// must too); the engine simply stops executing them at the deadline.
+func (c *Client) startGossip() {
+	period := c.gossip.cfg.Period
+	if period <= 0 || len(c.nw.clients) < 2 {
+		return
+	}
+	var round func()
+	round = func() {
+		c.gossipRound()
+		c.nw.eng.After(period, round)
+	}
+	c.nw.eng.After(period, round)
+}
+
+// gossipRound sends the client's current estimate to Fanout sampled
+// peers. Peer sampling draws from the simulation rng, so rounds are
+// deterministic per (config, seed) like every other random decision.
+func (c *Client) gossipRound() {
+	now := c.nw.eng.Now()
+	est, _ := c.gossip.estimate(now)
+	c.nw.col.RecordGossipSample(est)
+	n := len(c.nw.clients)
+	fanout := c.gossip.cfg.Fanout
+	if fanout > n-1 {
+		fanout = n - 1
+	}
+	if fanout <= 0 {
+		return
+	}
+	// Sample fanout distinct peers other than self: a permutation of
+	// the n-1 other indices, prefix-truncated.
+	perm := c.nw.eng.Rand().Perm(n - 1)
+	for _, p := range perm[:fanout] {
+		if p >= c.id {
+			p++ // skip self
+		}
+		peer := c.nw.clients[p]
+		c.nw.col.RecordGossipMessage()
+		c.nw.net.Send(c.name, peer.name, func() { peer.onGossip(est, now) })
+	}
+}
+
+// onGossip receives one peer's estimate (worth value at the sender's
+// sentAt) and merges it by max-with-decay. Merges only update this
+// client's view; the hint-consuming policies read it lazily at their
+// next backoff decision, and the pacer at its next pause.
+func (c *Client) onGossip(value float64, sentAt sim.Time) {
+	if c.gossip == nil {
+		return
+	}
+	if c.gossip.merge(value, sentAt, c.nw.eng.Now()) {
+		c.nw.col.RecordGossipMerge()
+	}
 }
 
 // observe feeds an attempt outcome to an adaptive policy and samples

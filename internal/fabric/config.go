@@ -106,6 +106,26 @@ type Config struct {
 	// closed-loop mode).
 	Backpressure *Backpressure
 
+	// Gossip enables the client-to-client congestion signal: every
+	// client condenses its own outcome stream into a windowed
+	// failure-rate estimate and periodically exchanges it with Fanout
+	// sampled peers over the network model, merging by max-with-decay
+	// (see the Gossip type). The merged estimate feeds the same hint
+	// path as the orderer's signal, selected by HintSource. Nil (the
+	// default) disables the subsystem completely — runs are
+	// byte-identical to a build without it. Like backpressure pacing,
+	// gossip requires outcome tracking (a retry policy or closed-loop
+	// mode) and is inert on fire-and-forget runs.
+	Gossip *Gossip
+
+	// HintSource selects which producer feeds the congestion hint
+	// clients pace by and that hint-consuming policies read: "orderer"
+	// (the default; also the empty string) for the backpressure hint
+	// on commit events, "gossip" for the client-to-client estimate
+	// (the orderer then computes no hints at all), or "both" to
+	// max-combine the two. "gossip" and "both" require Config.Gossip.
+	HintSource HintSource
+
 	// ClosedLoop switches clients from open-loop Poisson arrivals to
 	// a closed loop: each client keeps InFlightPerClient logical
 	// transactions outstanding and submits the next one as soon as one
@@ -212,6 +232,17 @@ func (c *Config) Validate() error {
 		if err := c.Backpressure.Validate(); err != nil {
 			return err
 		}
+	}
+	if c.Gossip != nil {
+		if err := c.Gossip.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := c.HintSource.Validate(); err != nil {
+		return err
+	}
+	if c.HintSource.usesGossip() && c.Gossip == nil {
+		return fmt.Errorf("fabric: hint source %q needs Config.Gossip", string(c.HintSource))
 	}
 	if err := c.ThinkTime.Validate(); err != nil {
 		return err

@@ -1,0 +1,293 @@
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Gossip enables the client-to-client congestion signal
+// (Config.Gossip): instead of the ordering service condensing its own
+// load into a hint (Config.Backpressure), every client distils its
+// *own* outcome stream into a local congestion estimate — the failure
+// fraction over a sliding window of its last Window attempt outcomes,
+// the same window machinery AdaptivePolicy uses — and periodically
+// exchanges that estimate with Fanout sampled peers over the network
+// model, like an SDK-side gossip mesh. Estimates merge by
+// max-with-decay: a receiver adopts an incoming estimate when its
+// age-decayed value exceeds the receiver's current remote view, and
+// every adopted estimate fades exponentially (e·exp(−Decay·age)) so
+// stale panic cannot pin the fleet at a ceiling forever.
+//
+// The merged estimate feeds the exact hint path the orderer-driven
+// signal uses — pacing by hint×Gain (Config.Backpressure supplies the
+// pacer), BackpressurePolicy's Floor→Ceiling slide, and
+// AdaptivePolicy.HintWeight blending — so Config.HintSource can swap
+// the producer (orderer | gossip | both) without touching any
+// consumer. That isolates the ROADMAP's question: does the
+// coordination win come from the signal's *source* (the orderer's
+// global view) or merely its *sharing* (any common signal)?
+//
+// Nil (the default) disables the subsystem completely: no gossip
+// rounds are scheduled, no rng is drawn, and runs are byte-identical
+// to a build without it. Gossip requires outcome tracking (a retry
+// policy or closed-loop mode) — without outcomes there is nothing to
+// estimate — and is silently inert on fire-and-forget runs, exactly
+// like backpressure pacing.
+type Gossip struct {
+	// Fanout is how many distinct peer clients each client samples per
+	// gossip round. 0 defaults to 2; negative is a validation error.
+	// A fanout at or above the client count sends to every peer.
+	Fanout int
+	// Period is the virtual time between one client's gossip rounds.
+	// 0 defaults to 500ms; negative is a validation error.
+	Period time.Duration
+	// Decay is the per-second exponential decay rate applied to a
+	// remote estimate's age: value(t) = e·exp(−Decay·age). 0 defaults
+	// to 0.5 (half-life ≈ 1.4 s); negative is a validation error.
+	Decay float64
+	// Window is the number of most-recent attempt outcomes over which
+	// the local failure-rate estimate is computed (the denominator is
+	// the full window even while filling, like AdaptivePolicy).
+	// 0 defaults to 32; negative is a validation error.
+	Window int
+}
+
+// withDefaults resolves the documented zero-value defaults.
+func (g Gossip) withDefaults() Gossip {
+	if g.Fanout == 0 {
+		g.Fanout = 2
+	}
+	if g.Period == 0 {
+		g.Period = 500 * time.Millisecond
+	}
+	if g.Decay == 0 {
+		g.Decay = 0.5
+	}
+	if g.Window == 0 {
+		g.Window = 32
+	}
+	return g
+}
+
+// Validate reports configuration errors.
+func (g Gossip) Validate() error {
+	switch {
+	case g.Fanout < 0:
+		return fmt.Errorf("fabric: gossip fanout must be >= 0, got %d", g.Fanout)
+	case g.Period < 0:
+		return fmt.Errorf("fabric: gossip period must be >= 0, got %v", g.Period)
+	case g.Decay < 0 || math.IsNaN(g.Decay) || math.IsInf(g.Decay, 0):
+		return fmt.Errorf("fabric: gossip decay must be a finite rate >= 0, got %g", g.Decay)
+	case g.Window < 0:
+		return fmt.Errorf("fabric: gossip window must be >= 0, got %d", g.Window)
+	}
+	return nil
+}
+
+// Name labels the signal in experiment tables, e.g. "gossip(f2,500ms,d0.5)".
+func (g Gossip) Name() string {
+	g = g.withDefaults()
+	return fmt.Sprintf("gossip(f%d,%v,d%g)", g.Fanout, g.Period, g.Decay)
+}
+
+// ParseGossip parses the CLI syntax for the gossip spec: "off" (or
+// "") disables it, "on" enables it with the documented defaults, and
+// "fanout:period[:decay]" — e.g. "2:500ms:0.5" — sets the knobs
+// explicitly.
+func ParseGossip(s string) (*Gossip, error) {
+	switch strings.ToLower(s) {
+	case "", "off":
+		return nil, nil
+	case "on", "default":
+		return &Gossip{}, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return nil, fmt.Errorf("fabric: gossip %q: want off, on or fanout:period[:decay]", s)
+	}
+	var g Gossip
+	fanout, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return nil, fmt.Errorf("fabric: gossip fanout %q: %w", parts[0], err)
+	}
+	g.Fanout = fanout
+	period, err := time.ParseDuration(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("fabric: gossip period %q: %w", parts[1], err)
+	}
+	g.Period = period
+	if len(parts) == 3 {
+		decay, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: gossip decay %q: %w", parts[2], err)
+		}
+		g.Decay = decay
+	}
+	return &g, g.Validate()
+}
+
+// HintSource selects which producer feeds the congestion hint that
+// clients pace by and that the hint-consuming retry policies
+// (BackpressurePolicy, AdaptivePolicy.HintWeight) read.
+type HintSource string
+
+const (
+	// HintOrderer is the PR-4 behaviour and the default (the empty
+	// string resolves here): the ordering service's smoothed hint,
+	// delivered on commit events. Requires Config.Backpressure for a
+	// non-zero signal.
+	HintOrderer HintSource = "orderer"
+	// HintGossip uses the client-to-client gossip estimate only: the
+	// orderer computes no hints at all, so any coordination effect
+	// comes purely from clients sharing their own failure views.
+	// Requires Config.Gossip.
+	HintGossip HintSource = "gossip"
+	// HintBoth max-combines the two signals: a client backs off from
+	// whichever of the orderer's view and the gossiped fleet view is
+	// currently more alarmed.
+	HintBoth HintSource = "both"
+)
+
+// resolve maps the zero value to the default producer.
+func (s HintSource) resolve() HintSource {
+	if s == "" {
+		return HintOrderer
+	}
+	return s
+}
+
+// usesOrderer reports whether the orderer's hint feeds clients.
+func (s HintSource) usesOrderer() bool {
+	s = s.resolve()
+	return s == HintOrderer || s == HintBoth
+}
+
+// usesGossip reports whether the gossip estimate feeds clients.
+func (s HintSource) usesGossip() bool {
+	s = s.resolve()
+	return s == HintGossip || s == HintBoth
+}
+
+// Validate reports unknown hint sources.
+func (s HintSource) Validate() error {
+	switch s.resolve() {
+	case HintOrderer, HintGossip, HintBoth:
+		return nil
+	}
+	return fmt.Errorf("fabric: hint source %q: want orderer, gossip or both", string(s))
+}
+
+// ParseHintSource parses the CLI syntax for Config.HintSource ("" and
+// "orderer" both mean the default orderer producer).
+func ParseHintSource(s string) (HintSource, error) {
+	src := HintSource(strings.ToLower(s))
+	return src.resolve(), src.Validate()
+}
+
+// ClampEstimate bounds a congestion estimate to [0,1]; NaN maps to 0
+// (no evidence of congestion).
+func ClampEstimate(e float64) float64 {
+	switch {
+	case math.IsNaN(e), e < 0:
+		return 0
+	case e > 1:
+		return 1
+	}
+	return e
+}
+
+// DecayEstimate ages a congestion estimate by age at the given
+// per-second decay rate: ClampEstimate(e)·exp(−decay·age). Non-positive
+// (or non-finite) decay rates and non-positive ages leave the clamped
+// estimate unchanged, so the result is always in [0,1] and never
+// exceeds the undecayed value.
+func DecayEstimate(e float64, age time.Duration, decayPerSec float64) float64 {
+	e = ClampEstimate(e)
+	if age <= 0 || decayPerSec <= 0 || math.IsNaN(decayPerSec) {
+		return e
+	}
+	return ClampEstimate(e * math.Exp(-decayPerSec*age.Seconds()))
+}
+
+// MergeEstimates is the gossip merge operator: the maximum of the two
+// clamped estimates, so a merged view is never less alarmed than
+// either input.
+func MergeEstimates(a, b float64) float64 {
+	a, b = ClampEstimate(a), ClampEstimate(b)
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// gossipState is one client's view of the gossiped congestion signal:
+// the sliding outcome window behind its local estimate, plus the most
+// alarmed remote estimate it has adopted (timestamped so it decays).
+type gossipState struct {
+	cfg Gossip // defaults resolved
+
+	// window holds the last cfg.Window outcomes behind the local
+	// estimate — the same outcomeWindow ring adaptiveState uses.
+	window outcomeWindow
+
+	// remote is the adopted remote estimate as it was worth at
+	// remoteAt (the sender's send time); its current value decays from
+	// there. hasRemote distinguishes "no estimate yet" from zero.
+	remote    float64
+	remoteAt  sim.Time
+	hasRemote bool
+}
+
+func newGossipState(cfg Gossip) *gossipState {
+	return &gossipState{cfg: cfg, window: newOutcomeWindow(cfg.Window)}
+}
+
+// observe slides one attempt outcome into the window.
+func (g *gossipState) observe(failed bool) { g.window.observe(failed) }
+
+// localRate is the windowed failure fraction (see outcomeWindow for
+// the fill-phase denominator convention).
+func (g *gossipState) localRate() float64 { return g.window.failureRate() }
+
+// estimate returns the client's current congestion estimate at now —
+// the max of the live local failure rate and the age-decayed remote
+// view — together with the age of the information that produced it
+// (zero when the local window dominates: a client's own outcomes are
+// fresh by construction).
+func (g *gossipState) estimate(now sim.Time) (val float64, staleness time.Duration) {
+	local := g.localRate()
+	if !g.hasRemote {
+		return ClampEstimate(local), 0
+	}
+	age := time.Duration(now - g.remoteAt)
+	rem := DecayEstimate(g.remote, age, g.cfg.Decay)
+	if rem > local {
+		return rem, age
+	}
+	return ClampEstimate(local), 0
+}
+
+// merge folds one received estimate (worth value at the sender's
+// sentAt) into the state: it is adopted iff its decayed value beats
+// the current decayed remote view — max-with-decay. Reports whether
+// the remote view advanced.
+func (g *gossipState) merge(value float64, sentAt, now sim.Time) bool {
+	incoming := DecayEstimate(value, time.Duration(now-sentAt), g.cfg.Decay)
+	if g.hasRemote {
+		cur := DecayEstimate(g.remote, time.Duration(now-g.remoteAt), g.cfg.Decay)
+		if incoming <= cur {
+			return false
+		}
+	} else if incoming <= 0 {
+		return false
+	}
+	g.remote = ClampEstimate(value)
+	g.remoteAt = sentAt
+	g.hasRemote = true
+	return true
+}

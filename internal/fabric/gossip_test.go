@@ -1,0 +1,366 @@
+package fabric
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestGossipDefaultsAndValidation(t *testing.T) {
+	g := Gossip{}.withDefaults()
+	if g.Fanout != 2 || g.Period != 500*time.Millisecond || g.Decay != 0.5 || g.Window != 32 {
+		t.Errorf("defaults = %+v, want f2 500ms d0.5 w32", g)
+	}
+	for i, bad := range []Gossip{
+		{Fanout: -1},
+		{Period: -time.Second},
+		{Decay: -0.5},
+		{Decay: math.NaN()},
+		{Decay: math.Inf(1)},
+		{Window: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("case %d: %+v validated", i, bad)
+		}
+	}
+	if got := (Gossip{}).Name(); got != "gossip(f2,500ms,d0.5)" {
+		t.Errorf("name = %q", got)
+	}
+	cfg := retryConfig(1, ImmediateRetry{MaxAttempts: 3})
+	cfg.Gossip = &Gossip{Fanout: -2}
+	if _, err := NewNetwork(cfg); err == nil {
+		t.Error("network accepted an invalid gossip config")
+	}
+}
+
+func TestHintSourceValidation(t *testing.T) {
+	for _, ok := range []HintSource{"", HintOrderer, HintGossip, HintBoth} {
+		if err := ok.Validate(); err != nil {
+			t.Errorf("%q: %v", ok, err)
+		}
+	}
+	if err := HintSource("fleet").Validate(); err == nil {
+		t.Error("unknown hint source validated")
+	}
+	if !HintSource("").usesOrderer() || HintSource("").usesGossip() {
+		t.Error("empty source must resolve to orderer-only")
+	}
+	if !HintBoth.usesOrderer() || !HintBoth.usesGossip() {
+		t.Error("both must use both producers")
+	}
+	if HintGossip.usesOrderer() || !HintGossip.usesGossip() {
+		t.Error("gossip source must not use the orderer")
+	}
+	// gossip/both without Config.Gossip is a config error.
+	cfg := retryConfig(1, ImmediateRetry{MaxAttempts: 3})
+	cfg.HintSource = HintGossip
+	if _, err := NewNetwork(cfg); err == nil {
+		t.Error("hint source gossip accepted without Config.Gossip")
+	}
+}
+
+func TestParseGossip(t *testing.T) {
+	if g, err := ParseGossip(""); err != nil || g != nil {
+		t.Errorf("ParseGossip(\"\") = %+v, %v", g, err)
+	}
+	if g, err := ParseGossip("off"); err != nil || g != nil {
+		t.Errorf("ParseGossip(off) = %+v, %v", g, err)
+	}
+	if g, err := ParseGossip("on"); err != nil || g == nil || *g != (Gossip{}) {
+		t.Errorf("ParseGossip(on) = %+v, %v", g, err)
+	}
+	want := Gossip{Fanout: 3, Period: 250 * time.Millisecond, Decay: 1.5}
+	if g, err := ParseGossip("3:250ms:1.5"); err != nil || g == nil || *g != want {
+		t.Errorf("ParseGossip(3:250ms:1.5) = %+v, %v", g, err)
+	}
+	if g, err := ParseGossip("3:250ms"); err != nil || g == nil || g.Decay != 0 {
+		t.Errorf("two-field spec = %+v, %v", g, err)
+	}
+	for _, in := range []string{"x", "3", "a:1s", "3:zz", "3:1s:zz", "-1:1s", "3:1s:0.5:9"} {
+		if _, err := ParseGossip(in); err == nil {
+			t.Errorf("ParseGossip(%q) accepted", in)
+		}
+	}
+	if src, err := ParseHintSource(""); err != nil || src != HintOrderer {
+		t.Errorf("ParseHintSource(\"\") = %q, %v", src, err)
+	}
+	if src, err := ParseHintSource("BOTH"); err != nil || src != HintBoth {
+		t.Errorf("ParseHintSource(BOTH) = %q, %v", src, err)
+	}
+	if _, err := ParseHintSource("fleet"); err == nil {
+		t.Error("ParseHintSource(fleet) accepted")
+	}
+}
+
+func TestDecayAndMergeMath(t *testing.T) {
+	if got := DecayEstimate(0.8, 0, 0.5); got != 0.8 {
+		t.Errorf("zero age decayed: %g", got)
+	}
+	if got := DecayEstimate(0.8, time.Second, 0); got != 0.8 {
+		t.Errorf("zero rate decayed: %g", got)
+	}
+	want := 0.8 * math.Exp(-0.5)
+	if got := DecayEstimate(0.8, time.Second, 0.5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("decay(0.8, 1s, 0.5) = %g, want %g", got, want)
+	}
+	if got := DecayEstimate(1.7, 0, 0.5); got != 1 {
+		t.Errorf("over-unity estimate not clamped: %g", got)
+	}
+	if got := DecayEstimate(math.NaN(), time.Second, 0.5); got != 0 {
+		t.Errorf("NaN estimate = %g, want 0", got)
+	}
+	if got := MergeEstimates(0.3, 0.7); got != 0.7 {
+		t.Errorf("merge = %g, want 0.7", got)
+	}
+	if got := MergeEstimates(-3, 1.5); got != 1 {
+		t.Errorf("merge of out-of-range inputs = %g, want 1", got)
+	}
+}
+
+func TestGossipStateWindowAndEstimate(t *testing.T) {
+	g := newGossipState(Gossip{Window: 4}.withDefaults())
+	if est, stale := g.estimate(0); est != 0 || stale != 0 {
+		t.Fatalf("fresh state estimate = %g stale=%v", est, stale)
+	}
+	// One failure over a window of 4 reads as 1/4 even while filling.
+	g.observe(true)
+	if est, _ := g.estimate(0); est != 0.25 {
+		t.Errorf("estimate after 1 failure = %g, want 0.25", est)
+	}
+	g.observe(false)
+	g.observe(false)
+	g.observe(false)
+	g.observe(false) // evicts the failure
+	if est, _ := g.estimate(0); est != 0 {
+		t.Errorf("estimate after window slid clean = %g, want 0", est)
+	}
+}
+
+func TestGossipStateMergeMaxWithDecay(t *testing.T) {
+	g := newGossipState(Gossip{Decay: math.Ln2}.withDefaults()) // half-life 1s
+	now := sim.Time(10 * time.Second)
+	if !g.merge(0.8, now-sim.Time(time.Second), now) {
+		t.Fatal("first estimate not adopted")
+	}
+	// Decayed one half-life: worth 0.4 now.
+	if est, stale := g.estimate(now); math.Abs(est-0.4) > 1e-12 || stale != time.Second {
+		t.Errorf("estimate = %g stale=%v, want 0.4 / 1s", est, stale)
+	}
+	// A weaker incoming estimate is not adopted.
+	if g.merge(0.3, now, now) {
+		t.Error("weaker estimate displaced a stronger one")
+	}
+	// A fresher estimate that beats the decayed view is adopted even
+	// though its raw value is below the stored raw value.
+	if !g.merge(0.5, now, now) {
+		t.Error("fresher stronger-now estimate rejected")
+	}
+	if est, stale := g.estimate(now); est != 0.5 || stale != 0 {
+		t.Errorf("estimate after re-merge = %g stale=%v, want 0.5 / 0", est, stale)
+	}
+	// Local beats remote once the remote has decayed below it: the
+	// staleness at use is then zero (own outcomes are live).
+	g.observe(true) // 1/32 with the default window... use a long horizon instead
+	far := now + sim.Time(time.Minute)
+	if est, stale := g.estimate(far); stale != 0 || est != g.localRate() {
+		t.Errorf("after a minute of decay estimate = %g stale=%v, want the local rate %g",
+			est, stale, g.localRate())
+	}
+	// Zero estimates are never "adopted" into an empty view.
+	fresh := newGossipState(Gossip{}.withDefaults())
+	if fresh.merge(0, now, now) {
+		t.Error("zero estimate adopted into an empty view")
+	}
+}
+
+// gossipConfig is a congested run using the gossiped signal: the
+// undersized orderer drives failures up, clients share their windowed
+// failure views, and the pacer and hinted policy act on them.
+func gossipConfig(seed int64) Config {
+	cfg := retryConfig(seed, ImmediateRetry{MaxAttempts: 5})
+	cfg.OrdererCosts.PerTx = 25 * time.Millisecond
+	cfg.Backpressure = &Backpressure{}
+	cfg.Gossip = &Gossip{}
+	cfg.HintSource = HintGossip
+	return cfg
+}
+
+func TestGossipRunExchangesAndPaces(t *testing.T) {
+	_, rep := run(t, gossipConfig(1))
+	if rep.GossipMessages == 0 {
+		t.Fatal("no gossip messages sent")
+	}
+	if rep.GossipMerges == 0 {
+		t.Error("no gossip estimate ever adopted")
+	}
+	if rep.GossipEstimateMax <= 0 || rep.GossipEstimateMax > 1 {
+		t.Errorf("gossip estimate max = %g, want in (0,1]", rep.GossipEstimateMax)
+	}
+	if rep.GossipUses == 0 || rep.GossipStalenessMax <= 0 {
+		t.Errorf("uses=%d stale-max=%v, want consultations with non-zero staleness",
+			rep.GossipUses, rep.GossipStalenessMax)
+	}
+	if rep.PacedSubmissions == 0 || rep.TimePaced == 0 {
+		t.Errorf("paced=%d time-paced=%v, want gossip-driven pacing under congestion",
+			rep.PacedSubmissions, rep.TimePaced)
+	}
+	// Pure gossip source: the orderer must stay fully out of the
+	// signal path.
+	if rep.BackpressureHintAvg != 0 || rep.BackpressureHintMax != 0 || rep.BackpressureHintFinal != 0 {
+		t.Errorf("orderer hints computed under HintSource=gossip: %+v", rep)
+	}
+}
+
+func TestGossipFeedsHintedPolicyWithoutBackpressure(t *testing.T) {
+	// BackpressurePolicy consuming the gossip estimate with no
+	// Backpressure config at all: no pacer, no orderer hints — the
+	// backoff alone must stretch with the shared estimate.
+	cfg := retryConfig(2, BackpressurePolicy{Floor: 100 * time.Millisecond, Ceiling: 4 * time.Second, MaxAttempts: 5})
+	cfg.OrdererCosts.PerTx = 25 * time.Millisecond
+	cfg.Gossip = &Gossip{}
+	cfg.HintSource = HintGossip
+	_, hinted := run(t, cfg)
+
+	floorOnly := retryConfig(2, BackpressurePolicy{Floor: 100 * time.Millisecond, Ceiling: 4 * time.Second, MaxAttempts: 5})
+	floorOnly.OrdererCosts.PerTx = 25 * time.Millisecond
+	_, f := run(t, floorOnly)
+
+	if hinted.PacedSubmissions != 0 {
+		t.Errorf("no pacer configured but %d submissions paced", hinted.PacedSubmissions)
+	}
+	if hinted.GossipMessages == 0 {
+		t.Fatal("gossip never engaged")
+	}
+	if hinted.RetryAmplification >= f.RetryAmplification {
+		t.Errorf("gossip-hinted amplification %.3f >= floor-only %.3f: the shared estimate did not slow retries",
+			hinted.RetryAmplification, f.RetryAmplification)
+	}
+}
+
+func TestGossipNilIsByteIdentical(t *testing.T) {
+	// Config.Gossip == nil and an explicit HintSource "orderer" must
+	// reproduce the PR-4 behaviour exactly, field for field.
+	base := retryConfig(3, ImmediateRetry{MaxAttempts: 5})
+	base.OrdererCosts.PerTx = 25 * time.Millisecond
+	base.Backpressure = &Backpressure{}
+	_, plain := run(t, base)
+
+	explicit := retryConfig(3, ImmediateRetry{MaxAttempts: 5})
+	explicit.OrdererCosts.PerTx = 25 * time.Millisecond
+	explicit.Backpressure = &Backpressure{}
+	explicit.HintSource = HintOrderer
+	_, src := run(t, explicit)
+	if !reflect.DeepEqual(plain, src) {
+		t.Errorf("explicit HintSource=orderer diverged from the default:\n%+v\n%+v", plain, src)
+	}
+	if plain.GossipMessages != 0 || plain.GossipMerges != 0 || plain.GossipUses != 0 ||
+		plain.GossipEstimateMax != 0 || plain.GossipStalenessMax != 0 {
+		t.Errorf("nil gossip left traces: %+v", plain)
+	}
+}
+
+func TestGossipInertWithoutTracking(t *testing.T) {
+	// Fire-and-forget open loop: no outcome stream, so the gossip
+	// subsystem must be fully inert — no rounds, no rng, identical
+	// reports.
+	cfg := testConfig(4)
+	cfg.Gossip = &Gossip{}
+	_, withGossip := run(t, cfg)
+	_, plain := run(t, testConfig(4))
+	if !reflect.DeepEqual(withGossip, plain) {
+		t.Error("gossip changed a fire-and-forget run")
+	}
+	if withGossip.GossipMessages != 0 {
+		t.Errorf("untracked run sent %d gossip messages", withGossip.GossipMessages)
+	}
+}
+
+func TestGossipRunsDeterministic(t *testing.T) {
+	_, a := run(t, gossipConfig(5))
+	_, b := run(t, gossipConfig(5))
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("identical gossip runs diverged:\n%+v\n%+v", a, b)
+	}
+	_, c := run(t, gossipConfig(6))
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical gossip runs")
+	}
+}
+
+func TestGossipBothSourceCombinesSignals(t *testing.T) {
+	cfg := gossipConfig(7)
+	cfg.HintSource = HintBoth
+	_, rep := run(t, cfg)
+	// Both producers must be live: the orderer samples hints at cuts
+	// and the clients sample gossip estimates at rounds.
+	if rep.BackpressureHintMax <= 0 {
+		t.Error("both-source run computed no orderer hints")
+	}
+	if rep.GossipEstimateMax <= 0 {
+		t.Error("both-source run sampled no gossip estimates")
+	}
+	if rep.GossipEstimateMax > 1 || rep.BackpressureHintMax > 1 {
+		t.Errorf("hint out of range: orderer %g gossip %g",
+			rep.BackpressureHintMax, rep.GossipEstimateMax)
+	}
+}
+
+// FuzzGossipMerge drives the merge/decay algebra with adversarial
+// estimates, ages and decay rates: whatever the inputs, a merged
+// estimate stays in [0,1], the max-merge is monotone (never below
+// either clamped input), decay never increases an estimate and is
+// monotone in age, and a gossipState fed the same sequence keeps its
+// own view in range.
+func FuzzGossipMerge(f *testing.F) {
+	f.Add(0.5, 0.25, int64(time.Second), 0.5)
+	f.Add(0.0, 1.0, int64(0), 0.0)
+	f.Add(1.5, -0.5, int64(-time.Second), 2.0)
+	f.Add(0.9, 0.9, int64(time.Hour), math.MaxFloat64)
+	f.Add(math.Inf(1), math.NaN(), int64(time.Millisecond), math.NaN())
+	f.Fuzz(func(t *testing.T, a, b float64, ageNs int64, decay float64) {
+		age := time.Duration(ageNs)
+
+		merged := MergeEstimates(a, b)
+		if merged < 0 || merged > 1 || math.IsNaN(merged) {
+			t.Fatalf("merge(%g,%g) = %g out of [0,1]", a, b, merged)
+		}
+		if merged < ClampEstimate(a) || merged < ClampEstimate(b) {
+			t.Fatalf("merge(%g,%g) = %g below an input", a, b, merged)
+		}
+
+		d := DecayEstimate(merged, age, decay)
+		if d < 0 || d > 1 || math.IsNaN(d) {
+			t.Fatalf("decay(%g,%v,%g) = %g out of [0,1]", merged, age, decay, d)
+		}
+		if d > merged {
+			t.Fatalf("decay(%g,%v,%g) = %g grew the estimate", merged, age, decay, d)
+		}
+		if age >= 0 {
+			if older := DecayEstimate(merged, age+time.Second, decay); older > d+1e-15 {
+				t.Fatalf("decay not monotone in age: %g at %v vs %g at %v",
+					d, age, older, age+time.Second)
+			}
+		}
+
+		// A state fed the same raw inputs must keep its view in range.
+		decayCfg := decay
+		if decayCfg < 0 || math.IsNaN(decayCfg) || math.IsInf(decayCfg, 0) {
+			decayCfg = 0.5 // state configs are validated; clamp for the harness
+		}
+		g := newGossipState(Gossip{Decay: decayCfg}.withDefaults())
+		now := sim.Time(2 * time.Hour)
+		sent := now - sim.Time(age)
+		if sent > now {
+			sent = now
+		}
+		g.merge(a, sent, now)
+		g.merge(b, now, now)
+		g.observe(true)
+		if est, stale := g.estimate(now); est < 0 || est > 1 || math.IsNaN(est) || stale < 0 {
+			t.Fatalf("state estimate = %g stale=%v out of range", est, stale)
+		}
+	})
+}

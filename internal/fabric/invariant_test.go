@@ -2,8 +2,10 @@ package fabric
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/ledger"
+	"repro/internal/metrics"
 	"repro/internal/statedb"
 )
 
@@ -118,4 +120,150 @@ func TestConservationInvariantLevelDB(t *testing.T) {
 	cfg.StripAfterCommit = false
 	nw, _ := run(t, cfg)
 	checkConservation(t, nw)
+}
+
+// TestConservationInvariantWithGossip runs the per-block conservation
+// walk with the gossip signal live at several fanouts: gossip may
+// only move *when* transactions are resubmitted, never what the
+// validator decides about them — the accounting identity and the
+// per-key version monotonicity must hold untouched at any mesh width.
+func TestConservationInvariantWithGossip(t *testing.T) {
+	for _, fanout := range []int{1, 2, 4} {
+		cfg := retryConfig(14, ImmediateRetry{MaxAttempts: 3})
+		cfg.StripAfterCommit = false
+		cfg.OrdererCosts.PerTx = 25 * time.Millisecond // congest so the signal matters
+		cfg.Backpressure = &Backpressure{}
+		cfg.Gossip = &Gossip{Fanout: fanout}
+		cfg.HintSource = HintGossip
+		nw, rep := run(t, cfg)
+		if rep.GossipMessages == 0 {
+			t.Fatalf("fanout %d: gossip never engaged", fanout)
+		}
+		checkConservation(t, nw)
+	}
+}
+
+// hintModes enumerates every retry/coordination mode the lab
+// supports — client-local, budgeted, orderer-hinted, gossip-hinted,
+// combined, and closed-loop pacing — for the hint-range invariant.
+func hintModes() []struct {
+	name string
+	cfg  func(seed int64) Config
+} {
+	congest := func(cfg Config) Config {
+		cfg.OrdererCosts.PerTx = 25 * time.Millisecond
+		return cfg
+	}
+	return []struct {
+		name string
+		cfg  func(seed int64) Config
+	}{
+		{"fire-and-forget", func(s int64) Config { return testConfig(s) }},
+		{"immediate", func(s int64) Config { return retryConfig(s, ImmediateRetry{MaxAttempts: 3}) }},
+		{"backoff", func(s int64) Config {
+			return retryConfig(s, ExponentialBackoff{Initial: 100 * time.Millisecond, Cap: time.Second, MaxAttempts: 4, Jitter: 0.2})
+		}},
+		{"adaptive", func(s int64) Config { return retryConfig(s, AdaptivePolicy{MaxAttempts: 5, Jitter: 0.2}) }},
+		{"budgeted", func(s int64) Config {
+			cfg := retryConfig(s, ImmediateRetry{MaxAttempts: 5})
+			cfg.RetryBudget = &RetryBudget{RefillPerSec: 1, Burst: 3, DropOnEmpty: true}
+			return cfg
+		}},
+		{"hinted-orderer", func(s int64) Config {
+			cfg := congest(retryConfig(s, BackpressurePolicy{MaxAttempts: 5, Jitter: 0.2}))
+			cfg.Backpressure = &Backpressure{}
+			return cfg
+		}},
+		{"hinted-orderer-weighted", func(s int64) Config {
+			cfg := congest(retryConfig(s, AdaptivePolicy{MaxAttempts: 5, HintWeight: 0.5}))
+			cfg.Backpressure = &Backpressure{}
+			return cfg
+		}},
+		{"hinted-gossip", func(s int64) Config {
+			cfg := congest(retryConfig(s, BackpressurePolicy{MaxAttempts: 5, Jitter: 0.2}))
+			cfg.Backpressure = &Backpressure{}
+			cfg.Gossip = &Gossip{}
+			cfg.HintSource = HintGossip
+			return cfg
+		}},
+		{"hinted-both", func(s int64) Config {
+			cfg := congest(retryConfig(s, BackpressurePolicy{MaxAttempts: 5, Jitter: 0.2}))
+			cfg.Backpressure = &Backpressure{}
+			cfg.Gossip = &Gossip{}
+			cfg.HintSource = HintBoth
+			return cfg
+		}},
+		{"closedloop-paced-gossip", func(s int64) Config {
+			cfg := congest(testConfig(s))
+			cfg.ClosedLoop = true
+			cfg.InFlightPerClient = 8
+			cfg.Backpressure = &Backpressure{}
+			cfg.Gossip = &Gossip{}
+			cfg.HintSource = HintGossip
+			return cfg
+		}},
+	}
+}
+
+// checkHintRange asserts the shared-signal invariants on one report:
+// every hint/estimate trajectory stays inside [0,1], no single pacing
+// pause exceeds the configured MaxPause, and subsystems that are off
+// leave exactly zero traces in the metrics.
+func checkHintRange(t *testing.T, name string, cfg Config, rep metrics.Report) {
+	t.Helper()
+	inUnit := func(label string, v float64) {
+		if v < 0 || v > 1 {
+			t.Errorf("%s: %s = %g outside [0,1]", name, label, v)
+		}
+	}
+	inUnit("hint avg", rep.BackpressureHintAvg)
+	inUnit("hint max", rep.BackpressureHintMax)
+	inUnit("hint final", rep.BackpressureHintFinal)
+	inUnit("gossip est avg", rep.GossipEstimateAvg)
+	inUnit("gossip est max", rep.GossipEstimateMax)
+	inUnit("gossip est final", rep.GossipEstimateFinal)
+	if rep.BackpressureHintAvg > rep.BackpressureHintMax || rep.GossipEstimateAvg > rep.GossipEstimateMax {
+		t.Errorf("%s: trajectory average above its max", name)
+	}
+
+	if cfg.Backpressure != nil {
+		maxPause := cfg.Backpressure.MaxPause
+		if maxPause == 0 {
+			maxPause = 2 * time.Second // documented default
+		}
+		if rep.MaxPacedPause > maxPause {
+			t.Errorf("%s: single pace %v exceeds MaxPause %v", name, rep.MaxPacedPause, maxPause)
+		}
+	} else if rep.PacedSubmissions != 0 || rep.TimePaced != 0 || rep.MaxPacedPause != 0 {
+		t.Errorf("%s: no pacer configured but paced=%d time=%v max=%v",
+			name, rep.PacedSubmissions, rep.TimePaced, rep.MaxPacedPause)
+	}
+	ordererOn := cfg.Backpressure != nil && cfg.HintSource.resolve() != HintGossip
+	if !ordererOn && (rep.BackpressureHintAvg != 0 || rep.BackpressureHintMax != 0 || rep.BackpressureHintFinal != 0) {
+		t.Errorf("%s: orderer hints off but trajectory non-zero: %+v", name, rep)
+	}
+	if cfg.Gossip == nil && (rep.GossipMessages != 0 || rep.GossipMerges != 0 ||
+		rep.GossipUses != 0 || rep.GossipEstimateMax != 0 || rep.GossipStalenessMax != 0) {
+		t.Errorf("%s: gossip off but metrics non-zero: %+v", name, rep)
+	}
+	if rep.GossipStalenessAvg > rep.GossipStalenessMax || rep.GossipStalenessMax < 0 {
+		t.Errorf("%s: staleness avg %v / max %v inconsistent",
+			name, rep.GossipStalenessAvg, rep.GossipStalenessMax)
+	}
+}
+
+// TestHintRangeInvariantAcrossModes runs every retry/coordination
+// mode — gossip modes included — and checks the hint-range property:
+// whatever the configuration, observed hints and estimates stay in
+// [0,1], pacing pauses respect MaxPause, and disabled subsystems
+// report exactly zero.
+func TestHintRangeInvariantAcrossModes(t *testing.T) {
+	for _, mode := range hintModes() {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			cfg := mode.cfg(21)
+			_, rep := run(t, cfg)
+			checkHintRange(t, mode.name, cfg, rep)
+		})
+	}
 }

@@ -42,6 +42,14 @@ type Network struct {
 	// when Config.Backpressure is unset — the subsystem is then fully
 	// inert: the orderer computes no hints and clients never pace.
 	bp *Backpressure
+	// gossip is the resolved gossip config (defaults applied), nil
+	// when Config.Gossip is unset or the run does not track outcomes —
+	// the subsystem is then fully inert: no rounds are scheduled and
+	// no rng is drawn.
+	gossip *Gossip
+	// hintSrc is the resolved hint producer (Config.HintSource; the
+	// zero value resolves to the orderer, the PR-4 behaviour).
+	hintSrc HintSource
 	// tracking reports whether clients track pending transactions and
 	// receive commit events — true when a real retry policy or the
 	// closed-loop mode is configured. When false the commit-event
@@ -88,6 +96,11 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if cfg.Backpressure != nil {
 		b := cfg.Backpressure.withDefaults()
 		nw.bp = &b
+	}
+	nw.hintSrc = cfg.HintSource.resolve()
+	if cfg.Gossip != nil && nw.tracking {
+		g := cfg.Gossip.withDefaults()
+		nw.gossip = &g
 	}
 	nw.net = netem.New(nw.eng, cfg.LAN)
 	nw.applySpeedFactor()
@@ -184,6 +197,14 @@ func (nw *Network) deliverOutcome(src string, tx *ledger.Transaction, code ledge
 	}
 	nw.net.Send(src, cl.name, func() { cl.onOutcome(tx.ID, code, hint) })
 }
+
+// ordererHints reports whether the ordering service computes and
+// publishes congestion hints: backpressure is configured and the hint
+// source includes the orderer. With HintSource "gossip" the orderer
+// stays fully out of the signal path — blocks carry a zero hint and
+// no hint samples are recorded — so any coordination effect is
+// attributable to the clients sharing their own estimates.
+func (nw *Network) ordererHints() bool { return nw.bp != nil && nw.hintSrc.usesOrderer() }
 
 // applySpeedFactor scales fixed per-block costs for the cluster size.
 func (nw *Network) applySpeedFactor() {

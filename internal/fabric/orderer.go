@@ -174,7 +174,7 @@ func (os *OrderingService) cut(reason string) {
 	os.pendingBytes = 0
 	os.timerArmed = false
 	os.timerEpoch++
-	if os.nw.bp != nil {
+	if os.nw.ordererHints() {
 		os.updateHint()
 	}
 

@@ -60,6 +60,20 @@ type Collector struct {
 	hintLast    float64
 	pacedCount  int
 	pacedTime   time.Duration
+	pacedMax    time.Duration
+
+	// Gossip accounting (Config.Gossip): message/merge counters, the
+	// estimate trajectory sampled once per client round, and the
+	// staleness of the gossip estimate at each point of use.
+	gossipMsgs     int
+	gossipMerges   int
+	gossipSamples  int
+	gossipSum      float64
+	gossipMax      float64
+	gossipLast     float64
+	gossipUses     int
+	gossipStaleSum time.Duration
+	gossipStaleMax time.Duration
 }
 
 // NewCollector returns an empty collector.
@@ -185,6 +199,41 @@ func (c *Collector) RecordHintSample(h float64) {
 func (c *Collector) RecordPaced(d time.Duration) {
 	c.pacedCount++
 	c.pacedTime += d
+	if d > c.pacedMax {
+		c.pacedMax = d
+	}
+}
+
+// RecordGossipMessage counts one gossip message handed to the network
+// (one per sampled peer per round).
+func (c *Collector) RecordGossipMessage() { c.gossipMsgs++ }
+
+// RecordGossipMerge counts one received gossip estimate whose decayed
+// value beat the receiver's remote view and was adopted.
+func (c *Collector) RecordGossipMerge() { c.gossipMerges++ }
+
+// RecordGossipSample records one client's congestion estimate at the
+// start of one of its gossip rounds. The report summarizes the sample
+// stream as the gossip-estimate trajectory.
+func (c *Collector) RecordGossipSample(e float64) {
+	c.gossipSamples++
+	c.gossipSum += e
+	if e > c.gossipMax {
+		c.gossipMax = e
+	}
+	c.gossipLast = e
+}
+
+// RecordGossipUse records one consultation of a client's gossip
+// estimate (for pacing or a hint-driven backoff) together with the
+// age of the remote information behind it — zero when the client's
+// own fresh window dominated the estimate.
+func (c *Collector) RecordGossipUse(staleness time.Duration) {
+	c.gossipUses++
+	c.gossipStaleSum += staleness
+	if staleness > c.gossipStaleMax {
+		c.gossipStaleMax = staleness
+	}
 }
 
 // RecordJob records the final resolution of a tracked logical
@@ -304,9 +353,27 @@ type Report struct {
 	BackpressureHintFinal float64
 	// PacedSubmissions counts submissions (resubmissions and new
 	// closed-loop jobs) the pacer delayed; TimePaced is the total
-	// extra delay the shared signal injected across all clients.
+	// extra delay the shared signal injected across all clients, and
+	// MaxPacedPause the largest single pause — by construction never
+	// above the configured Backpressure.MaxPause.
 	PacedSubmissions int
 	TimePaced        time.Duration
+	MaxPacedPause    time.Duration
+
+	// Gossip summary (Config.Gossip runs only; zero otherwise):
+	// message and merge counters, the estimate trajectory sampled once
+	// per client gossip round (mean/peak/final, in [0,1]), and the
+	// staleness of the estimate at its points of use — how old the
+	// remote information a client acted on was (zero when its own
+	// window dominated).
+	GossipMessages      int
+	GossipMerges        int
+	GossipEstimateAvg   float64
+	GossipEstimateMax   float64
+	GossipEstimateFinal float64
+	GossipUses          int
+	GossipStalenessAvg  time.Duration
+	GossipStalenessMax  time.Duration
 }
 
 // Report computes the summary.
@@ -392,6 +459,19 @@ func (c *Collector) Report() Report {
 	}
 	r.PacedSubmissions = c.pacedCount
 	r.TimePaced = c.pacedTime
+	r.MaxPacedPause = c.pacedMax
+	r.GossipMessages = c.gossipMsgs
+	r.GossipMerges = c.gossipMerges
+	if c.gossipSamples > 0 {
+		r.GossipEstimateAvg = c.gossipSum / float64(c.gossipSamples)
+		r.GossipEstimateMax = c.gossipMax
+		r.GossipEstimateFinal = c.gossipLast
+	}
+	r.GossipUses = c.gossipUses
+	if c.gossipUses > 0 {
+		r.GossipStalenessAvg = c.gossipStaleSum / time.Duration(c.gossipUses)
+		r.GossipStalenessMax = c.gossipStaleMax
+	}
 	return r
 }
 

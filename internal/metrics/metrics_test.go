@@ -351,3 +351,49 @@ func TestBackpressureSummary(t *testing.T) {
 		t.Errorf("time paced %v, want 1s", r.TimePaced)
 	}
 }
+
+func TestMaxPacedPauseTracksLargestSinglePause(t *testing.T) {
+	c := NewCollector()
+	c.RecordPaced(300 * time.Millisecond)
+	c.RecordPaced(900 * time.Millisecond)
+	c.RecordPaced(100 * time.Millisecond)
+	if r := c.Report(); r.MaxPacedPause != 900*time.Millisecond {
+		t.Errorf("max paced pause %v, want 900ms", r.MaxPacedPause)
+	}
+}
+
+func TestGossipSummary(t *testing.T) {
+	c := NewCollector()
+	r := c.Report()
+	if r.GossipMessages != 0 || r.GossipMerges != 0 || r.GossipEstimateAvg != 0 ||
+		r.GossipEstimateMax != 0 || r.GossipEstimateFinal != 0 ||
+		r.GossipUses != 0 || r.GossipStalenessAvg != 0 || r.GossipStalenessMax != 0 {
+		t.Error("empty collector reported gossip activity")
+	}
+	c.RecordGossipMessage()
+	c.RecordGossipMessage()
+	c.RecordGossipMessage()
+	c.RecordGossipMerge()
+	c.RecordGossipSample(0.2)
+	c.RecordGossipSample(0.9)
+	c.RecordGossipSample(0.4)
+	c.RecordGossipUse(100 * time.Millisecond)
+	c.RecordGossipUse(500 * time.Millisecond)
+	r = c.Report()
+	if r.GossipMessages != 3 || r.GossipMerges != 1 {
+		t.Errorf("msgs=%d merges=%d, want 3 and 1", r.GossipMessages, r.GossipMerges)
+	}
+	if want := (0.2 + 0.9 + 0.4) / 3; r.GossipEstimateAvg != want {
+		t.Errorf("estimate avg %g, want %g", r.GossipEstimateAvg, want)
+	}
+	if r.GossipEstimateMax != 0.9 || r.GossipEstimateFinal != 0.4 {
+		t.Errorf("estimate max=%g final=%g, want 0.9 and 0.4", r.GossipEstimateMax, r.GossipEstimateFinal)
+	}
+	if r.GossipUses != 2 {
+		t.Errorf("uses %d, want 2", r.GossipUses)
+	}
+	if r.GossipStalenessAvg != 300*time.Millisecond || r.GossipStalenessMax != 500*time.Millisecond {
+		t.Errorf("staleness avg=%v max=%v, want 300ms and 500ms",
+			r.GossipStalenessAvg, r.GossipStalenessMax)
+	}
+}
