@@ -99,6 +99,38 @@ func BenchmarkRetryCoordination_Backpressure(b *testing.B) {
 	runExperiment(b, "retry-coordination")
 }
 
+// BenchmarkScale_CohortsChannels exercises the million-client scale
+// machinery: the client-population × channel-count sweep driven by
+// cohort drivers, cross-channel legs included.
+func BenchmarkScale_CohortsChannels(b *testing.B) { runExperiment(b, "scale") }
+
+// BenchmarkMillionClients_SingleRun measures one 10^6-client run on 4
+// channels — the largest single cell the scale experiment holds — to
+// track the cohort layer's per-run cost in isolation.
+func BenchmarkMillionClients_SingleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.Seed = int64(i + 1)
+		cfg.Duration = 12 * time.Second
+		cfg.Drain = 18 * time.Second
+		cfg.Chaincode = EHRChaincode()
+		cfg.Workload = EHRWorkload(2)
+		cfg.Rate = 200
+		cfg.Clients = 1_000_000
+		cfg.CohortSize = 10_000
+		cfg.Channels = 4
+		cfg.CrossChannel = 0.1
+		nw, err := NewNetwork(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep := nw.Run()
+		if rep.Total == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}
+
 // BenchmarkExpAllParallelism measures how the harness's wall-clock
 // for a full sweep scales with the worker-pool size (see also
 // BenchmarkBlockSizeSweepParallelism in internal/core for the raw

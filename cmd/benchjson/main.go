@@ -1,0 +1,106 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// array, so CI can archive benchmark baselines as machine-readable
+// artifacts and diffs against BENCH_baseline.json stay scriptable.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime=1x -benchmem ./... | go run ./cmd/benchjson > bench.json
+//
+// Each benchmark result line becomes one object:
+//
+//	{"name": "BenchmarkFig7_MVCCvsBlockSize", "procs": 8,
+//	 "iterations": 1, "ns_op": 123456789,
+//	 "bytes_op": 1048576, "allocs_op": 4242}
+//
+// bytes_op and allocs_op are present only when the run used -benchmem.
+// Non-benchmark lines (experiment tables, PASS/ok trailers) are
+// ignored, so the tool can consume the full test output unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string  `json:"name"`
+	Procs      int     `json:"procs"`
+	Iterations int64   `json:"iterations"`
+	NsOp       float64 `json:"ns_op"`
+	BytesOp    *int64  `json:"bytes_op,omitempty"`
+	AllocsOp   *int64  `json:"allocs_op,omitempty"`
+}
+
+// benchLine matches "BenchmarkName-8   10   123 ns/op   456 B/op   7 allocs/op"
+// (the -procs suffix and the memory columns are optional).
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+// parse extracts every benchmark result from the reader.
+func parse(sc *bufio.Scanner) ([]Result, error) {
+	var out []Result
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		r := Result{Name: m[1], Procs: 1}
+		if m[2] != "" {
+			p, err := strconv.Atoi(m[2])
+			if err != nil {
+				return nil, fmt.Errorf("procs in %q: %w", sc.Text(), err)
+			}
+			r.Procs = p
+		}
+		iters, err := strconv.ParseInt(m[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("iterations in %q: %w", sc.Text(), err)
+		}
+		r.Iterations = iters
+		ns, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("ns/op in %q: %w", sc.Text(), err)
+		}
+		r.NsOp = ns
+		rest := strings.Fields(m[5])
+		for i := 0; i+1 < len(rest); i += 2 {
+			v, err := strconv.ParseInt(rest[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch rest[i+1] {
+			case "B/op":
+				r.BytesOp = &v
+			case "allocs/op":
+				r.AllocsOp = &v
+			}
+		}
+		out = append(out, r)
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	results, err := parse(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

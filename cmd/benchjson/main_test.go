@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	in := `goos: linux
+BenchmarkFig7_MVCCvsBlockSize-8   	       1	123456789 ns/op	 1048576 B/op	    4242 allocs/op
+some experiment table row   12  34
+BenchmarkSingleRun_EHR   	       2	  5000000 ns/op
+BenchmarkExpAllParallelism/parallel=numcpu-8         	       1	  777 ns/op	 10 B/op	 3 allocs/op
+PASS
+ok  	repro	12.3s
+`
+	got, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(got), got)
+	}
+	r := got[0]
+	if r.Name != "BenchmarkFig7_MVCCvsBlockSize" || r.Procs != 8 ||
+		r.Iterations != 1 || r.NsOp != 123456789 {
+		t.Errorf("first result mismatch: %+v", r)
+	}
+	if r.BytesOp == nil || *r.BytesOp != 1048576 || r.AllocsOp == nil || *r.AllocsOp != 4242 {
+		t.Errorf("memory columns mismatch: %+v", r)
+	}
+	if got[1].BytesOp != nil || got[1].AllocsOp != nil {
+		t.Errorf("no-benchmem line grew memory columns: %+v", got[1])
+	}
+	if got[1].Procs != 1 {
+		t.Errorf("missing -procs suffix should default to 1: %+v", got[1])
+	}
+	if got[2].Name != "BenchmarkExpAllParallelism/parallel=numcpu" {
+		t.Errorf("sub-benchmark name mismatch: %q", got[2].Name)
+	}
+}
+
+func TestParseRejectsNothing(t *testing.T) {
+	got, err := parse(bufio.NewScanner(strings.NewReader("no benchmarks here\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %d results from noise", len(got))
+	}
+}

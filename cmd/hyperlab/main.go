@@ -1,8 +1,9 @@
 // Command hyperlab regenerates the tables and figures of "Why Do My
 // Blockchain Transactions Fail? A Study of Hyperledger Fabric"
 // (SIGMOD 2021) from the simulated testbed, plus the lab's own
-// experiments (retry-policies, retry-cotune, retry-coordination). See
-// docs/EXPERIMENTS.md for every experiment id and its sweep axes.
+// experiments (retry-policies, retry-cotune, retry-coordination,
+// scale). See docs/EXPERIMENTS.md for every experiment id and its
+// sweep axes.
 //
 // Usage:
 //
@@ -24,6 +25,11 @@
 //	hyperlab -adhoc -retry hinted -backpressure on -gossip 2:500ms -hintsource gossip
 //	                                    ad-hoc run paced by the gossiped
 //	                                    client-to-client congestion signal
+//	hyperlab -run scale                 cohort drivers x multi-channel sharding,
+//	                                    10^2..10^6 simulated clients
+//	hyperlab -adhoc -clients 100000 -cohort 1000 -channels 4 -crosschannel 0.1
+//	                                    ad-hoc sharded run: 100k clients in
+//	                                    cohorts of 1000 over 4 channels
 //	hyperlab -render                    emit a generated genChain chaincode
 package main
 
@@ -71,6 +77,10 @@ func main() {
 		closedLoop = flag.Bool("closedloop", false, "ad-hoc run: closed-loop clients instead of Poisson arrivals")
 		inflight   = flag.Int("inflight", 1, "ad-hoc run: closed-loop in-flight window per client")
 		think      = flag.String("think", "none", "ad-hoc run: closed-loop think time none|fixed:<dur>|exp:<dur>|lognormal:<dur>[:sigma]")
+		clients    = flag.Int("clients", 0, "ad-hoc run: simulated client population (0 = cluster default)")
+		cohort     = flag.Int("cohort", 0, "ad-hoc run: clients per cohort driver (0/1 = exact per-client simulation)")
+		channels   = flag.Int("channels", 1, "ad-hoc run: channel count; each channel gets its own orderer and ledger")
+		crossCh    = flag.Float64("crosschannel", 0, "ad-hoc run: fraction of transactions spanning two channels (needs -channels >= 2)")
 		verbose    = flag.Bool("v", false, "print per-seed progress")
 	)
 	flag.Parse()
@@ -104,6 +114,8 @@ func main() {
 			retry: *retry, budget: *budget, think: *think,
 			backpressure: *backpress, gossip: *gossip, hintSource: *hintSource,
 			closedLoop: *closedLoop, inflight: *inflight,
+			clients: *clients, cohort: *cohort,
+			channels: *channels, crossChannel: *crossCh,
 		})
 	default:
 		flag.Usage()
@@ -158,8 +170,9 @@ type adhocOptions struct {
 	ccName, db, system, cluster, retry string
 	budget, think, backpressure        string
 	gossip, hintSource                 string
-	rate, skew                         float64
+	rate, skew, crossChannel           float64
 	blockSize, dump, inflight          int
+	clients, cohort, channels          int
 	duration                           time.Duration
 	seed                               int64
 	closedLoop                         bool
@@ -292,6 +305,12 @@ func adhoc(o adhocOptions) {
 	cfg.ThinkTime = thinkTime
 	cfg.ClosedLoop = o.closedLoop
 	cfg.InFlightPerClient = o.inflight
+	if o.clients > 0 {
+		cfg.Clients = o.clients
+	}
+	cfg.CohortSize = o.cohort
+	cfg.Channels = o.channels
+	cfg.CrossChannel = o.crossChannel
 
 	switch strings.ToLower(o.ccName) {
 	case "genchain":
@@ -326,6 +345,12 @@ func adhoc(o adhocOptions) {
 	if o.closedLoop {
 		mode = fmt.Sprintf("closed-loop(%d)", o.inflight)
 	}
+	if o.cohort > 1 {
+		mode += fmt.Sprintf(", %d clients in cohorts of %d", cfg.Clients, o.cohort)
+	}
+	if o.channels > 1 {
+		mode += fmt.Sprintf(", %d channels (%.0f%% cross-channel)", o.channels, 100*o.crossChannel)
+	}
 	fmt.Printf("%s on %s, %s, rate %.0f tps, block %d, db %s, skew %.1f, retry %s, %s (%v virtual, %v real)\n",
 		sys, o.cluster, o.ccName, o.rate, o.blockSize, cfg.DBKind, o.skew,
 		cfg.Retry.Name(), mode,
@@ -359,11 +384,20 @@ func adhoc(o adhocOptions) {
 			rep.GossipStalenessAvg.Round(time.Millisecond),
 			rep.GossipStalenessMax.Round(time.Millisecond))
 	}
-	if err := nw.Chain().Verify(); err != nil {
-		fatal(fmt.Errorf("chain verification failed: %w", err))
+	for ch, chain := range nw.Chains() {
+		if err := chain.Verify(); err != nil {
+			fatal(fmt.Errorf("channel %d chain verification failed: %w", ch, err))
+		}
 	}
-	fmt.Printf("chain: %d blocks, %d transactions, hash chain verified\n",
-		nw.Chain().Height(), nw.Chain().TxCount())
+	if chains := nw.Chains(); len(chains) > 1 {
+		for ch, chain := range chains {
+			fmt.Printf("channel %d: %d blocks, %d transactions, hash chain verified\n",
+				ch, chain.Height(), chain.TxCount())
+		}
+	} else {
+		fmt.Printf("chain: %d blocks, %d transactions, hash chain verified\n",
+			nw.Chain().Height(), nw.Chain().TxCount())
+	}
 	for n := uint64(1); n <= uint64(o.dump) && n < nw.Chain().Height(); n++ {
 		summary, err := nw.Chain().Block(n).MarshalSummary()
 		if err != nil {

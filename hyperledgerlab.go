@@ -58,6 +58,26 @@
 // optional Config.ThinkTime distribution (fixed, exponential or
 // log-normal) between jobs.
 //
+// # Million-client scale: cohort drivers and channel sharding
+//
+// Config.CohortSize switches the client layer from one simulated
+// state object per client to cohort drivers: one object drives N
+// statistically identical clients, sharing the retry policy, token
+// bucket, pacer and gossip state across the cohort while keeping
+// per-member identity (transaction ids, rotation counters) exact.
+// With a stateless retry policy and no shared-state subsystems a
+// cohorted closed-loop run is byte-identical to the exact simulation
+// — the equivalence is locked by a golden test — and memory stays
+// within a constant factor as the population grows four orders of
+// magnitude. Config.Channels shards the deployment the way production
+// Fabric does: each channel gets its own ordering service, its own
+// hash chain and its own world-state replica per peer, with chaincode
+// keyspaces partitioned across channels by a deterministic hash and
+// Config.CrossChannel injecting two-leg transactions that must
+// succeed on both channels. The "scale" experiment (cmd/hyperlab -run
+// scale) sweeps 10^2..10^6 clients over 1, 4 and 16 channels at a
+// fixed total arrival rate.
+//
 // Reports expose the resulting effective metrics next to the paper's
 // chain-level ones: Goodput (first-submission success throughput),
 // RetryAmplification (submissions per logical transaction),
@@ -204,6 +224,10 @@ type (
 	ThinkTime = fabric.ThinkTime
 	// ThinkTimeKind selects the think-time distribution.
 	ThinkTimeKind = fabric.ThinkTimeKind
+	// ClientDriver is the common surface of the exact per-client
+	// simulation and the cohort drivers selected by Config.CohortSize
+	// (see Network.Drivers).
+	ClientDriver = fabric.ClientDriver
 )
 
 // Think-time distributions for Config.ThinkTime.
@@ -361,6 +385,13 @@ const (
 	FabricSharp      = core.FabricSharp
 	C1               = core.C1
 	C2               = core.C2
+)
+
+// Scale-sweep axes of the "scale" experiment: client population and
+// channel count.
+var (
+	ScaleClients  = core.ScaleClients
+	ScaleChannels = core.ScaleChannels
 )
 
 // Experiments lists every reproducible table and figure.

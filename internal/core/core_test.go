@@ -151,8 +151,8 @@ func TestLookup(t *testing.T) {
 			t.Errorf("experiment %s incomplete", e.ID)
 		}
 	}
-	if len(seen) != 28 {
-		t.Errorf("%d experiments, want 28 (2 tables + 23 figures + retry-policies + retry-cotune + retry-coordination)", len(seen))
+	if len(seen) != 29 {
+		t.Errorf("%d experiments, want 29 (2 tables + 23 figures + retry-policies + retry-cotune + retry-coordination + scale)", len(seen))
 	}
 }
 

@@ -7,19 +7,20 @@ import (
 	"testing"
 )
 
-// retryExperimentIDs pulls every retry/coordination experiment out of
-// the registry, so a new retry-* experiment is swept automatically —
-// the matrix below is registry-driven, not a copy-pasted test per
-// experiment id.
+// retryExperimentIDs pulls every retry/coordination experiment — plus
+// the scale sweep, which exercises the cohort and multi-channel
+// machinery — out of the registry, so a new retry-* experiment is
+// swept automatically: the matrix below is registry-driven, not a
+// copy-pasted test per experiment id.
 func retryExperimentIDs(t *testing.T) []string {
 	t.Helper()
 	var ids []string
 	for _, e := range Experiments() {
-		if strings.HasPrefix(e.ID, "retry-") {
+		if strings.HasPrefix(e.ID, "retry-") || e.ID == "scale" {
 			ids = append(ids, e.ID)
 		}
 	}
-	for _, want := range []string{"retry-policies", "retry-cotune", "retry-coordination"} {
+	for _, want := range []string{"retry-policies", "retry-cotune", "retry-coordination", "scale"} {
 		found := false
 		for _, id := range ids {
 			if id == want {

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+)
+
+// ScaleClients is the client-count axis of the scale sweep: two
+// orders of magnitude per step, up to a million simulated clients.
+var ScaleClients = []int{100, 10_000, 1_000_000}
+
+// ScaleChannels is the channel-count axis of the scale sweep.
+var ScaleChannels = []int{1, 4, 16}
+
+// scaleCohortTarget is the driver count the sweep keeps constant:
+// every cell runs (about) this many cohorts regardless of client
+// count, so state and event-queue pressure stay flat as the client
+// axis grows four orders of magnitude.
+const scaleCohortTarget = 100
+
+// scaleCell is one cell of the scale grid.
+type scaleCell struct {
+	clients  int
+	channels int
+}
+
+// scaleGrid enumerates the scale sweep in deterministic row order:
+// client count, then channel count. Smoke mode truncates both axes so
+// CI (and the determinism matrix test) can run the experiment
+// end-to-end in seconds.
+func scaleGrid(smoke bool) []scaleCell {
+	clients, channels := ScaleClients, ScaleChannels
+	if smoke {
+		clients = []int{100, 1_000}
+		channels = []int{1, 4}
+	}
+	var cells []scaleCell
+	for _, cl := range clients {
+		for _, ch := range channels {
+			cells = append(cells, scaleCell{cl, ch})
+		}
+	}
+	return cells
+}
+
+// scaleConfig builds one cell's config: open-loop arrivals at a fixed
+// total rate (so the chain-side load is comparable across the client
+// axis and only the population size varies), cohort drivers sized to
+// keep scaleCohortTarget cohorts per cell, channel sharding on the
+// channel axis with 10% cross-channel transactions when there is more
+// than one channel, and a capped exponential-backoff retry policy so
+// failed transactions resubmit — the regime the paper's
+// fire-and-forget clients never reach.
+func scaleConfig(cc CCFactory, c scaleCell) Builder {
+	return func(seed int64) fabric.Config {
+		cfg := baseConfig(C1, cc, 2, Fabric14)(seed)
+		cfg.Clients = c.clients
+		cfg.Rate = 200
+		cfg.Channels = c.channels
+		if c.channels > 1 {
+			cfg.CrossChannel = 0.1
+		}
+		cfg.CohortSize = c.clients / scaleCohortTarget
+		cfg.Retry = fabric.ExponentialBackoff{
+			Initial:     200 * time.Millisecond,
+			Cap:         2 * time.Second,
+			MaxAttempts: 5,
+			Jitter:      0.2,
+		}
+		return cfg
+	}
+}
+
+// ScaleExp sweeps client population × channel count at a fixed total
+// arrival rate: 10^2 to 10^6 clients driven by cohort drivers (one
+// state object per ~1% of the population) over 1, 4 and 16 channels.
+// It reports the effective client-side metrics next to the chain
+// view, so the table shows what sharding buys (failure isolation,
+// per-channel ordering capacity) and what cross-channel transactions
+// cost, while the cohort layer keeps the largest cell's memory within
+// a constant factor of the smallest's. All cells fan out across the
+// worker pool; the table is identical at any Options.Parallelism.
+func ScaleExp(o Options) (string, error) {
+	cells := scaleGrid(o.Smoke)
+	cc, err := UseCase("ehr")
+	if err != nil {
+		return "", err
+	}
+	builds := make([]Builder, len(cells))
+	for i, c := range cells {
+		builds[i] = scaleConfig(cc, c)
+	}
+	results, err := o.RunAll(builds)
+	if err != nil {
+		return "", err
+	}
+	t := metrics.NewTable("clients", "channels", "cohort size",
+		"goodput (tps)", "tput (tps)", "amp", "e2e lat (s)", "gave up %", "failures %")
+	for i, c := range cells {
+		res := results[i]
+		size := c.clients / scaleCohortTarget
+		if size < 1 {
+			size = 1
+		}
+		t.AddRow(c.clients, c.channels, size,
+			res.Goodput, res.Throughput, res.RetryAmp,
+			res.EndToEndSec, res.GaveUpPct, res.FailurePct)
+	}
+	return t.String(), nil
+}

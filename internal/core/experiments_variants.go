@@ -349,6 +349,7 @@ func Experiments() []Experiment {
 		{"retry-policies", "Client retry policies: goodput, amplification, end-to-end cost", RetryPoliciesExp},
 		{"retry-cotune", "Block size × backoff co-tuning: static vs adaptive vs budgeted, Fabric 1.4 vs Fabric++", RetryCotuneExp},
 		{"retry-coordination", "Coordinated retry control: client-local AIMD vs orderer-hinted vs gossip-hinted vs both", RetryCoordinationExp},
+		{"scale", "Million-client scale: cohort drivers × multi-channel sharding at fixed load", ScaleExp},
 	}
 }
 

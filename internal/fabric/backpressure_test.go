@@ -78,7 +78,7 @@ func TestUpdateHintBacklogAndSmoothing(t *testing.T) {
 	nw := harness(t)
 	bp := Backpressure{Smoothing: 0.5}.withDefaults()
 	nw.bp = &bp
-	os := nw.orderer
+	os := nw.orderers[0]
 	// A backlog far past the block timeout saturates the raw sample at
 	// 1; the EWMA walks the smoothed hint toward it in halves.
 	os.occupy(10 * nw.cfg.BlockTimeout)
@@ -101,14 +101,14 @@ func TestUpdateHintBacklogAndSmoothing(t *testing.T) {
 
 func TestServiceRateEstimate(t *testing.T) {
 	nw := harness(t)
-	svc := nw.orderer.serviceRate()
+	svc := nw.orderers[0].serviceRate()
 	if svc <= 0 {
 		t.Fatalf("service rate = %g, want > 0", svc)
 	}
 	// Larger blocks amortize the fixed per-block cost: the estimated
 	// service rate must not shrink when the block size grows.
-	nw.orderer.blockSize = 1
-	if small := nw.orderer.serviceRate(); small >= svc {
+	nw.orderers[0].blockSize = 1
+	if small := nw.orderers[0].serviceRate(); small >= svc {
 		t.Errorf("service rate at block 1 (%g) >= at block 100 (%g)", small, svc)
 	}
 }
@@ -280,7 +280,7 @@ func TestBudgetWaitAbsorbsPacingTime(t *testing.T) {
 			t.Fatal(err)
 		}
 		c := nw.clients[0]
-		c.hint = 1 // pause = Gain = 1s
+		c.hints[0] = 1 // pause = Gain = 1s
 		return nw, c
 	}
 	job := func(nw *Network) *pendingTx {
@@ -291,7 +291,7 @@ func TestBudgetWaitAbsorbsPacingTime(t *testing.T) {
 	// a deferral, with the pause fully absorbed.
 	nw, c := mkNet(7)
 	c.bucket = &tokenBucket{rate: 0.1, burst: 1, tokens: 0}
-	c.attemptFailed(job(nw), "tx-deferred", 0)
+	c.attemptFailed(job(nw), 0)
 	rep := nw.col.Report()
 	if rep.DeferredRetries != 1 {
 		t.Fatalf("deferred = %d, want 1", rep.DeferredRetries)
@@ -306,7 +306,7 @@ func TestBudgetWaitAbsorbsPacingTime(t *testing.T) {
 	// pacer-added time.
 	nw, c = mkNet(8)
 	c.bucket = &tokenBucket{rate: 2.5, burst: 1, tokens: 0}
-	c.attemptFailed(job(nw), "tx-partial", 0)
+	c.attemptFailed(job(nw), 0)
 	rep = nw.col.Report()
 	if rep.DeferredRetries != 0 {
 		t.Fatalf("partial-wait retry deferred, want immediate paced schedule")

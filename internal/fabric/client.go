@@ -9,60 +9,73 @@ import (
 	"repro/internal/workload"
 )
 
-// Client is one Caliper-style load generator process (§4.2: 5 on C1,
-// 25 on C2). It draws invocations from the workload, runs the
-// execution phase (collect endorsements from a policy-satisfying set
-// of peers), assembles the envelope and submits it to an orderer node.
+// clientCore is the client-behavior machinery shared by every
+// ClientDriver implementation: the exact per-client Client and the
+// Cohort that drives many statistically identical clients from one
+// state object. It owns the submission pipeline (draw invocation,
+// collect endorsements, assemble, order), the pending-transaction
+// table, and the whole coordination stack — retry policy, budget
+// bucket, backpressure pacing, gossip estimate. The only thing a
+// driver adds on top is its arrival process (start).
 //
-// Two arrival modes exist. Open loop (the paper's §4.5 setup):
-// Poisson arrivals at rate/clients tps, and — unless a RetryPolicy is
-// configured — failed transactions are never resent. Closed loop:
-// the client keeps Config.InFlightPerClient logical transactions
-// outstanding and submits the next as soon as one resolves.
-//
-// When the run needs outcome tracking (a retry policy or closed-loop
-// mode), the client registers every submission in its pending table
-// and listens for commit events delivered over the network by the
-// metrics peer (and for early-abort events from the ordering
-// service), exactly like a Fabric SDK client subscribed to a peer's
-// block events. A failed attempt is resubmitted — re-endorsed from
-// scratch with a fresh transaction id, same invocation — per the
-// retry policy's backoff schedule.
-type Client struct {
-	nw       *Network
-	id       int
-	name     string
-	rotation int
+// The core drives `members` simulated clients starting at global
+// client index firstID. Per-member state is deliberately tiny — one
+// endorser-rotation counter — so a driver's memory cost is amortized
+// across its members; everything heavy (pending map, policy, bucket,
+// gossip window) is shared. With members == 1 the behaviour is the
+// historical per-client simulation, bit for bit.
+type clientCore struct {
+	nw *Network
+	// index is the driver's position in the network's driver list
+	// (gossip peer sampling); firstID is the global index of the first
+	// simulated client this driver speaks for.
+	index   int
+	firstID int
+	members int
+	name    string
 
-	// pending maps the in-flight attempt's transaction id to its
-	// logical transaction, for commit-event correlation. Only
-	// populated when the network tracks outcomes.
+	// rotation holds one endorser/orderer rotation counter per driven
+	// member — the only per-member state, a few bytes per simulated
+	// client.
+	rotation []int
+
+	// pending maps an in-flight attempt's transaction id (one per leg
+	// for cross-channel transactions) to its logical transaction, for
+	// commit-event correlation. Only populated when the network tracks
+	// outcomes.
 	pending map[string]*pendingTx
 
-	// policy is this client's retry policy instance. Stateful policies
-	// (AdaptivePolicy) get one instance per client; stateless ones are
-	// shared with the network.
+	// policy is this driver's retry policy instance. Stateful policies
+	// (AdaptivePolicy) get one instance per driver — a cohort's members
+	// share one controller, the mean-field approximation — while
+	// stateless ones are shared with the network.
 	policy RetryPolicy
 	// observer/reporter are the optional adaptive facets of policy,
 	// resolved once at construction.
 	observer outcomeObserver
 	reporter backoffReporter
-	// bucket is the per-client retry budget (nil = unlimited).
+	// bucket is the retry budget (nil = unlimited). A cohort shares
+	// one bucket across its members with refill rate and burst scaled
+	// by member count, so the aggregate retry allowance matches the
+	// exact simulation.
 	bucket *tokenBucket
 
 	// pacer is the resolved backpressure config when the run both
 	// enables the orderer's congestion signal and tracks outcomes (the
-	// hint arrives on outcome events); nil otherwise. hint is the
-	// latest congestion hint observed on this client's event stream,
+	// hint arrives on outcome events); nil otherwise. hints holds the
+	// latest congestion hint observed per channel on this driver's
+	// event stream — each channel's ordering service computes its own —
 	// and hintObs is the optional hint-consuming facet of the policy.
 	pacer   *Backpressure
-	hint    float64
+	hints   []float64
 	hintObs hintObserver
 
-	// gossip is this client's view of the client-to-client congestion
+	// gossip is this driver's view of the client-to-client congestion
 	// signal (nil without Config.Gossip or outcome tracking), and
 	// hintSrc selects which producer — orderer hint, gossip estimate,
-	// or their max — feeds pacing and the hint-consuming policies.
+	// or their max — feeds pacing and the hint-consuming policies. A
+	// cohort is one gossip participant: its members pool their outcome
+	// window and estimate.
 	gossip  *gossipState
 	hintSrc HintSource
 
@@ -72,16 +85,37 @@ type Client struct {
 
 // pendingTx is one logical transaction tracked across resubmissions:
 // the client retries the same invocation until it commits or the
-// policy gives up.
+// policy gives up. A cross-channel transaction (Config.CrossChannel)
+// has two legs — one proposal per channel — and each attempt resolves
+// only when both legs have reported; any failed leg fails the attempt.
 type pendingTx struct {
 	inv         workload.Invocation
 	attempts    int      // submissions so far (1 = first attempt)
 	firstSubmit sim.Time // first submission, end-to-end latency start
+	member      int      // driven member this job belongs to
+
+	// channels[:legs] are the channels this transaction spans (legs is
+	// 1, or 2 for a cross-channel transaction). legsLeft counts the
+	// current attempt's unresolved legs; legFailed/failCode latch the
+	// first leg failure so the whole attempt fails with it.
+	channels  [2]int
+	legs      int
+	legsLeft  int
+	legFailed bool
+	failCode  ledger.ValidationCode
 }
 
-func newClient(nw *Network, id int) *Client {
-	c := &Client{nw: nw, id: id, name: fmt.Sprintf("client%d", id),
-		pending: map[string]*pendingTx{}}
+// init wires the shared machinery; each driver type calls it from its
+// constructor.
+func (c *clientCore) init(nw *Network, index, firstID, members int, name string) {
+	c.nw = nw
+	c.index = index
+	c.firstID = firstID
+	c.members = members
+	c.name = name
+	c.rotation = make([]int, members)
+	c.pending = map[string]*pendingTx{}
+	c.hints = make([]float64, nw.channels)
 	c.policy = nw.retry
 	if pc, ok := c.policy.(perClientPolicy); ok {
 		c.policy = pc.perClient()
@@ -99,7 +133,16 @@ func newClient(nw *Network, id int) *Client {
 	c.observer, _ = base.(outcomeObserver)
 	c.reporter, _ = base.(backoffReporter)
 	if nw.tracking && nw.cfg.RetryBudget != nil {
-		c.bucket = newTokenBucket(*nw.cfg.RetryBudget)
+		b := *nw.cfg.RetryBudget
+		if members > 1 {
+			// One bucket serves the whole cohort: scale the refill
+			// stream and capacity so the aggregate retry allowance
+			// equals members independent per-client buckets.
+			b = b.withDefaults()
+			b.RefillPerSec *= float64(members)
+			b.Burst *= float64(members)
+		}
+		c.bucket = newTokenBucket(b)
 	}
 	c.hintSrc = nw.hintSrc
 	if nw.tracking && nw.bp != nil {
@@ -111,69 +154,83 @@ func newClient(nw *Network, id int) *Client {
 	if c.pacer != nil || c.gossip != nil {
 		c.hintObs, _ = base.(hintObserver)
 	}
-	return c
 }
 
-// Resubmissions reports how many retry submissions this client issued.
-func (c *Client) Resubmissions() int { return c.resubmissions }
+// Name returns the driver's network node name.
+func (c *clientCore) Name() string { return c.name }
 
-// Pending reports how many of this client's attempts are still
+// Members reports how many simulated clients this driver drives.
+func (c *clientCore) Members() int { return c.members }
+
+// Resubmissions reports how many retry submissions this driver issued.
+func (c *clientCore) Resubmissions() int { return c.resubmissions }
+
+// Pending reports how many of this driver's attempts are still
 // awaiting an outcome event (diagnostics; in-flight work at the end
 // of a run).
-func (c *Client) Pending() int { return len(c.pending) }
+func (c *clientCore) Pending() int { return len(c.pending) }
 
-// start schedules the arrival process for the send window. Open loop:
-// Poisson arrivals whose mean inter-arrival time tracks the (possibly
-// time-varying) configured rate. Closed loop: the initial in-flight
-// window is opened and each resolved transaction triggers the next.
-func (c *Client) start() {
-	if c.gossip != nil {
-		c.startGossip()
+// openWindow submits the initial closed-loop window for every driven
+// member, in member order — exactly the submission order the exact
+// simulation produces when its clients start in sequence.
+func (c *clientCore) openWindow() {
+	window := c.nw.cfg.InFlightPerClient
+	if window < 1 {
+		window = 1
 	}
-	if c.nw.cfg.ClosedLoop {
-		window := c.nw.cfg.InFlightPerClient
-		if window < 1 {
-			window = 1
-		}
+	for m := 0; m < c.members; m++ {
 		for i := 0; i < window; i++ {
-			c.submitJob()
+			c.submitJob(m)
 		}
-		return
 	}
-	mean := func() time.Duration {
-		rate := c.nw.cfg.RateAt(time.Duration(c.nw.eng.Now()))
-		return time.Duration(float64(time.Second) * float64(c.nw.cfg.Clients) / rate)
-	}
-	var arrive func()
-	arrive = func() {
-		if c.nw.eng.Now() >= sim.Time(c.nw.cfg.Duration) {
-			return // send window over
-		}
-		c.submitJob()
-		c.nw.eng.After(c.nw.eng.Exponential(mean()), arrive)
-	}
-	c.nw.eng.After(c.nw.eng.Exponential(mean()), arrive)
 }
 
-// submitJob draws the next invocation from the workload and submits
-// its first attempt.
-func (c *Client) submitJob() {
+// submitJob draws the next invocation from the workload, routes it to
+// its home channel, decides whether it spans a second channel
+// (Config.CrossChannel), and submits its first attempt on behalf of
+// the given member.
+func (c *clientCore) submitJob(member int) {
 	j := &pendingTx{
 		inv:         c.nw.cfg.Workload.Next(c.nw.eng.Rand()),
 		firstSubmit: c.nw.eng.Now(),
+		member:      member,
+		legs:        1,
+	}
+	j.channels[0] = c.nw.channelOf(j.inv)
+	if n := c.nw.channels; n > 1 && c.nw.cfg.CrossChannel > 0 &&
+		c.nw.eng.Rand().Float64() < c.nw.cfg.CrossChannel {
+		// Second leg on a uniformly drawn other channel.
+		second := c.nw.eng.Rand().Intn(n - 1)
+		if second >= j.channels[0] {
+			second++
+		}
+		j.channels[1] = second
+		j.legs = 2
 	}
 	c.submitAttempt(j)
 }
 
 // submitAttempt runs one submission of a logical transaction through
-// the execution phase. Resubmissions replay the same invocation under
-// a fresh transaction id (a retried Fabric transaction is a new
-// proposal: new endorsements, new read set against current state).
-func (c *Client) submitAttempt(j *pendingTx) {
+// the execution phase, one leg per spanned channel. Resubmissions
+// replay the same invocation under fresh transaction ids (a retried
+// Fabric transaction is a new proposal: new endorsements, new read set
+// against current state).
+func (c *clientCore) submitAttempt(j *pendingTx) {
 	j.attempts++
+	j.legsLeft = j.legs
+	j.legFailed = false
+	for l := 0; l < j.legs; l++ {
+		c.submitLeg(j, j.channels[l])
+	}
+}
+
+// submitLeg submits one channel's proposal of the current attempt:
+// collect endorsements from a policy-satisfying set of peers against
+// the leg channel's replicas, then assemble and order on that channel.
+func (c *clientCore) submitLeg(j *pendingTx, channel int) {
 	inv := j.inv
 	tx := &ledger.Transaction{
-		ID:         c.nw.nextTxID(c.id),
+		ID:         c.nw.nextTxID(c.firstID + j.member),
 		ClientID:   c.name,
 		Chaincode:  inv.Chaincode,
 		Function:   inv.Function,
@@ -182,9 +239,10 @@ func (c *Client) submitAttempt(j *pendingTx) {
 	if c.nw.tracking {
 		c.pending[tx.ID] = j
 	}
-	c.rotation++
-	endorserOrgs := c.nw.pol.RequiredEndorsers(c.rotation)
-	peerInOrg := c.rotation % c.nw.cfg.PeersPerOrg
+	c.rotation[j.member]++
+	rot := c.rotation[j.member]
+	endorserOrgs := c.nw.pol.RequiredEndorsers(rot)
+	peerInOrg := rot % c.nw.cfg.PeersPerOrg
 
 	want := len(endorserOrgs)
 	var got []*ledger.Endorsement
@@ -198,19 +256,19 @@ func (c *Client) submitAttempt(j *pendingTx) {
 			// as an early abort: the attempt is dropped.
 			failed = true
 			c.nw.col.RecordAbort(tx.SubmitTime, c.nw.eng.Now())
-			c.attemptFailed(j, tx.ID, ledger.AbortedInOrdering)
+			c.legDone(j, tx.ID, ledger.AbortedInOrdering)
 			return
 		}
 		got = append(got, e)
 		if len(got) == want {
-			c.assemble(j, tx, got)
+			c.assemble(j, tx, channel, got)
 		}
 	}
 
 	for _, org := range endorserOrgs {
 		peer := c.nw.peerOf(org, peerInOrg)
 		c.nw.net.Send(c.name, peer.name, func() {
-			peer.Endorse(inv, func(e *ledger.Endorsement, err error) {
+			peer.Endorse(inv, channel, func(e *ledger.Endorsement, err error) {
 				c.nw.net.Send(peer.name, c.name, func() { respond(e, err) })
 			})
 		})
@@ -218,8 +276,8 @@ func (c *Client) submitAttempt(j *pendingTx) {
 }
 
 // assemble builds the envelope from the collected endorsements and
-// sends it to an orderer node (§2 step 3).
-func (c *Client) assemble(j *pendingTx, tx *ledger.Transaction, ends []*ledger.Endorsement) {
+// sends it to an orderer node of the leg's channel (§2 step 3).
+func (c *clientCore) assemble(j *pendingTx, tx *ledger.Transaction, channel int, ends []*ledger.Endorsement) {
 	tx.EndorseTime = c.nw.eng.Now()
 	tx.Endorsements = ends
 	tx.RWSet = ends[0].RWSet
@@ -239,29 +297,30 @@ func (c *Client) assemble(j *pendingTx, tx *ledger.Transaction, ends []*ledger.E
 		// responses before ordering to save overhead. The failure is
 		// still a failure.
 		c.nw.col.RecordAbort(tx.SubmitTime, c.nw.eng.Now())
-		c.attemptFailed(j, tx.ID, ledger.AbortedInOrdering)
+		c.legDone(j, tx.ID, ledger.AbortedInOrdering)
 		return
 	}
 	if c.nw.cfg.SkipReadOnlySubmission && consistent && len(tx.RWSet.Writes) == 0 {
 		// Recommendation #4 (§6.1): the query result is already in
 		// hand after the execution phase; nothing needs ordering.
 		c.nw.col.RecordServedRead(tx.SubmitTime, c.nw.eng.Now())
-		c.attemptResolved(j, tx.ID, ledger.Valid)
+		c.legDone(j, tx.ID, ledger.Valid)
 		return
 	}
-	tx.SnapshotHeight = c.nw.chain.Height()
-	orderer := c.nw.orderer.NodeName(c.rotation)
-	c.nw.net.Send(c.name, orderer, func() { c.nw.orderer.Submit(tx) })
+	os := c.nw.orderers[channel]
+	tx.SnapshotHeight = c.nw.chains[channel].Height()
+	orderer := os.NodeName(c.rotation[j.member])
+	c.nw.net.Send(c.name, orderer, func() { os.Submit(tx) })
 }
 
 // onOutcome handles a commit (or early-abort) event for one of this
-// client's pending attempts. Events for unknown transaction ids still
-// refresh the congestion hint — the orderer's signal is fresh
-// regardless of which attempt carried it — but are otherwise ignored
-// (the attempt was already resolved locally).
-func (c *Client) onOutcome(txID string, code ledger.ValidationCode, hint float64) {
+// driver's pending attempts. Events for unknown transaction ids still
+// refresh the channel's congestion hint — the orderer's signal is
+// fresh regardless of which attempt carried it — but are otherwise
+// ignored (the attempt was already resolved locally).
+func (c *clientCore) onOutcome(txID string, code ledger.ValidationCode, hint float64, channel int) {
 	if c.pacer != nil && c.hintSrc.usesOrderer() {
-		c.hint = hint
+		c.hints[channel] = hint
 		if c.hintObs != nil {
 			c.hintObs.observeHint(hint)
 		}
@@ -270,25 +329,43 @@ func (c *Client) onOutcome(txID string, code ledger.ValidationCode, hint float64
 	if !ok {
 		return
 	}
-	if code == ledger.Valid {
-		c.attemptResolved(j, txID, code)
-		return
-	}
-	c.attemptFailed(j, txID, code)
+	c.legDone(j, txID, code)
 }
 
-// attemptResolved finishes a logical transaction successfully: the
-// attempt committed as valid (or was served directly as a read).
-func (c *Client) attemptResolved(j *pendingTx, txID string, code ledger.ValidationCode) {
+// legDone resolves one leg of a logical transaction's current attempt.
+// Single-channel transactions have one leg, so the attempt resolves
+// immediately; a cross-channel attempt waits for both legs and fails
+// with the first leg failure (both commits are required). It is a
+// no-op unless the run tracks outcomes.
+func (c *clientCore) legDone(j *pendingTx, txID string, code ledger.ValidationCode) {
 	if !c.nw.tracking {
 		return
 	}
 	delete(c.pending, txID)
-	c.nw.col.RecordAttempt(j.attempts, code)
+	if code != ledger.Valid && !j.legFailed {
+		j.legFailed = true
+		j.failCode = code
+	}
+	j.legsLeft--
+	if j.legsLeft > 0 {
+		return
+	}
+	if j.legFailed {
+		c.attemptFailed(j, j.failCode)
+		return
+	}
+	c.attemptResolved(j)
+}
+
+// attemptResolved finishes a logical transaction successfully: every
+// leg of the attempt committed as valid (or was served directly as a
+// read).
+func (c *clientCore) attemptResolved(j *pendingTx) {
+	c.nw.col.RecordAttempt(j.attempts, ledger.Valid)
 	c.observe(false)
 	c.gossipObserve(false)
 	c.nw.col.RecordJob(j.attempts, true, j.firstSubmit, c.nw.eng.Now())
-	c.jobDone()
+	c.jobDone(j.member)
 }
 
 // attemptFailed records a failed attempt and either schedules a
@@ -301,11 +378,7 @@ func (c *Client) attemptResolved(j *pendingTx, txID string, code ledger.Validati
 // recorded only to the extent the pause actually moved the schedule:
 // a dropped retry never waited, and a token wait that covers the
 // paced backoff (in part or in full) absorbs that much of the pause.
-func (c *Client) attemptFailed(j *pendingTx, txID string, code ledger.ValidationCode) {
-	if !c.nw.tracking {
-		return
-	}
-	delete(c.pending, txID)
+func (c *clientCore) attemptFailed(j *pendingTx, code ledger.ValidationCode) {
 	c.nw.col.RecordAttempt(j.attempts, code)
 	c.observe(true)
 	c.gossipObserve(true)
@@ -332,7 +405,7 @@ func (c *Client) attemptFailed(j *pendingTx, txID string, code ledger.Validation
 			if !granted {
 				c.nw.col.RecordBudgetExhausted()
 				c.nw.col.RecordJob(j.attempts, false, j.firstSubmit, c.nw.eng.Now())
-				c.jobDone()
+				c.jobDone(j.member)
 				return
 			}
 			if wait > delay {
@@ -362,7 +435,7 @@ func (c *Client) attemptFailed(j *pendingTx, txID string, code ledger.Validation
 		return
 	}
 	c.nw.col.RecordJob(j.attempts, false, j.firstSubmit, c.nw.eng.Now())
-	c.jobDone()
+	c.jobDone(j.member)
 }
 
 // pacePause converts the current congestion hint into the extra delay
@@ -370,7 +443,7 @@ func (c *Client) attemptFailed(j *pendingTx, txID string, code ledger.Validation
 // capped at MaxPause. Zero without backpressure or when the selected
 // producer reports no congestion, so the default configuration never
 // alters scheduling.
-func (c *Client) pacePause() time.Duration {
+func (c *clientCore) pacePause() time.Duration {
 	if c.pacer == nil {
 		return 0
 	}
@@ -378,14 +451,18 @@ func (c *Client) pacePause() time.Duration {
 }
 
 // currentHint resolves the congestion hint the configured producer(s)
-// currently report: the orderer hint last seen on this client's event
-// stream, the live (decayed) gossip estimate, or their max. Each
-// consultation of a gossip estimate records the age of the
-// information behind it — the staleness-at-use metric.
-func (c *Client) currentHint() float64 {
+// currently report: the highest per-channel orderer hint last seen on
+// this driver's event stream, the live (decayed) gossip estimate, or
+// their max. Each consultation of a gossip estimate records the age
+// of the information behind it — the staleness-at-use metric.
+func (c *clientCore) currentHint() float64 {
 	var h float64
 	if c.hintSrc.usesOrderer() {
-		h = c.hint
+		for _, ch := range c.hints {
+			if ch > h {
+				h = ch
+			}
+		}
 	}
 	if c.gossip != nil && c.hintSrc.usesGossip() {
 		g, stale := c.gossip.estimate(c.nw.eng.Now())
@@ -399,21 +476,22 @@ func (c *Client) currentHint() float64 {
 
 // gossipObserve slides one attempt outcome into the gossip window
 // (no-op without Config.Gossip).
-func (c *Client) gossipObserve(failed bool) {
+func (c *clientCore) gossipObserve(failed bool) {
 	if c.gossip != nil {
 		c.gossip.observe(failed)
 	}
 }
 
-// startGossip schedules this client's gossip rounds: every Period the
-// client samples Fanout distinct peers and sends them its current
-// estimate over the network model, like an SDK-side gossip mesh. The
-// estimate trajectory is sampled once per round. Rounds run for the
-// whole simulation (retries continue through the drain, so the signal
-// must too); the engine simply stops executing them at the deadline.
-func (c *Client) startGossip() {
+// startGossip schedules this driver's gossip rounds: every Period the
+// driver samples Fanout distinct peer drivers and sends them its
+// current estimate over the network model, like an SDK-side gossip
+// mesh. The estimate trajectory is sampled once per round. Rounds run
+// for the whole simulation (retries continue through the drain, so
+// the signal must too); the engine simply stops executing them at the
+// deadline.
+func (c *clientCore) startGossip() {
 	period := c.gossip.cfg.Period
-	if period <= 0 || len(c.nw.clients) < 2 {
+	if period <= 0 || len(c.nw.drivers) < 2 {
 		return
 	}
 	var round func()
@@ -424,14 +502,17 @@ func (c *Client) startGossip() {
 	c.nw.eng.After(period, round)
 }
 
-// gossipRound sends the client's current estimate to Fanout sampled
-// peers. Peer sampling draws from the simulation rng, so rounds are
-// deterministic per (config, seed) like every other random decision.
-func (c *Client) gossipRound() {
+// gossipRound sends the driver's current estimate to Fanout sampled
+// peer drivers. Peer sampling draws from the simulation rng, so rounds
+// are deterministic per (config, seed) like every other random
+// decision. In cohort mode each cohort is one gossip node — its
+// members share the estimate they spread — so the mesh size is the
+// driver count, not the simulated client count.
+func (c *clientCore) gossipRound() {
 	now := c.nw.eng.Now()
 	est, _ := c.gossip.estimate(now)
 	c.nw.col.RecordGossipSample(est)
-	n := len(c.nw.clients)
+	n := len(c.nw.drivers)
 	fanout := c.gossip.cfg.Fanout
 	if fanout > n-1 {
 		fanout = n - 1
@@ -443,20 +524,20 @@ func (c *Client) gossipRound() {
 	// the n-1 other indices, prefix-truncated.
 	perm := c.nw.eng.Rand().Perm(n - 1)
 	for _, p := range perm[:fanout] {
-		if p >= c.id {
+		if p >= c.index {
 			p++ // skip self
 		}
-		peer := c.nw.clients[p]
+		peer := c.nw.drivers[p]
 		c.nw.col.RecordGossipMessage()
-		c.nw.net.Send(c.name, peer.name, func() { peer.onGossip(est, now) })
+		c.nw.net.Send(c.name, peer.Name(), func() { peer.onGossip(est, now) })
 	}
 }
 
-// onGossip receives one peer's estimate (worth value at the sender's
-// sentAt) and merges it by max-with-decay. Merges only update this
-// client's view; the hint-consuming policies read it lazily at their
-// next backoff decision, and the pacer at its next pause.
-func (c *Client) onGossip(value float64, sentAt sim.Time) {
+// onGossip receives one peer driver's estimate (worth value at the
+// sender's sentAt) and merges it by max-with-decay. Merges only update
+// this driver's view; the hint-consuming policies read it lazily at
+// their next backoff decision, and the pacer at its next pause.
+func (c *clientCore) onGossip(value float64, sentAt sim.Time) {
 	if c.gossip == nil {
 		return
 	}
@@ -468,7 +549,7 @@ func (c *Client) onGossip(value float64, sentAt sim.Time) {
 // observe feeds an attempt outcome to an adaptive policy and samples
 // its resulting backoff level for the trajectory summary. Inert (and
 // rng-neutral) for stateless policies.
-func (c *Client) observe(failed bool) {
+func (c *clientCore) observe(failed bool) {
 	if c.observer == nil {
 		return
 	}
@@ -479,13 +560,13 @@ func (c *Client) observe(failed bool) {
 }
 
 // jobDone closes a logical transaction; in closed-loop mode it keeps
-// the in-flight window full while the send window is open, waiting
-// out the configured think time first. The backpressure pacer delays
-// new closed-loop work too — the shared signal throttles fresh load,
-// not just retries. With no think time and no pacing the next job
-// starts synchronously — the historical behaviour, with no extra
+// the member's in-flight window full while the send window is open,
+// waiting out the configured think time first. The backpressure pacer
+// delays new closed-loop work too — the shared signal throttles fresh
+// load, not just retries. With no think time and no pacing the next
+// job starts synchronously — the historical behaviour, with no extra
 // events and no extra rng draws.
-func (c *Client) jobDone() {
+func (c *clientCore) jobDone(member int) {
 	if !c.nw.cfg.ClosedLoop || c.nw.eng.Now() >= sim.Time(c.nw.cfg.Duration) {
 		return
 	}
@@ -495,13 +576,74 @@ func (c *Client) jobDone() {
 		think += pause
 	}
 	if think <= 0 {
-		c.submitJob()
+		c.submitJob(member)
 		return
 	}
 	c.nw.eng.After(think, func() {
 		// The window may have closed while thinking.
 		if c.nw.eng.Now() < sim.Time(c.nw.cfg.Duration) {
-			c.submitJob()
+			c.submitJob(member)
 		}
 	})
+}
+
+// Client is one Caliper-style load generator process (§4.2: 5 on C1,
+// 25 on C2): the exact simulation, one driver object per simulated
+// client. It draws invocations from the workload, runs the execution
+// phase (collect endorsements from a policy-satisfying set of peers),
+// assembles the envelope and submits it to an orderer node.
+//
+// Two arrival modes exist. Open loop (the paper's §4.5 setup):
+// Poisson arrivals at rate/clients tps, and — unless a RetryPolicy is
+// configured — failed transactions are never resent. Closed loop:
+// the client keeps Config.InFlightPerClient logical transactions
+// outstanding and submits the next as soon as one resolves.
+//
+// When the run needs outcome tracking (a retry policy or closed-loop
+// mode), the client registers every submission in its pending table
+// and listens for commit events delivered over the network by the
+// metrics peer (and for early-abort events from the ordering
+// service), exactly like a Fabric SDK client subscribed to a peer's
+// block events. A failed attempt is resubmitted — re-endorsed from
+// scratch with a fresh transaction id, same invocation — per the
+// retry policy's backoff schedule.
+//
+// For sweeps where client count is a parameter rather than a cast of
+// characters, see Cohort — the driver that amortizes one state object
+// across many clients.
+type Client struct {
+	clientCore
+}
+
+func newClient(nw *Network, id int) *Client {
+	c := &Client{}
+	c.init(nw, id, id, 1, fmt.Sprintf("client%d", id))
+	return c
+}
+
+// start schedules the arrival process for the send window. Open loop:
+// Poisson arrivals whose mean inter-arrival time tracks the (possibly
+// time-varying) configured rate. Closed loop: the initial in-flight
+// window is opened and each resolved transaction triggers the next.
+func (c *Client) start() {
+	if c.gossip != nil {
+		c.startGossip()
+	}
+	if c.nw.cfg.ClosedLoop {
+		c.openWindow()
+		return
+	}
+	mean := func() time.Duration {
+		rate := c.nw.cfg.RateAt(time.Duration(c.nw.eng.Now()))
+		return time.Duration(float64(time.Second) * float64(c.nw.cfg.Clients) / rate)
+	}
+	var arrive func()
+	arrive = func() {
+		if c.nw.eng.Now() >= sim.Time(c.nw.cfg.Duration) {
+			return // send window over
+		}
+		c.submitJob(0)
+		c.nw.eng.After(c.nw.eng.Exponential(mean()), arrive)
+	}
+	c.nw.eng.After(c.nw.eng.Exponential(mean()), arrive)
 }

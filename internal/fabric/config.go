@@ -8,6 +8,7 @@ package fabric
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/chaincode"
@@ -28,6 +29,42 @@ type Config struct {
 	PeersPerOrg int
 	Orderers    int
 	Clients     int
+
+	// Channels shards the chaincode keyspace across independent
+	// channels — Fabric's real horizontal-scaling story. Each channel
+	// gets its own ordering service (sharing the consensus substrate,
+	// like channels sharing one Kafka cluster), its own validator and
+	// hash chain, and its own world-state replica on every peer.
+	// Transactions route to a channel by hashing their first invocation
+	// argument, so a contended entity always lands on the same channel
+	// and contention is preserved within shards. 0 or 1 keeps the
+	// historical single-channel network, byte-identical to builds
+	// without the field. Multi-channel runs support only the vanilla
+	// Fabric 1.4 variant (the fork hooks keep cross-block state that is
+	// not channel-aware).
+	Channels int
+
+	// CrossChannel is the fraction of transactions in [0,1) that span
+	// two channels when Channels >= 2: the client submits the same
+	// invocation on its home channel and one uniformly drawn second
+	// channel, and the logical transaction succeeds only if both legs
+	// commit — the application-level two-leg pattern real Fabric apps
+	// use, since channels have no atomic cross-channel commit. 0 (the
+	// default) draws no rng and submits single-channel only.
+	CrossChannel float64
+
+	// CohortSize makes client count a cheap parameter instead of an
+	// object count: one cohort state object drives CohortSize
+	// statistically identical clients, sharing the heavy retry/budget/
+	// AIMD/gossip state while keeping only a per-member endorser
+	// rotation (a few bytes per simulated client). Open-loop cohorts
+	// submit on one aggregate Poisson process with the submitting
+	// member drawn from the sim rng; closed-loop cohorts drive each
+	// member's window exactly and reproduce the per-client simulation
+	// byte-identically when the shared state is stateless (see
+	// cohort.go). 0 or 1 keeps the exact one-object-per-client
+	// simulation.
+	CohortSize int
 
 	// Ordering (§2 step 4).
 	BlockSize    int           // block size: max transactions per block
@@ -212,6 +249,17 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("fabric: speed factor must be positive")
 	case c.InFlightPerClient < 0:
 		return fmt.Errorf("fabric: in-flight window must be non-negative")
+	case c.Channels < 0:
+		return fmt.Errorf("fabric: channel count must be >= 0 (0 or 1 = single channel), got %d channels", c.Channels)
+	case c.CohortSize < 0:
+		return fmt.Errorf("fabric: cohort size must be >= 0 clients per cohort (0 or 1 = exact per-client simulation), got %d", c.CohortSize)
+	case math.IsNaN(c.CrossChannel) || c.CrossChannel < 0 || c.CrossChannel >= 1:
+		return fmt.Errorf("fabric: cross-channel fraction must be in [0,1), got %g", c.CrossChannel)
+	case c.CrossChannel > 0 && c.Channels < 2:
+		return fmt.Errorf("fabric: cross-channel fraction %g needs >= 2 channels, got %d", c.CrossChannel, c.Channels)
+	}
+	if c.Channels > 1 && c.Variant != nil && c.Variant.Name() != (Vanilla{}).Name() {
+		return fmt.Errorf("fabric: multi-channel sharding (%d channels) supports only the vanilla fabric-1.4 variant, got %q", c.Channels, c.Variant.Name())
 	}
 	switch c.Consensus {
 	case "solo", "kafka", "raft":
@@ -248,6 +296,23 @@ func (c *Config) Validate() error {
 		return err
 	}
 	return nil
+}
+
+// channels resolves the configured channel count (0 means 1).
+func (c *Config) channels() int {
+	if c.Channels < 1 {
+		return 1
+	}
+	return c.Channels
+}
+
+// cohortSize resolves the configured cohort size (0 means 1, the
+// exact per-client simulation).
+func (c *Config) cohortSize() int {
+	if c.CohortSize < 1 {
+		return 1
+	}
+	return c.CohortSize
 }
 
 // RatePhase is one segment of a time-varying arrival process.

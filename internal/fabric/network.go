@@ -14,23 +14,34 @@ import (
 	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/statedb"
+	"repro/internal/workload"
 )
 
-// Network is a fully wired simulated Fabric deployment.
+// Network is a fully wired simulated Fabric deployment. A deployment
+// spans Config.Channels channels: each channel owns its own ordering
+// pipeline, validator, hash chain and per-peer state replica (indexed
+// by channel everywhere below), while peers, clients and the
+// consensus substrate are shared across channels exactly like a real
+// Fabric network joins one peer set to many channels over one Kafka
+// cluster or Raft node set. Single-channel runs use index 0
+// throughout and behave bit-for-bit like the historical deployment.
 type Network struct {
 	cfg Config
 
-	eng     *sim.Engine
-	net     *netem.Model
-	msp     *fabcrypto.MSP
-	pol     *policy.Policy
-	orgs    []string
-	peers   []*Peer
-	clients []*Client
-	orderer *OrderingService
-	val     *validator
-	chain   *ledger.Chain
-	col     *metrics.Collector
+	eng      *sim.Engine
+	net      *netem.Model
+	msp      *fabcrypto.MSP
+	pol      *policy.Policy
+	orgs     []string
+	peers    []*Peer
+	clients  []*Client
+	cohorts  []*Cohort
+	orderers []*OrderingService
+	vals     []*validator
+	chains   []*ledger.Chain
+	col      *metrics.Collector
+	// channels is the resolved channel count (>= 1).
+	channels int
 
 	dbCosts costmodel.DBCosts
 	variant Variant
@@ -56,14 +67,19 @@ type Network struct {
 	// plumbing is fully inert and runs behave exactly like the
 	// paper's fire-and-forget clients.
 	tracking bool
-	// clientsByName resolves a transaction's ClientID to its client
+	// drivers is the full client-driver list — exact clients or
+	// cohorts, whichever the config selects — in start order. It is
+	// also the gossip mesh.
+	drivers []ClientDriver
+	// driversByName resolves a transaction's ClientID to its driver
 	// for commit-event delivery.
-	clientsByName map[string]*Client
+	driversByName map[string]ClientDriver
 }
 
 // NewNetwork validates the config and builds the deployment: MSP
-// identities, genesis world state fanned out to every peer replica,
-// the consenter, and the ordering service.
+// identities, genesis world state fanned out to every peer replica on
+// every channel, one consenter and ordering service per channel, and
+// the client drivers.
 func NewNetwork(cfg Config) (*Network, error) {
 	if cfg.Variant == nil {
 		cfg.Variant = Vanilla{}
@@ -85,13 +101,13 @@ func NewNetwork(cfg Config) (*Network, error) {
 		cfg:           cfg,
 		eng:           sim.NewEngine(cfg.Seed),
 		msp:           fabcrypto.NewMSP(fmt.Sprintf("hyperlab-%d", cfg.Seed)),
-		chain:         ledger.NewChain(),
 		col:           metrics.NewCollector(),
+		channels:      cfg.channels(),
 		dbCosts:       costmodel.ForKind(cfg.DBKind),
 		variant:       cfg.Variant,
 		retry:         retry,
 		tracking:      cfg.ClosedLoop || !noRetry,
-		clientsByName: map[string]*Client{},
+		driversByName: map[string]ClientDriver{},
 	}
 	if cfg.Backpressure != nil {
 		b := cfg.Backpressure.withDefaults()
@@ -129,77 +145,141 @@ func NewNetwork(cfg Config) (*Network, error) {
 		return nil, err
 	}
 
-	// Genesis block 0 anchors the hash chain.
-	gb := &ledger.Block{Number: 0}
-	gb.Hash = gb.ComputeHash()
-	if err := nw.chain.Append(gb); err != nil {
-		return nil, err
+	// Each channel anchors its own hash chain with a genesis block 0.
+	// Channel replica seeds stride by a constant far larger than any
+	// peer count so channel 0 keeps the historical seeds exactly.
+	const channelSeedStride = 1_000_000
+	for ch := 0; ch < nw.channels; ch++ {
+		chain := ledger.NewChain()
+		gb := &ledger.Block{Number: 0, Channel: ch}
+		gb.Hash = gb.ComputeHash()
+		if err := chain.Append(gb); err != nil {
+			return nil, err
+		}
+		nw.chains = append(nw.chains, chain)
 	}
 
-	// Peers.
+	// Peers, with one state replica per channel.
 	for o := 0; o < cfg.Orgs; o++ {
 		org := nw.orgs[o]
 		for p := 0; p < cfg.PeersPerOrg; p++ {
-			peer := newPeer(nw, org, fabcrypto.PeerName(org, p),
-				genesis.Clone(cfg.Seed+int64(len(nw.peers))+100))
+			seed := cfg.Seed + int64(len(nw.peers)) + 100
+			dbs := make([]statedb.VersionedDB, nw.channels)
+			for ch := range dbs {
+				dbs[ch] = genesis.Clone(seed + int64(ch)*channelSeedStride)
+			}
+			peer := newPeer(nw, org, fabcrypto.PeerName(org, p), dbs)
 			if cfg.DelayOrg == o {
 				nw.net.Inject(peer.name, cfg.DelayLink)
 			}
 			nw.peers = append(nw.peers, peer)
 		}
 	}
-	nw.val = newValidator(nw, genesis.Clone(cfg.Seed+99))
-
-	// Ordering service with the configured consenter.
-	var cons consensus.Consenter
-	switch cfg.Consensus {
-	case "solo":
-		cons = consensus.NewSolo(nw.eng, cfg.OrdererCosts.ConsensusDelay)
-	case "kafka":
-		kcfg := consensus.DefaultKafkaConfig()
-		kcfg.Brokers = cfg.Orderers
-		if kcfg.MinISR > kcfg.Brokers {
-			kcfg.MinISR = kcfg.Brokers
-		}
-		cons = consensus.NewKafka(nw.eng, nw.net, kcfg)
-	case "raft":
-		rcfg := consensus.DefaultRaftConfig()
-		rcfg.Nodes = cfg.Orderers
-		cons = consensus.NewRaft(nw.eng, nw.net, rcfg)
+	for ch := 0; ch < nw.channels; ch++ {
+		nw.vals = append(nw.vals,
+			newValidator(nw, genesis.Clone(cfg.Seed+99+int64(ch)*channelSeedStride)))
 	}
-	nw.orderer = newOrderingService(nw, cons)
 
-	// Clients.
-	for c := 0; c < cfg.Clients; c++ {
-		cl := newClient(nw, c)
-		nw.clients = append(nw.clients, cl)
-		nw.clientsByName[cl.name] = cl
+	// One ordering service per channel, each with its own consenter
+	// instance. Consensus node names are fixed per kind ("kafka0",
+	// "raft0", ...), so all channels share the consensus substrate's
+	// network locations — like many Fabric channels backed by one
+	// Kafka cluster or one Raft node set.
+	for ch := 0; ch < nw.channels; ch++ {
+		var cons consensus.Consenter
+		switch cfg.Consensus {
+		case "solo":
+			cons = consensus.NewSolo(nw.eng, cfg.OrdererCosts.ConsensusDelay)
+		case "kafka":
+			kcfg := consensus.DefaultKafkaConfig()
+			kcfg.Brokers = cfg.Orderers
+			if kcfg.MinISR > kcfg.Brokers {
+				kcfg.MinISR = kcfg.Brokers
+			}
+			cons = consensus.NewKafka(nw.eng, nw.net, kcfg)
+		case "raft":
+			rcfg := consensus.DefaultRaftConfig()
+			rcfg.Nodes = cfg.Orderers
+			cons = consensus.NewRaft(nw.eng, nw.net, rcfg)
+		}
+		nw.orderers = append(nw.orderers, newOrderingService(nw, cons, ch))
+	}
+
+	// Client drivers: exact per-client simulation when the cohort size
+	// is 1, otherwise cohorts of CohortSize members (the last cohort
+	// takes the remainder).
+	if size := cfg.cohortSize(); size == 1 {
+		for c := 0; c < cfg.Clients; c++ {
+			cl := newClient(nw, c)
+			nw.clients = append(nw.clients, cl)
+			nw.drivers = append(nw.drivers, cl)
+			nw.driversByName[cl.name] = cl
+		}
+	} else {
+		for first, idx := 0, 0; first < cfg.Clients; idx++ {
+			n := size
+			if rest := cfg.Clients - first; n > rest {
+				n = rest
+			}
+			co := newCohort(nw, idx, first, n)
+			nw.cohorts = append(nw.cohorts, co)
+			nw.drivers = append(nw.drivers, co)
+			nw.driversByName[co.name] = co
+			first += n
+		}
 	}
 	return nw, nil
 }
 
 // deliverOutcome sends a commit (or early-abort) event for tx back to
-// the submitting client over the network, like a peer's block-event
+// the submitting driver over the network, like a peer's block-event
 // stream notifying a subscribed SDK client. The event carries the
-// orderer's congestion hint (stamped on the block, or the live value
-// for early aborts); without Config.Backpressure the hint is always
-// zero and clients ignore it. It is a no-op unless the run tracks
-// outcomes (retry policy or closed-loop mode), so the default
-// fire-and-forget configuration pays no extra events and no extra rng
-// draws.
-func (nw *Network) deliverOutcome(src string, tx *ledger.Transaction, code ledger.ValidationCode, hint float64) {
+// channel it happened on and that channel's congestion hint (stamped
+// on the block, or the live value for early aborts); without
+// Config.Backpressure the hint is always zero and clients ignore it.
+// It is a no-op unless the run tracks outcomes (retry policy or
+// closed-loop mode), so the default fire-and-forget configuration
+// pays no extra events and no extra rng draws.
+func (nw *Network) deliverOutcome(src string, tx *ledger.Transaction, code ledger.ValidationCode, hint float64, channel int) {
 	if !nw.tracking {
 		return
 	}
-	cl := nw.clientsByName[tx.ClientID]
+	cl := nw.driversByName[tx.ClientID]
 	if cl == nil {
 		return
 	}
-	nw.net.Send(src, cl.name, func() { cl.onOutcome(tx.ID, code, hint) })
+	nw.net.Send(src, cl.Name(), func() { cl.onOutcome(tx.ID, code, hint, channel) })
 }
 
-// ordererHints reports whether the ordering service computes and
-// publishes congestion hints: backpressure is configured and the hint
+// channelOf routes an invocation to its home channel by hashing its
+// first argument (FNV-1a) — in the bundled chaincodes that argument
+// names the primary key, so a key's transactions always meet on the
+// same channel and cross-channel MVCC conflicts cannot arise except
+// through the explicit CrossChannel legs. Invocations without
+// arguments hash the function name. Single-channel runs skip the hash
+// entirely.
+func (nw *Network) channelOf(inv workload.Invocation) int {
+	if nw.channels == 1 {
+		return 0
+	}
+	key := inv.Function
+	if len(inv.Args) > 0 {
+		key = inv.Args[0]
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % uint64(nw.channels))
+}
+
+// ordererHints reports whether the ordering services compute and
+// publish congestion hints: backpressure is configured and the hint
 // source includes the orderer. With HintSource "gossip" the orderer
 // stays fully out of the signal path — blocks carry a zero hint and
 // no hint samples are recorded — so any coordination effect is
@@ -228,12 +308,21 @@ func (nw *Network) Engine() *sim.Engine { return nw.eng }
 // Netem exposes the network model (tests and failure injection).
 func (nw *Network) Netem() *netem.Model { return nw.net }
 
-// Chain returns the canonical ledger (the metrics peer's copy).
-func (nw *Network) Chain() *ledger.Chain { return nw.chain }
+// Chain returns channel 0's canonical ledger (the metrics peer's
+// copy).
+func (nw *Network) Chain() *ledger.Chain { return nw.chains[0] }
 
-// Orderer exposes the ordering service (adaptive controllers, tests,
-// failure injection).
-func (nw *Network) Orderer() *OrderingService { return nw.orderer }
+// Chains returns every channel's canonical ledger, indexed by
+// channel.
+func (nw *Network) Chains() []*ledger.Chain { return nw.chains }
+
+// Orderer exposes channel 0's ordering service (adaptive controllers,
+// tests, failure injection).
+func (nw *Network) Orderer() *OrderingService { return nw.orderers[0] }
+
+// Orderers returns every channel's ordering service, indexed by
+// channel.
+func (nw *Network) Orderers() []*OrderingService { return nw.orderers }
 
 // Collector returns the metrics collector.
 func (nw *Network) Collector() *metrics.Collector { return nw.col }
@@ -241,8 +330,14 @@ func (nw *Network) Collector() *metrics.Collector { return nw.col }
 // Peers returns all peers.
 func (nw *Network) Peers() []*Peer { return nw.peers }
 
-// Clients returns all clients.
+// Clients returns the exact per-client drivers. Empty in cohort mode
+// (Config.CohortSize > 1) — use Drivers for the mode-independent
+// view.
 func (nw *Network) Clients() []*Client { return nw.clients }
+
+// Drivers returns every client driver — exact clients or cohorts — in
+// start order.
+func (nw *Network) Drivers() []ClientDriver { return nw.drivers }
 
 // metricsPeer is the peer whose commits define the canonical chain and
 // latency measurements (the first peer of the first org).
@@ -270,8 +365,8 @@ func (nw *Network) nextTxID(clientID int) string {
 // Run executes the experiment: clients send for cfg.Duration, then the
 // network drains for up to cfg.Drain, and the report is computed.
 func (nw *Network) Run() metrics.Report {
-	for _, c := range nw.clients {
-		c.start()
+	for _, d := range nw.drivers {
+		d.start()
 	}
 	nw.eng.RunUntil(sim.Time(nw.cfg.Duration + nw.cfg.Drain))
 	return nw.col.Report()

@@ -23,6 +23,9 @@ import (
 type OrderingService struct {
 	nw   *Network
 	cons consensus.Consenter
+	// channel is the channel this service orders for; blocks it cuts
+	// carry the id and extend that channel's hash chain.
+	channel int
 
 	pending      []*ledger.Transaction
 	pendingBytes int
@@ -55,12 +58,18 @@ type OrderingService struct {
 	nodeNames []string
 }
 
-func newOrderingService(nw *Network, cons consensus.Consenter) *OrderingService {
-	os := &OrderingService{nw: nw, cons: cons, blockSize: nw.cfg.BlockSize}
+func newOrderingService(nw *Network, cons consensus.Consenter, channel int) *OrderingService {
+	os := &OrderingService{nw: nw, cons: cons, channel: channel, blockSize: nw.cfg.BlockSize}
 	for i := 0; i < nw.cfg.Orderers; i++ {
-		os.nodeNames = append(os.nodeNames, fmt.Sprintf("orderer%d", i))
+		// Channel 0 keeps the historical names; higher channels get
+		// their own orderer nodes, prefixed with the channel id.
+		if channel == 0 {
+			os.nodeNames = append(os.nodeNames, fmt.Sprintf("orderer%d", i))
+		} else {
+			os.nodeNames = append(os.nodeNames, fmt.Sprintf("ch%d-orderer%d", channel, i))
+		}
 	}
-	gb := nw.chain.Block(0)
+	gb := nw.chains[channel].Block(0)
 	os.prevHash = gb.Hash
 	cons.OnCommit(func(payload interface{}) { os.ordered(payload.(*ledger.Transaction)) })
 	return os
@@ -87,7 +96,7 @@ func (os *OrderingService) Submit(tx *ledger.Transaction) {
 		// carries the current congestion hint — the orderer is talking
 		// to the client anyway.
 		os.nw.col.RecordAbort(tx.SubmitTime, os.nw.eng.Now())
-		os.nw.deliverOutcome(os.NodeName(0), tx, ledger.AbortedInOrdering, os.hint)
+		os.nw.deliverOutcome(os.NodeName(0), tx, ledger.AbortedInOrdering, os.hint, os.channel)
 		return
 	}
 	os.cons.Submit(tx)
@@ -182,7 +191,7 @@ func (os *OrderingService) cut(reason string) {
 	now := os.nw.eng.Now()
 	for _, tx := range aborted {
 		os.nw.col.RecordAbort(tx.SubmitTime, now)
-		os.nw.deliverOutcome(os.NodeName(0), tx, ledger.AbortedInOrdering, os.hint)
+		os.nw.deliverOutcome(os.NodeName(0), tx, ledger.AbortedInOrdering, os.hint, os.channel)
 	}
 	if len(kept) == 0 {
 		if cost > 0 {
@@ -196,6 +205,7 @@ func (os *OrderingService) cut(reason string) {
 		Number:         os.blockNum,
 		PrevHash:       os.prevHash,
 		Transactions:   kept,
+		Channel:        os.channel,
 		CutTime:        now,
 		CongestionHint: os.hint,
 	}
@@ -204,7 +214,7 @@ func (os *OrderingService) cut(reason string) {
 
 	// Validation outcome is deterministic; compute it once, in cut
 	// order, so peers can replay it regardless of delivery timing.
-	os.nw.val.result(b)
+	os.nw.vals[os.channel].result(b)
 
 	service := os.nw.cfg.OrdererCosts.BlockCut + cost +
 		time.Duration(len(os.nw.peers))*os.nw.cfg.OrdererCosts.PerDeliver

@@ -12,23 +12,23 @@ import (
 func TestBlockCutBySize(t *testing.T) {
 	nw := harness(t)
 	nw.cfg.BlockSize = 3
-	nw.orderer.blockSize = 3
+	nw.orderers[0].blockSize = 3
 	for i := 0; i < 7; i++ {
 		tx := mkTx(nw, string(rune('a'+i)), &ledger.RWSet{})
 		tx.SubmitTime = nw.eng.Now()
-		nw.orderer.Submit(tx)
+		nw.orderers[0].Submit(tx)
 	}
 	nw.eng.RunUntil(sim.Time(time.Second))
 	// 7 txs at size 3: two full blocks, one pending awaiting timeout.
-	if nw.orderer.blockNum != 2 {
-		t.Fatalf("cut %d blocks, want 2", nw.orderer.blockNum)
+	if nw.orderers[0].blockNum != 2 {
+		t.Fatalf("cut %d blocks, want 2", nw.orderers[0].blockNum)
 	}
-	if len(nw.orderer.pending) != 1 {
-		t.Fatalf("pending = %d, want 1", len(nw.orderer.pending))
+	if len(nw.orderers[0].pending) != 1 {
+		t.Fatalf("pending = %d, want 1", len(nw.orderers[0].pending))
 	}
 	nw.eng.RunUntil(sim.Time(5 * time.Second)) // past the 2s timeout
-	if nw.orderer.blockNum != 3 {
-		t.Fatalf("timeout did not flush the partial block: %d", nw.orderer.blockNum)
+	if nw.orderers[0].blockNum != 3 {
+		t.Fatalf("timeout did not flush the partial block: %d", nw.orderers[0].blockNum)
 	}
 }
 
@@ -36,14 +36,14 @@ func TestBlockCutByTimeout(t *testing.T) {
 	nw := harness(t)
 	tx := mkTx(nw, "t", &ledger.RWSet{})
 	tx.SubmitTime = nw.eng.Now()
-	nw.orderer.Submit(tx)
+	nw.orderers[0].Submit(tx)
 	nw.eng.RunUntil(sim.Time(nw.cfg.BlockTimeout / 2))
-	if nw.orderer.blockNum != 0 {
+	if nw.orderers[0].blockNum != 0 {
 		t.Fatal("block cut before timeout")
 	}
 	nw.eng.RunUntil(sim.Time(nw.cfg.BlockTimeout * 2))
-	if nw.orderer.blockNum != 1 {
-		t.Fatalf("blockNum = %d after timeout, want 1", nw.orderer.blockNum)
+	if nw.orderers[0].blockNum != 1 {
+		t.Fatalf("blockNum = %d after timeout, want 1", nw.orderers[0].blockNum)
 	}
 }
 
@@ -55,16 +55,16 @@ func TestBlockCutByBytes(t *testing.T) {
 		rw := &ledger.RWSet{Writes: []ledger.KVWrite{{Key: "k", Value: big}}}
 		tx := mkTx(nw, string(rune('a'+i)), rw)
 		tx.SubmitTime = nw.eng.Now()
-		nw.orderer.Submit(tx)
+		nw.orderers[0].Submit(tx)
 	}
 	nw.eng.RunUntil(sim.Time(500 * time.Millisecond))
 	// Each ~1 KiB transaction trips the 1 KiB cap on its own: two
 	// single-transaction blocks, no waiting for the timeout.
-	if nw.orderer.blockNum != 2 {
-		t.Fatalf("bytes cap did not cut: blockNum = %d", nw.orderer.blockNum)
+	if nw.orderers[0].blockNum != 2 {
+		t.Fatalf("bytes cap did not cut: blockNum = %d", nw.orderers[0].blockNum)
 	}
-	if len(nw.orderer.pending) != 0 {
-		t.Fatalf("pending = %d, want 0", len(nw.orderer.pending))
+	if len(nw.orderers[0].pending) != 0 {
+		t.Fatalf("pending = %d, want 0", len(nw.orderers[0].pending))
 	}
 }
 
@@ -73,21 +73,21 @@ func TestSetBlockSizeCutsOversizedPending(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		tx := mkTx(nw, string(rune('a'+i)), &ledger.RWSet{})
 		tx.SubmitTime = nw.eng.Now()
-		nw.orderer.Submit(tx)
+		nw.orderers[0].Submit(tx)
 	}
 	nw.eng.RunUntil(sim.Time(100 * time.Millisecond))
-	if nw.orderer.blockNum != 0 {
+	if nw.orderers[0].blockNum != 0 {
 		t.Fatal("premature cut")
 	}
-	nw.orderer.SetBlockSize(4)
-	if nw.orderer.blockNum != 1 {
-		t.Fatalf("retune did not cut oversized pending batch: %d", nw.orderer.blockNum)
+	nw.orderers[0].SetBlockSize(4)
+	if nw.orderers[0].blockNum != 1 {
+		t.Fatalf("retune did not cut oversized pending batch: %d", nw.orderers[0].blockNum)
 	}
-	if nw.orderer.BlockSize() != 4 {
-		t.Fatalf("BlockSize = %d", nw.orderer.BlockSize())
+	if nw.orderers[0].BlockSize() != 4 {
+		t.Fatalf("BlockSize = %d", nw.orderers[0].BlockSize())
 	}
-	nw.orderer.SetBlockSize(0)
-	if nw.orderer.BlockSize() != 1 {
+	nw.orderers[0].SetBlockSize(0)
+	if nw.orderers[0].BlockSize() != 1 {
 		t.Fatal("SetBlockSize(0) should clamp to 1")
 	}
 }
@@ -102,43 +102,43 @@ func TestStaleTimeoutAfterEarlierCut(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		tx := mkTx(nw, string(rune('a'+i)), &ledger.RWSet{})
 		tx.SubmitTime = nw.eng.Now()
-		nw.orderer.Submit(tx)
+		nw.orderers[0].Submit(tx)
 	}
 	nw.eng.RunUntil(sim.Time(100 * time.Millisecond))
-	if !nw.orderer.timerArmed {
+	if !nw.orderers[0].timerArmed {
 		t.Fatal("partial batch did not arm the timeout")
 	}
-	epoch := nw.orderer.timerEpoch
+	epoch := nw.orderers[0].timerEpoch
 	// Retune below the pending depth: cuts immediately, superseding the
 	// armed timer.
-	nw.orderer.SetBlockSize(2)
-	if nw.orderer.blockNum != 1 {
-		t.Fatalf("retune cut %d blocks, want 1", nw.orderer.blockNum)
+	nw.orderers[0].SetBlockSize(2)
+	if nw.orderers[0].blockNum != 1 {
+		t.Fatalf("retune cut %d blocks, want 1", nw.orderers[0].blockNum)
 	}
-	if nw.orderer.timerArmed || nw.orderer.timerEpoch == epoch {
+	if nw.orderers[0].timerArmed || nw.orderers[0].timerEpoch == epoch {
 		t.Fatal("cut left the timer armed or the epoch unbumped")
 	}
 	// Let the stale timer fire: no second cut, nothing re-armed.
 	nw.eng.RunUntil(sim.Time(2 * nw.cfg.BlockTimeout))
-	if nw.orderer.blockNum != 1 {
-		t.Fatalf("stale timer cut a block: blockNum = %d", nw.orderer.blockNum)
+	if nw.orderers[0].blockNum != 1 {
+		t.Fatalf("stale timer cut a block: blockNum = %d", nw.orderers[0].blockNum)
 	}
-	if nw.orderer.timerArmed {
+	if nw.orderers[0].timerArmed {
 		t.Fatal("stale timer left the service armed")
 	}
 	// A fresh transaction must arm a fresh timer and flush by timeout.
 	tx := mkTx(nw, "z", &ledger.RWSet{})
 	tx.SubmitTime = nw.eng.Now()
-	nw.orderer.Submit(tx)
+	nw.orderers[0].Submit(tx)
 	nw.eng.RunUntil(nw.eng.Now() + sim.Time(100*time.Millisecond))
-	if !nw.orderer.timerArmed {
+	if !nw.orderers[0].timerArmed {
 		t.Fatal("new transaction did not re-arm the timeout")
 	}
 	nw.eng.RunUntil(nw.eng.Now() + sim.Time(2*nw.cfg.BlockTimeout))
-	if nw.orderer.blockNum != 2 {
-		t.Fatalf("re-armed timeout did not cut: blockNum = %d", nw.orderer.blockNum)
+	if nw.orderers[0].blockNum != 2 {
+		t.Fatalf("re-armed timeout did not cut: blockNum = %d", nw.orderers[0].blockNum)
 	}
-	if nw.orderer.timerArmed {
+	if nw.orderers[0].timerArmed {
 		t.Fatal("service armed with an empty pending queue after the timeout cut")
 	}
 }
@@ -153,27 +153,27 @@ func TestTimeoutOnDrainedQueueDisarms(t *testing.T) {
 	nw := harness(t)
 	tx := mkTx(nw, "a", &ledger.RWSet{})
 	tx.SubmitTime = nw.eng.Now()
-	nw.orderer.Submit(tx)
+	nw.orderers[0].Submit(tx)
 	nw.eng.RunUntil(sim.Time(100 * time.Millisecond))
-	if !nw.orderer.timerArmed {
+	if !nw.orderers[0].timerArmed {
 		t.Fatal("timer not armed")
 	}
-	nw.orderer.pending = nil
-	nw.orderer.pendingBytes = 0
+	nw.orderers[0].pending = nil
+	nw.orderers[0].pendingBytes = 0
 	nw.eng.RunUntil(sim.Time(2 * nw.cfg.BlockTimeout))
-	if nw.orderer.blockNum != 0 {
-		t.Fatalf("timeout over a drained queue cut %d blocks, want 0", nw.orderer.blockNum)
+	if nw.orderers[0].blockNum != 0 {
+		t.Fatalf("timeout over a drained queue cut %d blocks, want 0", nw.orderers[0].blockNum)
 	}
-	if nw.orderer.timerArmed {
+	if nw.orderers[0].timerArmed {
 		t.Fatal("timeout over a drained queue left the service armed-but-idle")
 	}
 	// The service must still make progress afterwards.
 	tx2 := mkTx(nw, "b", &ledger.RWSet{})
 	tx2.SubmitTime = nw.eng.Now()
-	nw.orderer.Submit(tx2)
+	nw.orderers[0].Submit(tx2)
 	nw.eng.RunUntil(nw.eng.Now() + sim.Time(2*nw.cfg.BlockTimeout))
-	if nw.orderer.blockNum != 1 {
-		t.Fatalf("service stalled after the drained-queue timeout: blockNum = %d", nw.orderer.blockNum)
+	if nw.orderers[0].blockNum != 1 {
+		t.Fatalf("service stalled after the drained-queue timeout: blockNum = %d", nw.orderers[0].blockNum)
 	}
 }
 

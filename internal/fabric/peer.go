@@ -20,7 +20,9 @@ type Peer struct {
 	org      string
 	name     string
 	identity *fabcrypto.Identity
-	db       statedb.VersionedDB
+	// dbs holds one world-state replica per channel the peer has
+	// joined (every peer joins every channel), indexed by channel.
+	dbs []statedb.VersionedDB
 
 	// busyUntil serializes the committer: blocks are validated and
 	// applied one at a time, in delivery order.
@@ -39,7 +41,7 @@ type Peer struct {
 	committedBlocks int
 }
 
-func newPeer(nw *Network, org, name string, db statedb.VersionedDB) *Peer {
+func newPeer(nw *Network, org, name string, dbs []statedb.VersionedDB) *Peer {
 	workers := nw.cfg.PeerCosts.EndorserWorkers
 	if workers < 1 {
 		workers = 1
@@ -49,7 +51,7 @@ func newPeer(nw *Network, org, name string, db statedb.VersionedDB) *Peer {
 		org:           org,
 		name:          name,
 		identity:      nw.msp.Register(org, name),
-		db:            db,
+		dbs:           dbs,
 		endorserSlots: make([]sim.Time, workers),
 	}
 }
@@ -60,18 +62,20 @@ func (p *Peer) Org() string { return p.org }
 // Name returns the peer's node name.
 func (p *Peer) Name() string { return p.name }
 
-// DB exposes the replica (tests).
-func (p *Peer) DB() statedb.VersionedDB { return p.db }
+// DB exposes channel 0's replica (tests).
+func (p *Peer) DB() statedb.VersionedDB { return p.dbs[0] }
 
 // CommittedBlocks reports how many blocks this replica has applied.
 func (p *Peer) CommittedBlocks() int { return p.committedBlocks }
 
-// Endorse simulates the invocation on the local replica (§2 step 2)
-// and, after the endorsement service time, sends the signed
-// read/write set back through respond. Proposals queue for one of the
-// peer's endorsement workers: expensive simulations (CouchDB range
-// scans) saturate the pool and the queue grows — the §5.1.2 collapse.
-func (p *Peer) Endorse(inv workload.Invocation, respond func(*ledger.Endorsement, error)) {
+// Endorse simulates the invocation on the local replica of the given
+// channel (§2 step 2) and, after the endorsement service time, sends
+// the signed read/write set back through respond. Proposals queue for
+// one of the peer's endorsement workers — the pool is shared across
+// channels, like a real peer's endorser runtime: expensive
+// simulations (CouchDB range scans) saturate the pool and the queue
+// grows — the §5.1.2 collapse.
+func (p *Peer) Endorse(inv workload.Invocation, channel int, respond func(*ledger.Endorsement, error)) {
 	// The proposal starts executing when a worker frees up; the
 	// snapshot it reads is taken at that point.
 	slot := 0
@@ -85,7 +89,7 @@ func (p *Peer) Endorse(inv workload.Invocation, respond func(*ledger.Endorsement
 		start = now
 	}
 	run := func() {
-		stub := chaincode.NewStub(p.db)
+		stub := chaincode.NewStub(p.dbs[channel])
 		err := p.nw.cfg.Chaincode.Invoke(stub, inv.Function, inv.Args)
 		var end *ledger.Endorsement
 		cost := p.nw.cfg.PeerCosts.EndorseBase
@@ -119,7 +123,7 @@ func (p *Peer) Endorse(inv workload.Invocation, respond func(*ledger.Endorsement
 // once network-wide (it is deterministic); each peer pays its own
 // virtual service time and applies the batch at its own commit time.
 func (p *Peer) DeliverBlock(b *ledger.Block) {
-	res := p.nw.val.result(b)
+	res := p.nw.vals[b.Channel].result(b)
 	// Jitter applies to the fixed per-block part only: per-transaction
 	// work averages out across a block (CLT), so the commit-time skew
 	// between replicas — the driver of endorsement policy failures —
@@ -147,12 +151,15 @@ func (p *Peer) commit(b *ledger.Block, res *valResult) {
 		// block snapshots: endorsement sees the state as of the
 		// previous block boundary (§5.4.1), so the replica applies
 		// one block late.
+		// Snapshot-lag variants are single-channel only (enforced by
+		// Config.Validate), so the scalar lag state always refers to
+		// channel 0.
 		if p.lagBatch != nil {
-			p.db.ApplyUpdates(p.lagBatch, p.lagHeight)
+			p.dbs[b.Channel].ApplyUpdates(p.lagBatch, p.lagHeight)
 		}
 		p.lagBatch, p.lagHeight = res.batch, b.Number
 	} else {
-		p.db.ApplyUpdates(res.batch, b.Number)
+		p.dbs[b.Channel].ApplyUpdates(res.batch, b.Number)
 	}
 	p.committedBlocks++
 
@@ -165,12 +172,13 @@ func (p *Peer) commit(b *ledger.Block, res *valResult) {
 		PrevHash:        b.PrevHash,
 		Hash:            b.Hash,
 		Transactions:    b.Transactions,
+		Channel:         b.Channel,
 		CutTime:         b.CutTime,
 		CongestionHint:  b.CongestionHint,
 		ValidationCodes: res.codes,
 		CommitTime:      now,
 	}
-	if err := p.nw.chain.Append(canonical); err != nil {
+	if err := p.nw.chains[b.Channel].Append(canonical); err != nil {
 		panic("fabric: canonical chain append: " + err.Error())
 	}
 	p.nw.col.RecordBlock()
@@ -180,7 +188,7 @@ func (p *Peer) commit(b *ledger.Block, res *valResult) {
 		// metrics peer doubles as the event hub every client
 		// subscribes to. The block's congestion hint rides along, like
 		// metadata in a Fabric block event.
-		p.nw.deliverOutcome(p.name, tx, res.codes[i], b.CongestionHint)
+		p.nw.deliverOutcome(p.name, tx, res.codes[i], b.CongestionHint, b.Channel)
 		if p.nw.cfg.StripAfterCommit {
 			stripTx(tx)
 		}

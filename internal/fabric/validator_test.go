@@ -55,7 +55,7 @@ func TestVSCCAcceptsConsistentEndorsements(t *testing.T) {
 		Reads:  []ledger.KVRead{{Key: ehr.ProfileKey(1), Version: ledger.Height{BlockNum: 0, TxNum: 2}}},
 		Writes: []ledger.KVWrite{{Key: ehr.ProfileKey(1), Value: []byte("x")}},
 	}
-	code := nw.val.vscc(mkTx(nw, "t", rw))
+	code := nw.vals[0].vscc(mkTx(nw, "t", rw))
 	if code != ledger.Valid {
 		t.Fatalf("vscc = %v, want VALID", code)
 	}
@@ -70,7 +70,7 @@ func TestVSCCRejectsMismatchedRWSets(t *testing.T) {
 	dB := rwB.Digest()
 	tx.Endorsements[1].RWSet = rwB
 	tx.Endorsements[1].Signature = nw.peerOf(nw.orgs[1], 0).identity.Sign(dB[:])
-	if code := nw.val.vscc(tx); code != ledger.EndorsementPolicyFailure {
+	if code := nw.vals[0].vscc(tx); code != ledger.EndorsementPolicyFailure {
 		t.Fatalf("vscc = %v, want ENDORSEMENT_POLICY_FAILURE", code)
 	}
 }
@@ -80,7 +80,7 @@ func TestVSCCRejectsBadSignature(t *testing.T) {
 	rw := &ledger.RWSet{}
 	tx := mkTx(nw, "t", rw)
 	tx.Endorsements[0].Signature = []byte("forged")
-	if code := nw.val.vscc(tx); code != ledger.EndorsementPolicyFailure {
+	if code := nw.vals[0].vscc(tx); code != ledger.EndorsementPolicyFailure {
 		t.Fatalf("vscc = %v, want failure for forged signature", code)
 	}
 }
@@ -90,11 +90,11 @@ func TestVSCCRejectsUnsatisfiedPolicy(t *testing.T) {
 	rw := &ledger.RWSet{}
 	tx := mkTx(nw, "t", rw)
 	tx.Endorsements = tx.Endorsements[:1] // P0 needs all orgs
-	if code := nw.val.vscc(tx); code != ledger.EndorsementPolicyFailure {
+	if code := nw.vals[0].vscc(tx); code != ledger.EndorsementPolicyFailure {
 		t.Fatalf("vscc = %v, want failure for missing org", code)
 	}
 	tx.Endorsements = nil
-	if code := nw.val.vscc(tx); code != ledger.EndorsementPolicyFailure {
+	if code := nw.vals[0].vscc(tx); code != ledger.EndorsementPolicyFailure {
 		t.Fatalf("vscc = %v, want failure for no endorsements", code)
 	}
 }
@@ -102,14 +102,14 @@ func TestVSCCRejectsUnsatisfiedPolicy(t *testing.T) {
 func TestMVCCInterBlockConflict(t *testing.T) {
 	nw := harness(t)
 	key := ehr.ProfileKey(0)
-	genesisVersion := nw.val.db.Get(key).Version
+	genesisVersion := nw.vals[0].db.Get(key).Version
 
 	// Block 1: writer updates the key.
 	writer := mkTx(nw, "w", &ledger.RWSet{
 		Reads:  []ledger.KVRead{{Key: key, Version: genesisVersion}},
 		Writes: []ledger.KVWrite{{Key: key, Value: []byte("new")}},
 	})
-	res1 := nw.val.result(mkBlock(nw, 1, writer))
+	res1 := nw.vals[0].result(mkBlock(nw, 1, writer))
 	if res1.codes[0] != ledger.Valid {
 		t.Fatalf("writer = %v", res1.codes[0])
 	}
@@ -118,7 +118,7 @@ func TestMVCCInterBlockConflict(t *testing.T) {
 	reader := mkTx(nw, "r", &ledger.RWSet{
 		Reads: []ledger.KVRead{{Key: key, Version: genesisVersion}},
 	})
-	res2 := nw.val.result(mkBlock(nw, 2, reader))
+	res2 := nw.vals[0].result(mkBlock(nw, 2, reader))
 	if res2.codes[0] != ledger.MVCCConflictInterBlock {
 		t.Fatalf("reader = %v, want inter-block conflict", res2.codes[0])
 	}
@@ -127,7 +127,7 @@ func TestMVCCInterBlockConflict(t *testing.T) {
 func TestMVCCIntraBlockClassification(t *testing.T) {
 	nw := harness(t)
 	key := ehr.ProfileKey(2)
-	v0 := nw.val.db.Get(key).Version
+	v0 := nw.vals[0].db.Get(key).Version
 
 	// Same block: T0 writes the key; T1 endorsed against the old
 	// version -> intra-block conflict (Eq. 3).
@@ -139,7 +139,7 @@ func TestMVCCIntraBlockClassification(t *testing.T) {
 		Reads:  []ledger.KVRead{{Key: key, Version: v0}},
 		Writes: []ledger.KVWrite{{Key: key, Value: []byte("b")}},
 	})
-	res := nw.val.result(mkBlock(nw, 1, t0, t1))
+	res := nw.vals[0].result(mkBlock(nw, 1, t0, t1))
 	if res.codes[0] != ledger.Valid {
 		t.Fatalf("t0 = %v", res.codes[0])
 	}
@@ -155,7 +155,7 @@ func TestMVCCIntraBlockClassification(t *testing.T) {
 func TestIntraClassificationIncludesFailedWriters(t *testing.T) {
 	nw := harness(t)
 	key := ehr.ProfileKey(3)
-	v0 := nw.val.db.Get(key).Version
+	v0 := nw.vals[0].db.Get(key).Version
 
 	// T0 itself fails (stale read of another key). T1 depends on T0's
 	// write attempt of `key` — still intra per Eq. 3, dependency on a
@@ -168,7 +168,7 @@ func TestIntraClassificationIncludesFailedWriters(t *testing.T) {
 	t1 := mkTx(nw, "t1", &ledger.RWSet{
 		Reads: []ledger.KVRead{{Key: key, Version: ledger.Height{BlockNum: 998}}}, // stale too
 	})
-	res := nw.val.result(mkBlock(nw, 1, t0, t1))
+	res := nw.vals[0].result(mkBlock(nw, 1, t0, t1))
 	if res.codes[0] != ledger.MVCCConflictInterBlock {
 		t.Fatalf("t0 = %v, want inter-block", res.codes[0])
 	}
@@ -183,18 +183,18 @@ func TestPhantomOnInsertIntoRange(t *testing.T) {
 	// Scan observed the genesis profiles; a new key inserted into the
 	// interval must fail the re-execution (Eq. 5).
 	scan := ledger.RangeQueryInfo{StartKey: "profile_", EndKey: "profile_~"}
-	for _, kv := range nw.val.db.GetRange("profile_", "profile_~") {
+	for _, kv := range nw.vals[0].db.GetRange("profile_", "profile_~") {
 		scan.Reads = append(scan.Reads, ledger.KVRead{Key: kv.Key, Version: kv.Version})
 	}
 	inserter := mkTx(nw, "w", &ledger.RWSet{
 		Writes: []ledger.KVWrite{{Key: "profile_zzz", Value: []byte("{}")}},
 	})
-	res1 := nw.val.result(mkBlock(nw, 1, inserter))
+	res1 := nw.vals[0].result(mkBlock(nw, 1, inserter))
 	if res1.codes[0] != ledger.Valid {
 		t.Fatalf("inserter = %v", res1.codes[0])
 	}
 	scanner := mkTx(nw, "s", &ledger.RWSet{RangeQueries: []ledger.RangeQueryInfo{scan}})
-	res2 := nw.val.result(mkBlock(nw, 2, scanner))
+	res2 := nw.vals[0].result(mkBlock(nw, 2, scanner))
 	if res2.codes[0] != ledger.PhantomReadConflict {
 		t.Fatalf("scanner = %v, want phantom", res2.codes[0])
 	}
@@ -203,18 +203,18 @@ func TestPhantomOnInsertIntoRange(t *testing.T) {
 func TestPhantomOnDeleteAndUpdate(t *testing.T) {
 	nw := harness(t)
 	scan := ledger.RangeQueryInfo{StartKey: "ehr_", EndKey: "ehr_~"}
-	for _, kv := range nw.val.db.GetRange("ehr_", "ehr_~") {
+	for _, kv := range nw.vals[0].db.GetRange("ehr_", "ehr_~") {
 		scan.Reads = append(scan.Reads, ledger.KVRead{Key: kv.Key, Version: kv.Version})
 	}
 	// Update one key inside the range.
 	upd := mkTx(nw, "u", &ledger.RWSet{
 		Writes: []ledger.KVWrite{{Key: ehr.RecordKey(5), Value: []byte("v2")}},
 	})
-	if res := nw.val.result(mkBlock(nw, 1, upd)); res.codes[0] != ledger.Valid {
+	if res := nw.vals[0].result(mkBlock(nw, 1, upd)); res.codes[0] != ledger.Valid {
 		t.Fatal("update failed")
 	}
 	scanner := mkTx(nw, "s", &ledger.RWSet{RangeQueries: []ledger.RangeQueryInfo{scan}})
-	if res := nw.val.result(mkBlock(nw, 2, scanner)); res.codes[0] != ledger.PhantomReadConflict {
+	if res := nw.vals[0].result(mkBlock(nw, 2, scanner)); res.codes[0] != ledger.PhantomReadConflict {
 		t.Fatalf("scanner = %v, want phantom after in-range update", res.codes[0])
 	}
 }
@@ -222,11 +222,11 @@ func TestPhantomOnDeleteAndUpdate(t *testing.T) {
 func TestCleanRangeRescanIsValid(t *testing.T) {
 	nw := harness(t)
 	scan := ledger.RangeQueryInfo{StartKey: "profile_", EndKey: "profile_~"}
-	for _, kv := range nw.val.db.GetRange("profile_", "profile_~") {
+	for _, kv := range nw.vals[0].db.GetRange("profile_", "profile_~") {
 		scan.Reads = append(scan.Reads, ledger.KVRead{Key: kv.Key, Version: kv.Version})
 	}
 	scanner := mkTx(nw, "s", &ledger.RWSet{RangeQueries: []ledger.RangeQueryInfo{scan}})
-	if res := nw.val.result(mkBlock(nw, 1, scanner)); res.codes[0] != ledger.Valid {
+	if res := nw.vals[0].result(mkBlock(nw, 1, scanner)); res.codes[0] != ledger.Valid {
 		t.Fatalf("unchanged range = %v, want VALID", res.codes[0])
 	}
 }
@@ -237,7 +237,7 @@ func TestUncheckedRangeNeverPhantoms(t *testing.T) {
 	rq := ledger.RangeQueryInfo{Unchecked: true,
 		Reads: []ledger.KVRead{{Key: "profile_000", Version: ledger.Height{BlockNum: 77}}}}
 	tx := mkTx(nw, "q", &ledger.RWSet{RangeQueries: []ledger.RangeQueryInfo{rq}})
-	if res := nw.val.result(mkBlock(nw, 1, tx)); res.codes[0] != ledger.Valid {
+	if res := nw.vals[0].result(mkBlock(nw, 1, tx)); res.codes[0] != ledger.Valid {
 		t.Fatalf("unchecked range = %v, want VALID (no phantom detection)", res.codes[0])
 	}
 }
@@ -249,7 +249,7 @@ func TestValidatorRejectsOutOfOrderBlocks(t *testing.T) {
 			t.Fatal("out-of-order validation did not panic")
 		}
 	}()
-	nw.val.result(mkBlock(nw, 5, mkTx(nw, "t", &ledger.RWSet{})))
+	nw.vals[0].result(mkBlock(nw, 5, mkTx(nw, "t", &ledger.RWSet{})))
 }
 
 func TestValidateCostGrowsWithSubPolicies(t *testing.T) {
@@ -257,7 +257,7 @@ func TestValidateCostGrowsWithSubPolicies(t *testing.T) {
 	rw := &ledger.RWSet{Reads: []ledger.KVRead{{Key: "k"}}}
 	tx := mkTx(nw, "t", rw)
 	b := mkBlock(nw, 1, tx)
-	res := nw.val.result(b)
+	res := nw.vals[0].result(b)
 	if res.validateCost <= 0 {
 		t.Fatal("zero validation cost")
 	}

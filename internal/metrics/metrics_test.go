@@ -49,11 +49,17 @@ func TestLatencyStats(t *testing.T) {
 	if r.AvgLatency != 5500*time.Millisecond {
 		t.Errorf("AvgLatency = %v", r.AvgLatency)
 	}
-	if r.P50Latency != 6*time.Second {
-		t.Errorf("P50 = %v", r.P50Latency)
+	// Percentiles are histogram estimates: at least the exact order
+	// statistic, at most one bucket width (6.25%) above it.
+	if p, exact := r.P50Latency, 6*time.Second; p < exact || p > exact+exact/16 {
+		t.Errorf("P50 = %v, want within [%v, %v]", p, exact, exact+exact/16)
 	}
+	// The top percentile is capped at the exact observed maximum.
 	if r.P95Latency != 10*time.Second {
 		t.Errorf("P95 = %v", r.P95Latency)
+	}
+	if r.MaxLatency != 10*time.Second {
+		t.Errorf("MaxLatency = %v", r.MaxLatency)
 	}
 	// Duration spans first submit to last commit; throughput follows.
 	if r.Duration != 10*time.Second {
@@ -61,6 +67,42 @@ func TestLatencyStats(t *testing.T) {
 	}
 	if r.Throughput != 1.0 {
 		t.Errorf("Throughput = %v", r.Throughput)
+	}
+}
+
+func TestLatencyHistogramGeometry(t *testing.T) {
+	// Sub-16ns values get exact unit buckets.
+	for d := time.Duration(0); d < histSubCount; d++ {
+		if got := bucketUpper(latBucket(d)); got != d {
+			t.Errorf("bucketUpper(latBucket(%d)) = %v, want exact", d, got)
+		}
+	}
+	// Larger values land in a bucket whose upper bound is within 6.25%
+	// of the value, and never below it.
+	for _, d := range []time.Duration{
+		16, 17, 255, 1023, time.Microsecond, 37 * time.Millisecond,
+		time.Second, 6 * time.Second, 90 * time.Minute, 400 * time.Hour,
+	} {
+		up := bucketUpper(latBucket(d))
+		if up < d {
+			t.Errorf("bucket upper %v below recorded value %v", up, d)
+		}
+		if up > d+d/histSubCount {
+			t.Errorf("bucket upper %v more than 1/%d above %v", up, histSubCount, d)
+		}
+	}
+	// Bucket indices are monotone in the value and stay in range.
+	prev := -1
+	for _, d := range []time.Duration{0, 1, 15, 16, 31, 32, 1000,
+		time.Millisecond, time.Second, time.Hour, 1<<62 - 1} {
+		b := latBucket(d)
+		if b <= prev {
+			t.Errorf("latBucket(%v) = %d not monotone after %d", d, b, prev)
+		}
+		if b < 0 || b >= histBuckets {
+			t.Fatalf("latBucket(%v) = %d out of range [0,%d)", d, b, histBuckets)
+		}
+		prev = b
 	}
 }
 
