@@ -41,6 +41,50 @@ ok  	repro	12.3s
 	}
 }
 
+func TestCompareFlagsRegressions(t *testing.T) {
+	baseline := []Result{
+		{Name: "BenchmarkStable", NsOp: 1000},
+		{Name: "BenchmarkRegressed", NsOp: 1000},
+		{Name: "BenchmarkImproved", NsOp: 1000},
+		{Name: "BenchmarkRetired", NsOp: 500},
+	}
+	current := []Result{
+		{Name: "BenchmarkStable", NsOp: 1100},    // +10%: inside threshold
+		{Name: "BenchmarkRegressed", NsOp: 1400}, // +40%: flagged
+		{Name: "BenchmarkImproved", NsOp: 600},   // -40%: never flagged
+		{Name: "BenchmarkAdded", NsOp: 42},       // no baseline: never flagged
+	}
+	deltas := compare(current, baseline)
+	if len(deltas) != 5 {
+		t.Fatalf("compared %d benchmarks, want 5: %+v", len(deltas), deltas)
+	}
+	table, regressed := report(deltas, 25)
+	if len(regressed) != 1 || !strings.Contains(regressed[0], "BenchmarkRegressed") {
+		t.Fatalf("regressed = %v, want exactly BenchmarkRegressed", regressed)
+	}
+	if !strings.Contains(regressed[0], "+40.0%") {
+		t.Errorf("regression %q should carry the delta percentage", regressed[0])
+	}
+	for _, want := range []string{"REGRESSION", "new", "gone", "BenchmarkRetired"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("delta table missing %q:\n%s", want, table)
+		}
+	}
+	if strings.Count(table, "REGRESSION") != 1 {
+		t.Errorf("table flags %d regressions, want 1:\n%s", strings.Count(table, "REGRESSION"), table)
+	}
+}
+
+func TestCompareAtThresholdPasses(t *testing.T) {
+	deltas := compare(
+		[]Result{{Name: "BenchmarkEdge", NsOp: 1250}},
+		[]Result{{Name: "BenchmarkEdge", NsOp: 1000}},
+	)
+	if _, regressed := report(deltas, 25); len(regressed) != 0 {
+		t.Errorf("exactly +25%% must not fail a 25%% threshold: %v", regressed)
+	}
+}
+
 func TestParseRejectsNothing(t *testing.T) {
 	got, err := parse(bufio.NewScanner(strings.NewReader("no benchmarks here\n")))
 	if err != nil {

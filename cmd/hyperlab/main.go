@@ -30,6 +30,13 @@
 //	hyperlab -adhoc -clients 100000 -cohort 1000 -channels 4 -crosschannel 0.1
 //	                                    ad-hoc sharded run: 100k clients in
 //	                                    cohorts of 1000 over 4 channels
+//	hyperlab -run faults                fault injection: crash/partition/flaky/
+//	                                    slowdb scenarios x coordination mode
+//	hyperlab -adhoc -faults crash -retry hinted -backpressure on
+//	                                    ad-hoc run under the seeded crash
+//	                                    scenario with client deadlines
+//	hyperlab -adhoc -faults 'partition:1@5s+10s,etimeout=2s'
+//	                                    ad-hoc run with an explicit fault event
 //	hyperlab -render                    emit a generated genChain chaincode
 package main
 
@@ -81,6 +88,7 @@ func main() {
 		cohort     = flag.Int("cohort", 0, "ad-hoc run: clients per cohort driver (0/1 = exact per-client simulation)")
 		channels   = flag.Int("channels", 1, "ad-hoc run: channel count; each channel gets its own orderer and ledger")
 		crossCh    = flag.Float64("crosschannel", 0, "ad-hoc run: fraction of transactions spanning two channels (needs -channels >= 2)")
+		faults     = flag.String("faults", "", "ad-hoc run: fault schedule off|crash|partition|flaky|straggler|slowdb|chaos or 'kind[:target]@start+dur[:param][,...]' with etimeout=/stimeout= clauses (empty = off)")
 		verbose    = flag.Bool("v", false, "print per-seed progress")
 	)
 	flag.Parse()
@@ -116,6 +124,7 @@ func main() {
 			closedLoop: *closedLoop, inflight: *inflight,
 			clients: *clients, cohort: *cohort,
 			channels: *channels, crossChannel: *crossCh,
+			faults: *faults,
 		})
 	default:
 		flag.Usage()
@@ -169,7 +178,7 @@ func runExperiments(id string, full, smoke, verbose bool, parallel int) {
 type adhocOptions struct {
 	ccName, db, system, cluster, retry string
 	budget, think, backpressure        string
-	gossip, hintSource                 string
+	gossip, hintSource, faults         string
 	rate, skew, crossChannel           float64
 	blockSize, dump, inflight          int
 	clients, cohort, channels          int
@@ -298,6 +307,11 @@ func adhoc(o adhocOptions) {
 	if _, hinted := cfg.Retry.(fabric.BackpressurePolicy); hinted && !ordererFeeds && !gossipFeeds {
 		fmt.Fprintln(os.Stderr, "hyperlab: note: -retry hinted without a hint producer (-backpressure, or -gossip with -hintsource gossip|both) degenerates to a constant floor backoff")
 	}
+	flt, err := fabric.ParseFaults(o.faults)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Faults = flt
 	thinkTime, err := fabric.ParseThinkTime(o.think)
 	if err != nil {
 		fatal(err)
@@ -383,6 +397,15 @@ func adhoc(o adhocOptions) {
 			rep.GossipEstimateAvg, rep.GossipEstimateMax, rep.GossipEstimateFinal,
 			rep.GossipStalenessAvg.Round(time.Millisecond),
 			rep.GossipStalenessMax.Round(time.Millisecond))
+	}
+	if cfg.Faults != nil {
+		fmt.Printf("faults %s: windows=%d crashes=%d downtime=%v eto=%d sto=%d orphans=%d recoveries=%d recov avg=%v max=%v\n",
+			cfg.Faults.Name(), rep.FaultWindows, rep.NodeCrashes,
+			rep.NodeDowntime.Round(time.Millisecond),
+			rep.EndorseTimeouts, rep.SubmitTimeouts, rep.OrphanedTxs,
+			rep.Recoveries,
+			rep.RecoveryAvg.Round(time.Millisecond),
+			rep.RecoveryMax.Round(time.Millisecond))
 	}
 	for ch, chain := range nw.Chains() {
 		if err := chain.Verify(); err != nil {

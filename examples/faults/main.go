@@ -1,0 +1,70 @@
+// Faults demonstrates the deterministic fault-injection subsystem:
+// the same EHR workload is run healthy and then under the seeded
+// "crash" scenario (an orderer crash window followed by a peer crash
+// window), with client-side endorsement/submission deadlines and the
+// hinted-orderer coordination stack picking up the pieces.
+//
+// Everything is virtual-time driven, so the run is byte-for-byte
+// reproducible: same seed, same crashes, same recovery.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	lab "repro"
+)
+
+func run(seed int64, faults *lab.Faults) lab.Report {
+	cfg := lab.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Duration = 30 * time.Second
+	cfg.Drain = 30 * time.Second
+	cfg.Rate = 60
+	cfg.Chaincode = lab.EHRChaincode()
+	cfg.Workload = lab.EHRWorkload(1)
+	cfg.Retry = lab.BackpressurePolicy{MaxAttempts: 5, Jitter: 0.2}
+	cfg.Backpressure = &lab.Backpressure{}
+	cfg.Faults = faults
+	nw, err := lab.NewNetwork(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return nw.Run()
+}
+
+func main() {
+	fmt.Println("EHR at 60 tps, hinted-orderer retries, 30 virtual seconds.")
+	fmt.Println()
+
+	healthy := run(1, nil)
+	crashed := run(1, &lab.Faults{Scenario: "crash"})
+
+	fmt.Printf("%-10s %-10s %-10s %-8s %-8s %-8s %-10s %-10s\n",
+		"run", "goodput", "failures%", "eto", "sto", "crashes", "downtime", "recovery")
+	for _, r := range []struct {
+		name string
+		rep  lab.Report
+	}{{"healthy", healthy}, {"crash", crashed}} {
+		fmt.Printf("%-10s %-10.1f %-10.2f %-8d %-8d %-8d %-10v %-10v\n",
+			r.name, r.rep.Goodput, r.rep.FailurePct,
+			r.rep.EndorseTimeouts, r.rep.SubmitTimeouts, r.rep.NodeCrashes,
+			r.rep.NodeDowntime.Round(time.Millisecond),
+			r.rep.RecoveryAvg.Round(time.Millisecond))
+	}
+
+	fmt.Println("\nThe crash scenario derives two windows from the seed: the ordering")
+	fmt.Println("service goes down mid-run (submissions time out client-side and are")
+	fmt.Println("retried on the hint schedule), then an endorsing peer goes down")
+	fmt.Println("(endorsement deadlines expire instead). On restart the peer replays")
+	fmt.Println("the ledger suffix it missed — the recovery column is that replay")
+	fmt.Println("latency — and the hash chain still verifies end to end.")
+
+	// Determinism: an identical second run must match byte-for-byte.
+	again := run(1, &lab.Faults{Scenario: "crash"})
+	if again.String() != crashed.String() {
+		log.Fatal("fault schedule was not deterministic")
+	}
+	fmt.Println("\nRe-run with the same seed: report is byte-identical.")
+}

@@ -78,6 +78,26 @@
 // scale) sweeps 10^2..10^6 clients over 1, 4 and 16 channels at a
 // fixed total arrival rate.
 //
+// # Fault injection and node lifecycle
+//
+// Config.Faults arms a deterministic, seed-derived fault schedule:
+// named scenarios (crash, partition, flaky, straggler, slowdb, chaos)
+// or explicit FaultEvents that crash and restart peers or the ordering
+// service, partition an organization away, inject stragglers, drop
+// messages, or slow the state database for a window. Nodes carry a
+// lifecycle state (up, crashed, restarting): a crash drops in-flight
+// endorsements and queued work; a restart replays the missed ledger
+// suffix before the node rejoins, and the replay latency is reported
+// as recovery time. Clients gain endorsement/submission deadlines that
+// surface as a CLIENT_TIMEOUT failure class feeding the retry path,
+// and reports account per-fault-window downtime, deadline expiries,
+// orphaned transactions (committed after their client gave up) and
+// recovery latency. Schedules are virtual-time driven, so runs stay
+// byte-for-byte deterministic at any parallelism, and a nil
+// Config.Faults is byte-identical to a build without the subsystem.
+// The "faults" experiment (cmd/hyperlab -run faults) sweeps scenario ×
+// retry/coordination mode × chaincode; ad-hoc runs take -faults.
+//
 // Reports expose the resulting effective metrics next to the paper's
 // chain-level ones: Goodput (first-submission success throughput),
 // RetryAmplification (submissions per logical transaction),
@@ -230,6 +250,39 @@ type (
 	ClientDriver = fabric.ClientDriver
 )
 
+// Fault-injection subsystem (Config.Faults).
+type (
+	// Faults is the deterministic fault-injection schedule: a named
+	// scenario or explicit events, plus client-side endorsement and
+	// submission deadlines. nil disables the subsystem byte-identically.
+	Faults = fabric.Faults
+	// FaultEvent is one scheduled fault window (kind, onset, duration,
+	// target, kind-specific parameters).
+	FaultEvent = fabric.FaultEvent
+	// FaultKind names a fault primitive (crash-peer, crash-orderer,
+	// partition, straggler, loss, slowdb).
+	FaultKind = fabric.FaultKind
+	// NodeState is a node's lifecycle state (up, crashed, restarting).
+	NodeState = fabric.NodeState
+)
+
+// Fault kinds for FaultEvent.Kind.
+const (
+	FaultCrashPeer    = fabric.FaultCrashPeer
+	FaultCrashOrderer = fabric.FaultCrashOrderer
+	FaultPartition    = fabric.FaultPartition
+	FaultStraggler    = fabric.FaultStraggler
+	FaultLoss         = fabric.FaultLoss
+	FaultSlowDB       = fabric.FaultSlowDB
+)
+
+// Node lifecycle states.
+const (
+	NodeUp         = fabric.NodeUp
+	NodeCrashed    = fabric.NodeCrashed
+	NodeRestarting = fabric.NodeRestarting
+)
+
 // Think-time distributions for Config.ThinkTime.
 const (
 	ThinkNone        = fabric.ThinkNone
@@ -286,6 +339,16 @@ func ParseGossip(s string) (*Gossip, error) { return fabric.ParseGossip(s) }
 // ParseHintSource parses a hint-source spec (the CLI's -hintsource
 // syntax): "orderer" (also ""), "gossip" or "both".
 func ParseHintSource(s string) (HintSource, error) { return fabric.ParseHintSource(s) }
+
+// ParseFaults parses a fault spec (the CLI's -faults syntax): a
+// scenario name ("crash", "chaos", ...), or comma-separated event
+// clauses such as "crash-peer:1@5s+10s,partition@20s+5s,etimeout=2s";
+// "off" and "" return nil (disabled).
+func ParseFaults(s string) (*Faults, error) { return fabric.ParseFaults(s) }
+
+// FaultScenarios lists the predefined fault scenario names accepted by
+// Faults.Scenario and the -faults flag.
+func FaultScenarios() []string { return fabric.FaultScenarios() }
 
 // DefaultConfig returns the paper's Table 3 defaults on the C1
 // cluster. Chaincode and Workload must still be set.

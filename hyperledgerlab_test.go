@@ -102,8 +102,8 @@ func TestVariantsViaFacade(t *testing.T) {
 }
 
 func TestExperimentRegistryComplete(t *testing.T) {
-	if len(Experiments()) != 29 {
-		t.Errorf("%d experiments exposed, want 29 (25 paper + retry-policies + retry-cotune + retry-coordination + scale)", len(Experiments()))
+	if len(Experiments()) != 30 {
+		t.Errorf("%d experiments exposed, want 30 (25 paper + retry-policies + retry-cotune + retry-coordination + scale + faults)", len(Experiments()))
 	}
 	if _, err := LookupExperiment("fig26"); err != nil {
 		t.Error(err)
@@ -118,6 +118,9 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		t.Error(err)
 	}
 	if _, err := LookupExperiment("scale"); err != nil {
+		t.Error(err)
+	}
+	if _, err := LookupExperiment("faults"); err != nil {
 		t.Error(err)
 	}
 	if FullOptions().Duration != 3*time.Minute {

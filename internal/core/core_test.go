@@ -151,8 +151,8 @@ func TestLookup(t *testing.T) {
 			t.Errorf("experiment %s incomplete", e.ID)
 		}
 	}
-	if len(seen) != 29 {
-		t.Errorf("%d experiments, want 29 (2 tables + 23 figures + retry-policies + retry-cotune + retry-coordination + scale)", len(seen))
+	if len(seen) != 30 {
+		t.Errorf("%d experiments, want 30 (2 tables + 23 figures + retry-policies + retry-cotune + retry-coordination + scale + faults)", len(seen))
 	}
 }
 

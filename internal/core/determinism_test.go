@@ -9,18 +9,19 @@ import (
 
 // retryExperimentIDs pulls every retry/coordination experiment — plus
 // the scale sweep, which exercises the cohort and multi-channel
-// machinery — out of the registry, so a new retry-* experiment is
-// swept automatically: the matrix below is registry-driven, not a
-// copy-pasted test per experiment id.
+// machinery, and the faults sweep, which exercises the lifecycle and
+// fault-injection machinery — out of the registry, so a new retry-*
+// experiment is swept automatically: the matrix below is
+// registry-driven, not a copy-pasted test per experiment id.
 func retryExperimentIDs(t *testing.T) []string {
 	t.Helper()
 	var ids []string
 	for _, e := range Experiments() {
-		if strings.HasPrefix(e.ID, "retry-") || e.ID == "scale" {
+		if strings.HasPrefix(e.ID, "retry-") || e.ID == "scale" || e.ID == "faults" {
 			ids = append(ids, e.ID)
 		}
 	}
-	for _, want := range []string{"retry-policies", "retry-cotune", "retry-coordination", "scale"} {
+	for _, want := range []string{"retry-policies", "retry-cotune", "retry-coordination", "scale", "faults"} {
 		found := false
 		for _, id := range ids {
 			if id == want {

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+)
+
+// FaultScenarios is the scenario axis of the faults experiment: the
+// healthy baseline plus the predefined adversity scripts that matter
+// for coordination behaviour (crash windows, a partition, a flaky
+// peer, a slow state database).
+var FaultScenarios = []string{"none", "crash", "partition", "flaky", "slowdb"}
+
+// faultModes returns the retry/coordination strategies the faults
+// study compares. "backoff" is the plain capped exponential baseline;
+// the coordination rungs are reused verbatim from the coordination
+// study (CoordinationPolicies), so their healthy-scenario rows are
+// directly comparable with the retry-coordination grid.
+func faultModes() []CoordinationPolicy {
+	modes := []CoordinationPolicy{
+		{Label: "backoff", Policy: fabric.ExponentialBackoff{
+			Initial:     200 * time.Millisecond,
+			Cap:         2 * time.Second,
+			MaxAttempts: 5,
+			Jitter:      0.2,
+		}},
+	}
+	for _, p := range CoordinationPolicies() {
+		if p.Label == "aimd" || p.Label == "hinted-orderer" || p.Label == "hinted-gossip" {
+			modes = append(modes, p)
+		}
+	}
+	return modes
+}
+
+// faultsCell is one cell of the faults grid.
+type faultsCell struct {
+	ccName   string
+	scenario string
+	mode     CoordinationPolicy
+}
+
+// faultsGrid enumerates the sweep in deterministic row order:
+// chaincode, scenario, mode. Smoke mode keeps EHR with the crash and
+// partition scenarios under the backoff and hinted-orderer modes —
+// four cells that still cross a node-lifecycle fault with a netem
+// fault and a local with a coordinated control.
+func faultsGrid(smoke bool) []faultsCell {
+	ccs := []string{"ehr", "dv"}
+	scenarios := FaultScenarios
+	modes := faultModes()
+	if smoke {
+		ccs = []string{"ehr"}
+		scenarios = []string{"crash", "partition"}
+		var kept []CoordinationPolicy
+		for _, m := range modes {
+			if m.Label == "backoff" || m.Label == "hinted-orderer" {
+				kept = append(kept, m)
+			}
+		}
+		modes = kept
+	}
+	var cells []faultsCell
+	for _, ccName := range ccs {
+		for _, sc := range scenarios {
+			for _, m := range modes {
+				cells = append(cells, faultsCell{ccName, sc, m})
+			}
+		}
+	}
+	return cells
+}
+
+// faultsConfig assembles one cell's fabric.Config (shared with the
+// golden-row test, so the locked rows use exactly the grid's wiring).
+// The "none" scenario leaves Config.Faults nil — the fault subsystem
+// is then byte-identical off and the row is a healthy baseline.
+func faultsConfig(cc CCFactory, c faultsCell) Builder {
+	return func(seed int64) fabric.Config {
+		cfg := baseConfig(C1, cc, 1, Fabric14)(seed)
+		cfg.Retry = c.mode.Policy
+		cfg.RetryBudget = c.mode.Budget
+		cfg.Backpressure = c.mode.Backpressure
+		cfg.Gossip = c.mode.Gossip
+		cfg.HintSource = c.mode.HintSource
+		if c.scenario != "none" {
+			cfg.Faults = &fabric.Faults{Scenario: c.scenario}
+		}
+		return cfg
+	}
+}
+
+// FaultsExp measures how the coordination stack actually behaves under
+// the adverse regimes it was built for: every prior result assumed a
+// permanently healthy network, while the ChackoMJ21 failure taxonomy
+// came from a system that crashes, partitions and slows down. The
+// experiment sweeps fault scenario {none, crash, partition, flaky,
+// slowdb} × retry/coordination mode {exponential backoff, AIMD,
+// hinted-orderer, hinted-gossip} × chaincode {EHR, DV} on C1, with
+// deterministic seed-derived fault schedules (Config.Faults).
+//
+// Columns: goodput, committed throughput, retry amplification,
+// end-to-end latency, endorsement and submission deadline expiries,
+// orphaned transactions (committed after their client gave up),
+// scheduled node downtime, peer post-restart recovery latency,
+// give-up rate and chain-level failure rate. Fault windows are
+// virtual-time driven, so the table is byte-for-byte identical at any
+// Options.Parallelism.
+func FaultsExp(o Options) (string, error) {
+	cells := faultsGrid(o.Smoke)
+	builds := make([]Builder, len(cells))
+	for i, c := range cells {
+		cc, err := UseCase(c.ccName)
+		if err != nil {
+			return "", err
+		}
+		builds[i] = faultsConfig(cc, c)
+	}
+	results, err := o.RunAll(builds)
+	if err != nil {
+		return "", err
+	}
+	t := metrics.NewTable("chaincode", "scenario", "control",
+		"goodput (tps)", "tput (tps)", "amp", "e2e lat (s)",
+		"eto", "sto", "orphans", "down (s)", "recov (s)",
+		"gave up %", "failures %")
+	for i, c := range cells {
+		res := results[i]
+		t.AddRow(c.ccName, c.scenario, c.mode.Label,
+			res.Goodput, res.Throughput, res.RetryAmp, res.EndToEndSec,
+			res.EndorseTOs, res.SubmitTOs, res.Orphans,
+			res.DowntimeSec, res.RecoverySec,
+			res.GaveUpPct, res.FailurePct)
+	}
+	return t.String(), nil
+}

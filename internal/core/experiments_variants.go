@@ -350,6 +350,7 @@ func Experiments() []Experiment {
 		{"retry-cotune", "Block size × backoff co-tuning: static vs adaptive vs budgeted, Fabric 1.4 vs Fabric++", RetryCotuneExp},
 		{"retry-coordination", "Coordinated retry control: client-local AIMD vs orderer-hinted vs gossip-hinted vs both", RetryCoordinationExp},
 		{"scale", "Million-client scale: cohort drivers × multi-channel sharding at fixed load", ScaleExp},
+		{"faults", "Fault injection: crash/partition/flaky/slowdb scenarios × retry coordination mode", FaultsExp},
 	}
 }
 

@@ -249,6 +249,14 @@ type Result struct {
 	GossipEstAvg   float64 // mean gossip estimate over rounds, [0,1]
 	GossipEstFinal float64 // final sampled gossip estimate, [0,1]
 	GossipStaleSec float64 // mean staleness of the estimate at use, seconds
+
+	// Fault-injection metrics (zero without Config.Faults).
+	FaultWindows float64 // fault windows opened over the run
+	DowntimeSec  float64 // scheduled node downtime, seconds
+	EndorseTOs   float64 // client endorsement deadline expiries
+	SubmitTOs    float64 // client submission deadline expiries
+	Orphans      float64 // txs committed after their client timed out
+	RecoverySec  float64 // mean peer post-restart replay latency, seconds
 }
 
 // Run executes build(seed) for every seed and averages the reports.
@@ -292,6 +300,12 @@ func fromReport(r metrics.Report) Result {
 		GossipEstAvg:    r.GossipEstimateAvg,
 		GossipEstFinal:  r.GossipEstimateFinal,
 		GossipStaleSec:  r.GossipStalenessAvg.Seconds(),
+		FaultWindows:    float64(r.FaultWindows),
+		DowntimeSec:     r.NodeDowntime.Seconds(),
+		EndorseTOs:      float64(r.EndorseTimeouts),
+		SubmitTOs:       float64(r.SubmitTimeouts),
+		Orphans:         float64(r.OrphanedTxs),
+		RecoverySec:     r.RecoveryAvg.Seconds(),
 	}
 	if r.Jobs > 0 {
 		res.GaveUpPct = 100 * float64(r.GaveUp) / float64(r.Jobs)
@@ -328,6 +342,12 @@ func (r Result) add(o Result) Result {
 	r.GossipEstAvg += o.GossipEstAvg
 	r.GossipEstFinal += o.GossipEstFinal
 	r.GossipStaleSec += o.GossipStaleSec
+	r.FaultWindows += o.FaultWindows
+	r.DowntimeSec += o.DowntimeSec
+	r.EndorseTOs += o.EndorseTOs
+	r.SubmitTOs += o.SubmitTOs
+	r.Orphans += o.Orphans
+	r.RecoverySec += o.RecoverySec
 	return r
 }
 
@@ -360,6 +380,12 @@ func (r Result) scale(f float64) Result {
 	r.GossipEstAvg *= f
 	r.GossipEstFinal *= f
 	r.GossipStaleSec *= f
+	r.FaultWindows *= f
+	r.DowntimeSec *= f
+	r.EndorseTOs *= f
+	r.SubmitTOs *= f
+	r.Orphans *= f
+	r.RecoverySec *= f
 	return r
 }
 

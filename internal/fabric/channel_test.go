@@ -133,6 +133,49 @@ func TestChannelRouting(t *testing.T) {
 	}
 }
 
+// TestCrossChannelGossipInteraction crosses the two decentralized
+// subsystems: a 4-channel sharded deployment with 20% two-leg
+// transactions, paced by the gossiped congestion signal
+// (hinted-gossip). The gossip rounds must actually run, the hint path
+// must engage, every chain must verify, and the combination must stay
+// deterministic.
+func TestCrossChannelGossipInteraction(t *testing.T) {
+	mk := func() Config {
+		cfg := retryConfig(11, BackpressurePolicy{MaxAttempts: 5, Jitter: 0.2})
+		cfg.Channels = 4
+		cfg.CrossChannel = 0.2
+		cfg.Gossip = &Gossip{}
+		cfg.HintSource = HintGossip
+		return cfg
+	}
+	nwA, repA := run(t, mk())
+	nwB, repB := run(t, mk())
+
+	if repA.GossipMessages == 0 || repA.GossipMerges == 0 {
+		t.Errorf("gossip idle on a sharded run: msgs=%d merges=%d",
+			repA.GossipMessages, repA.GossipMerges)
+	}
+	if repA.Jobs == 0 || repA.EventualValid+repA.GaveUp != repA.Jobs {
+		t.Errorf("job conservation broken across channels: eventual %d + gave-up %d != jobs %d",
+			repA.EventualValid, repA.GaveUp, repA.Jobs)
+	}
+	active := 0
+	for ch, chain := range nwA.Chains() {
+		if err := chain.Verify(); err != nil {
+			t.Errorf("channel %d chain verification: %v", ch, err)
+		}
+		if chain.TxCount() > 0 {
+			active++
+		}
+	}
+	if active < 2 {
+		t.Errorf("only %d of 4 channels saw traffic under gossip pacing", active)
+	}
+	if a, b := fingerprint(nwA, repA), fingerprint(nwB, repB); a != b {
+		t.Errorf("cross-channel gossip run diverged on the same seed:\n a: %s\n b: %s", a, b)
+	}
+}
+
 // testVariant is a minimal non-vanilla Variant for validation tests.
 type testVariant struct{ Vanilla }
 

@@ -246,21 +246,25 @@ func (c *clientCore) submitLeg(j *pendingTx, channel int) {
 
 	want := len(endorserOrgs)
 	var got []*ledger.Endorsement
-	failed := false
+	// done latches once the endorsement phase resolved — a proposal
+	// error, a complete endorsement set, or the client's endorsement
+	// deadline — so late responses and a late deadline are no-ops.
+	done := false
 	respond := func(e *ledger.Endorsement, err error) {
-		if failed {
+		if done {
 			return
 		}
 		if err != nil {
 			// Proposal error (chaincode rejected the call). Counted
 			// as an early abort: the attempt is dropped.
-			failed = true
+			done = true
 			c.nw.col.RecordAbort(tx.SubmitTime, c.nw.eng.Now())
 			c.legDone(j, tx.ID, ledger.AbortedInOrdering)
 			return
 		}
 		got = append(got, e)
 		if len(got) == want {
+			done = true
 			c.assemble(j, tx, channel, got)
 		}
 	}
@@ -271,6 +275,22 @@ func (c *clientCore) submitLeg(j *pendingTx, channel int) {
 			peer.Endorse(inv, channel, func(e *ledger.Endorsement, err error) {
 				c.nw.net.Send(peer.name, c.name, func() { respond(e, err) })
 			})
+		})
+	}
+
+	// Client-side endorsement deadline (Config.Faults): if a crashed
+	// or partitioned endorser keeps the set incomplete past the
+	// timeout, the attempt fails as CLIENT_TIMEOUT and feeds the
+	// normal retry path. Inert without fault injection or outcome
+	// tracking.
+	if ft := c.nw.faults; ft != nil && ft.EndorseTimeout > 0 && c.nw.tracking {
+		c.nw.eng.After(ft.EndorseTimeout, func() {
+			if done {
+				return
+			}
+			done = true
+			c.nw.col.RecordEndorseTimeout()
+			c.legDone(j, tx.ID, ledger.ClientTimeout)
 		})
 	}
 }
@@ -311,6 +331,21 @@ func (c *clientCore) assemble(j *pendingTx, tx *ledger.Transaction, channel int,
 	tx.SnapshotHeight = c.nw.chains[channel].Height()
 	orderer := os.NodeName(c.rotation[j.member])
 	c.nw.net.Send(c.name, orderer, func() { os.Submit(tx) })
+
+	// Client-side submission deadline (Config.Faults): if no commit or
+	// abort event arrives in time — the envelope died with a crashed
+	// orderer, or the event path is cut — the attempt fails as
+	// CLIENT_TIMEOUT and is retried. The pending-table check makes a
+	// late deadline a no-op; a transaction that commits after its
+	// client gave up is counted orphaned in onOutcome.
+	if ft := c.nw.faults; ft != nil && ft.SubmitTimeout > 0 && c.nw.tracking {
+		c.nw.eng.After(ft.SubmitTimeout, func() {
+			if cur, ok := c.pending[tx.ID]; ok && cur == j {
+				c.nw.col.RecordSubmitTimeout()
+				c.legDone(j, tx.ID, ledger.ClientTimeout)
+			}
+		})
+	}
 }
 
 // onOutcome handles a commit (or early-abort) event for one of this
@@ -327,6 +362,13 @@ func (c *clientCore) onOutcome(txID string, code ledger.ValidationCode, hint flo
 	}
 	j, ok := c.pending[txID]
 	if !ok {
+		// With fault injection, a Valid outcome for an attempt the
+		// client already timed out on means the transaction committed
+		// after its submitter gave up (and possibly resubmitted): an
+		// orphan — duplicate effect risk at the application layer.
+		if c.nw.faults != nil && code == ledger.Valid {
+			c.nw.col.RecordOrphan()
+		}
 		return
 	}
 	c.legDone(j, txID, code)

@@ -183,6 +183,17 @@ type Config struct {
 	// historical closed-loop behaviour. Ignored in open-loop mode.
 	ThinkTime ThinkTime
 
+	// Faults installs a deterministic fault-injection schedule: timed
+	// crash/restart windows for peers and ordering services, netem
+	// partitions, stragglers and loss regimes, a slow state-database
+	// window, and client-side endorsement/submission deadlines (see
+	// the Faults type). Schedules run on the virtual clock and draw
+	// their targets from a seed-derived rng separate from the
+	// simulation stream, so faulted runs are deterministic at any
+	// experiment parallelism. Nil (the default) disables the subsystem
+	// completely — runs are byte-identical to a build without it.
+	Faults *Faults
+
 	// Variant plugs in a Fabric fork (Fabric++, Streamchain,
 	// FabricSharp). Nil runs vanilla Fabric 1.4.
 	Variant Variant
@@ -294,6 +305,11 @@ func (c *Config) Validate() error {
 	}
 	if err := c.ThinkTime.Validate(); err != nil {
 		return err
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

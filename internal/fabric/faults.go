@@ -1,0 +1,495 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// Faults is the deterministic fault-injection schedule
+// (Config.Faults): the adverse regimes of the ChackoMJ21 failure
+// taxonomy — node crashes, partitions, message loss, stragglers, a
+// slow state database — expressed as timed windows on the virtual
+// clock plus client-side deadlines. Every window is virtual-time
+// driven, never wall-clock, so a faulted run is byte-identical at any
+// experiment parallelism.
+//
+// A schedule is either a named Scenario — expanded into concrete
+// events at network construction from the run's seed and duration —
+// or an explicit Events list; the two are mutually exclusive. Nil
+// (the default) disables the subsystem completely: no events are
+// scheduled, no rng is drawn, and runs are byte-identical to a build
+// without it, so every pre-fault golden is unchanged.
+type Faults struct {
+	// Scenario names a predefined fault script (see FaultScenarios):
+	// "crash", "partition", "flaky", "straggler", "slowdb" or "chaos".
+	// It expands into Events at NewNetwork time, with window positions
+	// fixed as fractions of Config.Duration and targets drawn from a
+	// seed-derived rng separate from the simulation stream. Empty means
+	// Events are given explicitly.
+	Scenario string
+
+	// Events is the explicit fault schedule. Mutually exclusive with
+	// Scenario.
+	Events []FaultEvent
+
+	// EndorseTimeout is the client-side deadline on collecting a
+	// policy-satisfying endorsement set: when it expires before every
+	// endorser answered, the attempt fails as CLIENT_TIMEOUT and feeds
+	// the retry path. 0 disables the deadline. Crash/partition
+	// scenarios default it to 1s. Requires outcome tracking (a retry
+	// policy or closed-loop mode), like every other client reaction.
+	EndorseTimeout time.Duration
+
+	// SubmitTimeout is the client-side deadline between envelope
+	// submission and the commit (or abort) event: when it expires
+	// first, the attempt fails as CLIENT_TIMEOUT and is retried —
+	// a transaction that later commits anyway is counted orphaned.
+	// 0 disables the deadline. Crash/partition scenarios default it
+	// to 4s.
+	SubmitTimeout time.Duration
+}
+
+// FaultKind names one fault primitive.
+type FaultKind string
+
+const (
+	// FaultCrashPeer crashes one peer: its in-flight endorsements and
+	// queued commits are dropped, unreliable messages from and to it
+	// are black-holed, and on restart it replays the block suffix it
+	// missed from the (durable) ledger stream.
+	FaultCrashPeer FaultKind = "crash-peer"
+	// FaultCrashOrderer crashes one channel's ordering service: the
+	// pending batch and everything in flight is lost (clients recover
+	// via SubmitTimeout); the cut chain itself is durable, so the
+	// restarted service continues at the same block number and prev
+	// hash.
+	FaultCrashOrderer FaultKind = "crash-orderer"
+	// FaultPartition cuts one organization's peers off from the rest
+	// of the cluster for the window.
+	FaultPartition FaultKind = "partition"
+	// FaultStraggler injects an extra delay distribution (Extra) on
+	// one peer's links for the window — the Pumba emulation of §5.1.7
+	// as a transient regime.
+	FaultStraggler FaultKind = "straggler"
+	// FaultLoss drops each unreliable message touching one peer with
+	// probability Factor for the window.
+	FaultLoss FaultKind = "loss"
+	// FaultSlowDB multiplies every state-database operation cost by
+	// Factor for the window — a compacting/overloaded CouchDB.
+	FaultSlowDB FaultKind = "slowdb"
+)
+
+// FaultEvent is one timed fault window: Kind applied at At for For,
+// then reverted. Targets index into the network's topology (peer
+// index, channel index for the orderer, org index for partitions) and
+// wrap modulo the respective count, so schedules stay valid across
+// cluster sizes.
+type FaultEvent struct {
+	Kind FaultKind
+	At   time.Duration // window start, virtual time
+	For  time.Duration // window length
+
+	// Target selects the victim: peer index (crash-peer, straggler,
+	// loss), channel index (crash-orderer), or org index (partition).
+	// Ignored by slowdb.
+	Target int
+
+	// Factor parameterizes loss (drop probability in (0,1]) and slowdb
+	// (cost multiplier >= 1).
+	Factor float64
+
+	// Extra is the straggler's injected delay distribution.
+	Extra netem.Link
+}
+
+// FaultScenarios lists the predefined scenario names in display order.
+func FaultScenarios() []string {
+	return []string{"crash", "partition", "flaky", "straggler", "slowdb", "chaos"}
+}
+
+func knownScenario(s string) bool {
+	for _, name := range FaultScenarios() {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate reports configuration errors with the offending values and
+// their units.
+func (f *Faults) Validate() error {
+	if f.Scenario != "" && !knownScenario(f.Scenario) {
+		return fmt.Errorf("fabric: unknown fault scenario %q, want one of %s",
+			f.Scenario, strings.Join(FaultScenarios(), ", "))
+	}
+	if f.Scenario != "" && len(f.Events) > 0 {
+		return fmt.Errorf("fabric: fault scenario %q and %d explicit events are mutually exclusive",
+			f.Scenario, len(f.Events))
+	}
+	if f.EndorseTimeout < 0 {
+		return fmt.Errorf("fabric: endorsement timeout must be >= 0, got %v", f.EndorseTimeout)
+	}
+	if f.SubmitTimeout < 0 {
+		return fmt.Errorf("fabric: submission timeout must be >= 0, got %v", f.SubmitTimeout)
+	}
+	for i, ev := range f.Events {
+		if err := ev.validate(); err != nil {
+			return fmt.Errorf("fabric: fault event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (ev FaultEvent) validate() error {
+	switch ev.Kind {
+	case FaultCrashPeer, FaultCrashOrderer, FaultPartition, FaultStraggler, FaultLoss, FaultSlowDB:
+	default:
+		return fmt.Errorf("unknown fault kind %q", string(ev.Kind))
+	}
+	switch {
+	case ev.At < 0:
+		return fmt.Errorf("window start must be >= 0, got %v", ev.At)
+	case ev.For <= 0:
+		return fmt.Errorf("window length must be positive, got %v", ev.For)
+	case ev.Target < 0:
+		return fmt.Errorf("target index must be >= 0, got %d", ev.Target)
+	}
+	switch ev.Kind {
+	case FaultLoss:
+		if ev.Factor <= 0 || ev.Factor > 1 {
+			return fmt.Errorf("loss probability must be in (0,1], got %g", ev.Factor)
+		}
+	case FaultSlowDB:
+		if ev.Factor < 1 {
+			return fmt.Errorf("slowdb cost multiplier must be >= 1, got %g", ev.Factor)
+		}
+	case FaultStraggler:
+		if ev.Extra.Base <= 0 {
+			return fmt.Errorf("straggler extra delay must be positive, got %v", ev.Extra.Base)
+		}
+		if ev.Extra.Jitter < 0 || ev.Extra.Jitter > ev.Extra.Base {
+			return fmt.Errorf("straggler jitter must be in [0, base %v], got %v", ev.Extra.Base, ev.Extra.Jitter)
+		}
+	}
+	return nil
+}
+
+// Name labels the schedule in experiment tables and run summaries:
+// the scenario name, or "faults(<n>ev)" for an explicit list.
+func (f *Faults) Name() string {
+	if f.Scenario != "" {
+		return f.Scenario
+	}
+	return fmt.Sprintf("faults(%dev)", len(f.Events))
+}
+
+// faultSeedSalt decorrelates the fault-target rng from the engine
+// stream and from the other seed-derived streams (channel replicas,
+// validators).
+const faultSeedSalt = 0x5fa017
+
+// resolve expands a scenario into concrete events for a deployment of
+// the given size. Window positions are fixed fractions of the run
+// duration; victims are drawn from a seed-derived rng that is separate
+// from the engine stream, so the fault schedule never perturbs the
+// workload's randomness. Explicit Events pass through unchanged.
+// Crash and partition scenarios default the client deadlines
+// (EndorseTimeout 1s, SubmitTimeout 4s) when unset, since without them
+// clients would hang on work the fault destroyed.
+func (f Faults) resolve(seed int64, dur time.Duration, peers, orgs, channels int) Faults {
+	if f.Scenario == "" {
+		return f
+	}
+	rng := rand.New(rand.NewSource(seed*31 + faultSeedSalt))
+	frac := func(x float64) time.Duration { return time.Duration(x * float64(dur)) }
+	peer := func() int { return rng.Intn(peers) }
+	// Partition victims avoid org 0, whose first peer is the metrics
+	// peer and event hub: cutting it off would measure event-plumbing
+	// loss, not partition behaviour.
+	org := func() int {
+		if orgs < 2 {
+			return 0
+		}
+		return 1 + rng.Intn(orgs-1)
+	}
+	deadlines := false
+	switch f.Scenario {
+	case "crash":
+		f.Events = []FaultEvent{
+			{Kind: FaultCrashOrderer, At: frac(0.25), For: frac(0.15), Target: rng.Intn(channels)},
+			{Kind: FaultCrashPeer, At: frac(0.55), For: frac(0.15), Target: peer()},
+		}
+		deadlines = true
+	case "partition":
+		f.Events = []FaultEvent{
+			{Kind: FaultPartition, At: frac(0.3), For: frac(0.25), Target: org()},
+		}
+		deadlines = true
+	case "flaky":
+		f.Events = []FaultEvent{
+			{Kind: FaultLoss, At: frac(0.2), For: frac(0.6), Target: peer(), Factor: 0.1},
+		}
+		deadlines = true
+	case "straggler":
+		f.Events = []FaultEvent{
+			{Kind: FaultStraggler, At: frac(0.25), For: frac(0.5), Target: peer(),
+				Extra: netem.Link{Base: 100 * time.Millisecond, Jitter: 10 * time.Millisecond}},
+		}
+	case "slowdb":
+		f.Events = []FaultEvent{
+			{Kind: FaultSlowDB, At: frac(0.3), For: frac(0.4), Factor: 4},
+		}
+	case "chaos":
+		f.Events = []FaultEvent{
+			{Kind: FaultCrashOrderer, At: frac(0.2), For: frac(0.1), Target: rng.Intn(channels)},
+			{Kind: FaultPartition, At: frac(0.4), For: frac(0.15), Target: org()},
+			{Kind: FaultCrashPeer, At: frac(0.6), For: frac(0.1), Target: peer()},
+			{Kind: FaultLoss, At: frac(0.75), For: frac(0.15), Target: peer(), Factor: 0.1},
+		}
+		deadlines = true
+	}
+	f.Scenario = ""
+	if deadlines {
+		if f.EndorseTimeout == 0 {
+			f.EndorseTimeout = time.Second
+		}
+		if f.SubmitTimeout == 0 {
+			f.SubmitTimeout = 4 * time.Second
+		}
+	}
+	return f
+}
+
+// ParseFaults parses the CLI `-faults` spec. "off" (or "") disables
+// fault injection. A bare scenario name ("crash", "chaos", ...)
+// selects that predefined script. Otherwise the spec is a
+// comma-separated clause list:
+//
+//	kind[:target]@start+dur[:param]   one fault window
+//	etimeout=DUR                      client endorsement deadline
+//	stimeout=DUR                      client submission deadline
+//
+// where kind is crash-peer, crash-orderer, partition, straggler, loss
+// or slowdb; target is the victim index (peer, channel or org,
+// defaulting to 0); start and dur are Go durations on the virtual
+// clock; and param is kind-specific — straggler "base[~jitter]"
+// (default 100ms~10ms), loss drop probability (default 0.1), slowdb
+// cost multiplier (default 4). Example:
+//
+//	crash-peer:1@5s+10s,partition:1@20s+5s,etimeout=2s,stimeout=4s
+func ParseFaults(s string) (*Faults, error) {
+	switch strings.ToLower(s) {
+	case "", "off":
+		return nil, nil
+	}
+	if knownScenario(s) {
+		return &Faults{Scenario: s}, nil
+	}
+	var f Faults
+	for _, clause := range strings.Split(s, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			return nil, fmt.Errorf("fabric: faults %q: empty clause", s)
+		}
+		if v, ok := strings.CutPrefix(clause, "etimeout="); ok {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return nil, fmt.Errorf("fabric: faults endorsement timeout %q: %w", v, err)
+			}
+			f.EndorseTimeout = d
+			continue
+		}
+		if v, ok := strings.CutPrefix(clause, "stimeout="); ok {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return nil, fmt.Errorf("fabric: faults submission timeout %q: %w", v, err)
+			}
+			f.SubmitTimeout = d
+			continue
+		}
+		ev, err := parseFaultEvent(clause)
+		if err != nil {
+			return nil, err
+		}
+		f.Events = append(f.Events, ev)
+	}
+	return &f, f.Validate()
+}
+
+// parseFaultEvent parses one `kind[:target]@start+dur[:param]` clause.
+func parseFaultEvent(clause string) (FaultEvent, error) {
+	var ev FaultEvent
+	head, tail, ok := strings.Cut(clause, "@")
+	if !ok {
+		return ev, fmt.Errorf("fabric: fault clause %q: want kind[:target]@start+dur[:param]", clause)
+	}
+	kind, target, hasTarget := strings.Cut(head, ":")
+	ev.Kind = FaultKind(kind)
+	if hasTarget {
+		n, err := strconv.Atoi(target)
+		if err != nil {
+			return ev, fmt.Errorf("fabric: fault target %q: %w", target, err)
+		}
+		ev.Target = n
+	}
+	startStr, durStr, ok := strings.Cut(tail, "+")
+	if !ok {
+		return ev, fmt.Errorf("fabric: fault window %q: want start+dur", tail)
+	}
+	start, err := time.ParseDuration(startStr)
+	if err != nil {
+		return ev, fmt.Errorf("fabric: fault window start %q: %w", startStr, err)
+	}
+	ev.At = start
+	durStr, param, hasParam := strings.Cut(durStr, ":")
+	d, err := time.ParseDuration(durStr)
+	if err != nil {
+		return ev, fmt.Errorf("fabric: fault window length %q: %w", durStr, err)
+	}
+	ev.For = d
+
+	switch ev.Kind {
+	case FaultStraggler:
+		ev.Extra = netem.Link{Base: 100 * time.Millisecond, Jitter: 10 * time.Millisecond}
+		if hasParam {
+			baseStr, jitStr, hasJitter := strings.Cut(param, "~")
+			base, err := time.ParseDuration(baseStr)
+			if err != nil {
+				return ev, fmt.Errorf("fabric: straggler delay %q: %w", baseStr, err)
+			}
+			ev.Extra = netem.Link{Base: base}
+			if hasJitter {
+				jit, err := time.ParseDuration(jitStr)
+				if err != nil {
+					return ev, fmt.Errorf("fabric: straggler jitter %q: %w", jitStr, err)
+				}
+				ev.Extra.Jitter = jit
+			}
+		}
+	case FaultLoss:
+		ev.Factor = 0.1
+		if hasParam {
+			p, err := strconv.ParseFloat(param, 64)
+			if err != nil {
+				return ev, fmt.Errorf("fabric: loss probability %q: %w", param, err)
+			}
+			ev.Factor = p
+		}
+	case FaultSlowDB:
+		ev.Factor = 4
+		if hasParam {
+			x, err := strconv.ParseFloat(param, 64)
+			if err != nil {
+				return ev, fmt.Errorf("fabric: slowdb multiplier %q: %w", param, err)
+			}
+			ev.Factor = x
+		}
+	default:
+		if hasParam {
+			return ev, fmt.Errorf("fabric: fault kind %q takes no parameter, got %q", string(ev.Kind), param)
+		}
+	}
+	return ev, ev.validate()
+}
+
+// scheduleFaults arms the resolved fault schedule on the virtual
+// clock: each event applies at its window start and reverts at its
+// end. Called once from NewNetwork; with Config.Faults nil it is never
+// called, so fault-free runs schedule zero events and draw zero rng.
+func (nw *Network) scheduleFaults() {
+	for _, ev := range nw.faults.Events {
+		ev := ev
+		nw.eng.At(sim.Time(ev.At), func() { nw.applyFault(ev) })
+		nw.eng.At(sim.Time(ev.At+ev.For), func() { nw.revertFault(ev) })
+	}
+}
+
+// applyFault opens one fault window.
+func (nw *Network) applyFault(ev FaultEvent) {
+	nw.col.RecordFaultWindow()
+	switch ev.Kind {
+	case FaultCrashPeer:
+		p := nw.peers[ev.Target%len(nw.peers)]
+		nw.col.RecordNodeDown(ev.For)
+		p.crash()
+		nw.net.SetDown(p.name, true)
+	case FaultCrashOrderer:
+		os := nw.orderers[ev.Target%len(nw.orderers)]
+		nw.col.RecordNodeDown(ev.For)
+		os.crash()
+		for _, n := range os.nodeNames {
+			nw.net.SetDown(n, true)
+		}
+	case FaultPartition:
+		org := nw.orgs[ev.Target%len(nw.orgs)]
+		var island []string
+		for _, p := range nw.peers {
+			if p.org == org {
+				island = append(island, p.name)
+			}
+		}
+		nw.net.Partition(island)
+	case FaultStraggler:
+		p := nw.peers[ev.Target%len(nw.peers)]
+		nw.net.Inject(p.name, ev.Extra)
+	case FaultLoss:
+		p := nw.peers[ev.Target%len(nw.peers)]
+		nw.net.SetLoss(p.name, ev.Factor)
+	case FaultSlowDB:
+		nw.savedDBCosts = nw.dbCosts
+		nw.dbCosts = scaleDBCosts(nw.dbCosts, ev.Factor)
+	}
+}
+
+// revertFault closes one fault window: crashed nodes restart,
+// partitions heal, regimes lift.
+func (nw *Network) revertFault(ev FaultEvent) {
+	switch ev.Kind {
+	case FaultCrashPeer:
+		p := nw.peers[ev.Target%len(nw.peers)]
+		nw.net.SetDown(p.name, false)
+		p.restart()
+	case FaultCrashOrderer:
+		os := nw.orderers[ev.Target%len(nw.orderers)]
+		for _, n := range os.nodeNames {
+			nw.net.SetDown(n, false)
+		}
+		os.restart()
+	case FaultPartition:
+		nw.net.Heal()
+	case FaultStraggler:
+		p := nw.peers[ev.Target%len(nw.peers)]
+		nw.net.Inject(p.name, netem.Link{})
+	case FaultLoss:
+		p := nw.peers[ev.Target%len(nw.peers)]
+		nw.net.SetLoss(p.name, 0)
+	case FaultSlowDB:
+		nw.dbCosts = nw.savedDBCosts
+	}
+}
+
+// scaleDBCosts multiplies every state-database operation cost by f
+// (the slowdb regime).
+func scaleDBCosts(c costmodel.DBCosts, f float64) costmodel.DBCosts {
+	s := func(d time.Duration) time.Duration { return time.Duration(float64(d) * f) }
+	c.Get = s(c.Get)
+	c.Put = s(c.Put)
+	c.Delete = s(c.Delete)
+	c.RangeBase = s(c.RangeBase)
+	c.RangePerKey = s(c.RangePerKey)
+	c.QueryBase = s(c.QueryBase)
+	c.QueryPerDoc = s(c.QueryPerDoc)
+	c.CommitBase = s(c.CommitBase)
+	c.CommitWrite = s(c.CommitWrite)
+	c.ValRangeBase = s(c.ValRangeBase)
+	c.ValRangePerKey = s(c.ValRangePerKey)
+	return c
+}

@@ -1,0 +1,419 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+)
+
+// faultConfig is retryConfig (backoff retries, so outcome tracking is
+// on) with a fault schedule.
+func faultConfig(seed int64, f *Faults) Config {
+	cfg := retryConfig(seed, ExponentialBackoff{
+		Initial: 200 * time.Millisecond, Cap: 2 * time.Second,
+		MaxAttempts: 5, Jitter: 0.2,
+	})
+	cfg.Faults = f
+	return cfg
+}
+
+// TestFaultScheduleDeterminism pins the subsystem to the repo's core
+// guarantee: the same seed reproduces the same faulted run exactly —
+// crash windows, replay, deadlines, the lot.
+func TestFaultScheduleDeterminism(t *testing.T) {
+	mk := func() Config { return faultConfig(3, &Faults{Scenario: "crash"}) }
+	nwA, repA := run(t, mk())
+	nwB, repB := run(t, mk())
+	a := fingerprint(nwA, repA)
+	b := fingerprint(nwB, repB)
+	if a != b {
+		t.Errorf("same seed diverged under the crash scenario:\n a: %s\n b: %s", a, b)
+	}
+	if repA.FaultWindows != 2 || repA.NodeCrashes != 2 {
+		t.Errorf("crash scenario opened %d windows / %d crashes, want 2/2",
+			repA.FaultWindows, repA.NodeCrashes)
+	}
+}
+
+// TestPeerCrashRecovery crashes one endorsing peer for a window and
+// checks the lifecycle contract: downtime is accounted, the peer
+// replays the ledger suffix it missed on restart (a recovery with a
+// positive latency), it ends the run up, and the chain still verifies.
+func TestPeerCrashRecovery(t *testing.T) {
+	cfg := faultConfig(4, &Faults{
+		Events: []FaultEvent{
+			{Kind: FaultCrashPeer, At: 5 * time.Second, For: 5 * time.Second, Target: 3},
+		},
+		EndorseTimeout: time.Second,
+	})
+	nw, rep := run(t, cfg)
+
+	if rep.NodeCrashes != 1 || rep.NodeDowntime != 5*time.Second {
+		t.Errorf("crashes=%d downtime=%v, want 1 crash with 5s scheduled downtime",
+			rep.NodeCrashes, rep.NodeDowntime)
+	}
+	if rep.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1 (the peer must have missed blocks)", rep.Recoveries)
+	}
+	if rep.RecoveryAvg <= 0 || rep.RecoveryMax < rep.RecoveryAvg {
+		t.Errorf("recovery avg=%v max=%v, want positive replay latency", rep.RecoveryAvg, rep.RecoveryMax)
+	}
+	p := nw.peers[3]
+	if p.State() != NodeUp {
+		t.Errorf("peer ended the run %v, want up", p.State())
+	}
+	// The replayed peer holds the same committed height as the rest.
+	for _, other := range nw.peers {
+		if other.committedBlocks != p.committedBlocks {
+			t.Errorf("peer %s committed %d blocks, restarted peer %d — replay incomplete",
+				other.name, other.committedBlocks, p.committedBlocks)
+		}
+	}
+	if err := nw.Chain().Verify(); err != nil {
+		t.Errorf("chain verification after crash/replay: %v", err)
+	}
+}
+
+// TestOrdererCrashSubmitTimeouts crashes the ordering service for a
+// window: envelopes submitted into the outage vanish with the pending
+// batch, so the clients' submission deadline is what rescues them.
+func TestOrdererCrashSubmitTimeouts(t *testing.T) {
+	nw, rep := run(t, faultConfig(5, &Faults{
+		Events: []FaultEvent{
+			{Kind: FaultCrashOrderer, At: 5 * time.Second, For: 5 * time.Second},
+		},
+		SubmitTimeout: time.Second,
+	}))
+	if rep.NodeCrashes != 1 {
+		t.Errorf("crashes = %d, want 1", rep.NodeCrashes)
+	}
+	if rep.SubmitTimeouts == 0 {
+		t.Error("no submission timeouts during a 5s orderer outage")
+	}
+	if nw.Orderer().State() != NodeUp {
+		t.Errorf("orderer ended the run %v, want up", nw.Orderer().State())
+	}
+	// Chain continuity: the restarted service continued the same chain.
+	if err := nw.Chain().Verify(); err != nil {
+		t.Errorf("chain verification after orderer crash: %v", err)
+	}
+	if rep.Blocks == 0 || rep.Committed == 0 {
+		t.Error("nothing committed around the outage")
+	}
+}
+
+// TestPartitionEndorseTimeouts cuts org 1 off: endorsement policies
+// needing that org can no longer be satisfied inside the window, so
+// the endorsement deadline fires and the attempts feed the retry path.
+func TestPartitionEndorseTimeouts(t *testing.T) {
+	_, rep := run(t, faultConfig(6, &Faults{
+		Events: []FaultEvent{
+			{Kind: FaultPartition, At: 5 * time.Second, For: 6 * time.Second, Target: 1},
+		},
+		EndorseTimeout: time.Second,
+	}))
+	if rep.FaultWindows != 1 {
+		t.Errorf("fault windows = %d, want 1", rep.FaultWindows)
+	}
+	if rep.EndorseTimeouts == 0 {
+		t.Error("no endorsement timeouts during a 6s partition of org 1")
+	}
+	if rep.NodeCrashes != 0 || rep.Recoveries != 0 {
+		t.Errorf("a partition is not a crash: crashes=%d recoveries=%d",
+			rep.NodeCrashes, rep.Recoveries)
+	}
+}
+
+// TestSlowDBRegimeRaisesLatency compares a healthy run against the
+// slowdb scenario (every state-database cost ×4 for 40%% of the run):
+// average commit latency must rise, and the regime must lift cleanly
+// (the window count says it was applied, determinism says reverting
+// restored the exact cost model).
+func TestSlowDBRegimeRaisesLatency(t *testing.T) {
+	_, healthy := run(t, faultConfig(7, nil))
+	_, slow := run(t, faultConfig(7, &Faults{Scenario: "slowdb"}))
+	if slow.FaultWindows != 1 {
+		t.Fatalf("slowdb windows = %d, want 1", slow.FaultWindows)
+	}
+	if slow.AvgLatency <= healthy.AvgLatency {
+		t.Errorf("slowdb latency %v <= healthy %v, want a visible slowdown",
+			slow.AvgLatency, healthy.AvgLatency)
+	}
+	if slow.NodeCrashes != 0 || slow.EndorseTimeouts != 0 {
+		t.Errorf("slowdb scenario should not crash nodes or arm deadlines: %d crashes, %d etos",
+			slow.NodeCrashes, slow.EndorseTimeouts)
+	}
+}
+
+// TestStragglerRegime smokes the transient straggler: one peer's links
+// carry an extra 100ms±10ms for half the run. The run must stay
+// deterministic and the window accounted.
+func TestStragglerRegime(t *testing.T) {
+	mk := func() Config { return faultConfig(8, &Faults{Scenario: "straggler"}) }
+	nwA, repA := run(t, mk())
+	nwB, repB := run(t, mk())
+	if repA.FaultWindows != 1 {
+		t.Errorf("straggler windows = %d, want 1", repA.FaultWindows)
+	}
+	if a, b := fingerprint(nwA, repA), fingerprint(nwB, repB); a != b {
+		t.Errorf("straggler run diverged on the same seed:\n a: %s\n b: %s", a, b)
+	}
+	_, healthy := run(t, faultConfig(8, nil))
+	if repA.AvgLatency <= healthy.AvgLatency {
+		t.Errorf("straggler latency %v <= healthy %v", repA.AvgLatency, healthy.AvgLatency)
+	}
+}
+
+// TestOrphanedTransactions forces orphans with a submission deadline
+// far below the commit latency: clients give up on attempts that then
+// commit as valid anyway, and the collector counts each one.
+func TestOrphanedTransactions(t *testing.T) {
+	_, rep := run(t, faultConfig(9, &Faults{
+		Events: []FaultEvent{
+			// A nominal window keeps the schedule non-empty; the orphans
+			// come from the deadline alone.
+			{Kind: FaultSlowDB, At: 5 * time.Second, For: 2 * time.Second, Factor: 2},
+		},
+		SubmitTimeout: 200 * time.Millisecond,
+	}))
+	if rep.SubmitTimeouts == 0 {
+		t.Fatal("a 200ms submission deadline under ~500ms commit latency never fired")
+	}
+	if rep.OrphanedTxs == 0 {
+		t.Error("no orphans: transactions abandoned client-side must still commit chain-side")
+	}
+}
+
+// TestMultiChannelOrdererCrash crosses faults with sharding: on a
+// 3-channel deployment, crashing ordering service 1 must leave the
+// other channels cutting blocks, and every chain must still verify.
+func TestMultiChannelOrdererCrash(t *testing.T) {
+	cfg := faultConfig(10, &Faults{
+		Events: []FaultEvent{
+			{Kind: FaultCrashOrderer, At: 5 * time.Second, For: 5 * time.Second, Target: 1},
+		},
+		SubmitTimeout: time.Second,
+	})
+	cfg.Channels = 3
+	nw, rep := run(t, cfg)
+
+	if rep.NodeCrashes != 1 {
+		t.Errorf("crashes = %d, want 1", rep.NodeCrashes)
+	}
+	for ch, chain := range nw.Chains() {
+		if err := chain.Verify(); err != nil {
+			t.Errorf("channel %d chain verification: %v", ch, err)
+		}
+		if chain.TxCount() == 0 {
+			t.Errorf("channel %d committed nothing", ch)
+		}
+	}
+	for i, os := range nw.Orderers() {
+		if os.State() != NodeUp {
+			t.Errorf("orderer %d ended the run %v, want up", i, os.State())
+		}
+	}
+}
+
+// TestValidateFaultsKnobs table-tests Config.Validate over the fault
+// knobs, including the unit-bearing messages, in the style of
+// TestValidateScaleKnobs.
+func TestValidateFaultsKnobs(t *testing.T) {
+	window := func(ev FaultEvent) *Faults { return &Faults{Events: []FaultEvent{ev}} }
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr string // substring; "" = must validate
+	}{
+		{"nil faults", func(c *Config) { c.Faults = nil }, ""},
+		{"crash scenario", func(c *Config) { c.Faults = &Faults{Scenario: "crash"} }, ""},
+		{"explicit window", func(c *Config) {
+			c.Faults = window(FaultEvent{Kind: FaultCrashPeer, At: time.Second, For: time.Second})
+		}, ""},
+		{"deadlines only", func(c *Config) {
+			c.Faults = &Faults{EndorseTimeout: time.Second, SubmitTimeout: 4 * time.Second}
+		}, ""},
+		{"unknown scenario", func(c *Config) { c.Faults = &Faults{Scenario: "meteor"} },
+			`unknown fault scenario "meteor"`},
+		{"scenario plus events", func(c *Config) {
+			c.Faults = &Faults{Scenario: "crash",
+				Events: []FaultEvent{{Kind: FaultCrashPeer, At: 0, For: time.Second}}}
+		}, "mutually exclusive"},
+		{"negative endorse timeout", func(c *Config) {
+			c.Faults = &Faults{EndorseTimeout: -time.Second}
+		}, "endorsement timeout must be >= 0, got -1s"},
+		{"negative submit timeout", func(c *Config) {
+			c.Faults = &Faults{SubmitTimeout: -2 * time.Second}
+		}, "submission timeout must be >= 0, got -2s"},
+		{"unknown kind", func(c *Config) {
+			c.Faults = window(FaultEvent{Kind: "meltdown", At: 0, For: time.Second})
+		}, `unknown fault kind "meltdown"`},
+		{"negative window start", func(c *Config) {
+			c.Faults = window(FaultEvent{Kind: FaultCrashPeer, At: -time.Second, For: time.Second})
+		}, "window start must be >= 0, got -1s"},
+		{"zero window length", func(c *Config) {
+			c.Faults = window(FaultEvent{Kind: FaultCrashPeer, At: time.Second})
+		}, "window length must be positive, got 0s"},
+		{"negative target", func(c *Config) {
+			c.Faults = window(FaultEvent{Kind: FaultCrashPeer, At: 0, For: time.Second, Target: -1})
+		}, "target index must be >= 0, got -1"},
+		{"loss probability zero", func(c *Config) {
+			c.Faults = window(FaultEvent{Kind: FaultLoss, At: 0, For: time.Second})
+		}, "loss probability must be in (0,1], got 0"},
+		{"loss probability above one", func(c *Config) {
+			c.Faults = window(FaultEvent{Kind: FaultLoss, At: 0, For: time.Second, Factor: 1.5})
+		}, "loss probability must be in (0,1], got 1.5"},
+		{"slowdb below one", func(c *Config) {
+			c.Faults = window(FaultEvent{Kind: FaultSlowDB, At: 0, For: time.Second, Factor: 0.5})
+		}, "slowdb cost multiplier must be >= 1, got 0.5"},
+		{"straggler no delay", func(c *Config) {
+			c.Faults = window(FaultEvent{Kind: FaultStraggler, At: 0, For: time.Second})
+		}, "straggler extra delay must be positive, got 0s"},
+		{"straggler jitter beyond base", func(c *Config) {
+			c.Faults = window(FaultEvent{Kind: FaultStraggler, At: 0, For: time.Second,
+				Extra: netem.Link{Base: 10 * time.Millisecond, Jitter: 20 * time.Millisecond}})
+		}, "straggler jitter must be in [0, base 10ms], got 20ms"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig(1)
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected validation error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validation accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseFaults table-tests the -faults grammar.
+func TestParseFaults(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    *Faults
+		wantErr string // substring; "" = must parse
+	}{
+		{"", nil, ""},
+		{"off", nil, ""},
+		{"crash", &Faults{Scenario: "crash"}, ""},
+		{"chaos", &Faults{Scenario: "chaos"}, ""},
+		{"crash-peer:1@5s+10s", &Faults{Events: []FaultEvent{
+			{Kind: FaultCrashPeer, At: 5 * time.Second, For: 10 * time.Second, Target: 1},
+		}}, ""},
+		{"crash-orderer@1s+2s,etimeout=2s,stimeout=4s", &Faults{
+			Events: []FaultEvent{
+				{Kind: FaultCrashOrderer, At: time.Second, For: 2 * time.Second},
+			},
+			EndorseTimeout: 2 * time.Second,
+			SubmitTimeout:  4 * time.Second,
+		}, ""},
+		{"loss:2@1s+4s:0.2", &Faults{Events: []FaultEvent{
+			{Kind: FaultLoss, At: time.Second, For: 4 * time.Second, Target: 2, Factor: 0.2},
+		}}, ""},
+		{"loss@1s+4s", &Faults{Events: []FaultEvent{
+			{Kind: FaultLoss, At: time.Second, For: 4 * time.Second, Factor: 0.1},
+		}}, ""},
+		{"slowdb@1s+2s:8", &Faults{Events: []FaultEvent{
+			{Kind: FaultSlowDB, At: time.Second, For: 2 * time.Second, Factor: 8},
+		}}, ""},
+		{"straggler:3@1s+2s:50ms~5ms", &Faults{Events: []FaultEvent{
+			{Kind: FaultStraggler, At: time.Second, For: 2 * time.Second, Target: 3,
+				Extra: netem.Link{Base: 50 * time.Millisecond, Jitter: 5 * time.Millisecond}},
+		}}, ""},
+		{"straggler@1s+2s", &Faults{Events: []FaultEvent{
+			{Kind: FaultStraggler, At: time.Second, For: 2 * time.Second,
+				Extra: netem.Link{Base: 100 * time.Millisecond, Jitter: 10 * time.Millisecond}},
+		}}, ""},
+		{"bogus", nil, "want kind[:target]@start+dur[:param]"},
+		{"crash-peer@5s", nil, "want start+dur"},
+		{"crash-peer:x@5s+1s", nil, "fault target"},
+		{"crash-peer@5s+1s:3", nil, "takes no parameter"},
+		{"loss@1s+2s:nope", nil, "loss probability"},
+		{"loss@1s+2s:2", nil, "must be in (0,1]"},
+		{"etimeout=fast", nil, "endorsement timeout"},
+		{"stimeout=", nil, "submission timeout"},
+		{"crash,partition", nil, "want kind[:target]@start+dur[:param]"},
+		{",", nil, "empty clause"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.in, func(t *testing.T) {
+			got, err := ParseFaults(tc.in)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("ParseFaults(%q) accepted, want error mentioning %q", tc.in, tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseFaults(%q): %v", tc.in, err)
+			}
+			if (got == nil) != (tc.want == nil) {
+				t.Fatalf("ParseFaults(%q) = %+v, want %+v", tc.in, got, tc.want)
+			}
+			if got == nil {
+				return
+			}
+			if got.Scenario != tc.want.Scenario ||
+				got.EndorseTimeout != tc.want.EndorseTimeout ||
+				got.SubmitTimeout != tc.want.SubmitTimeout ||
+				len(got.Events) != len(tc.want.Events) {
+				t.Fatalf("ParseFaults(%q) = %+v, want %+v", tc.in, got, tc.want)
+			}
+			for i := range got.Events {
+				if got.Events[i] != tc.want.Events[i] {
+					t.Errorf("event %d = %+v, want %+v", i, got.Events[i], tc.want.Events[i])
+				}
+			}
+		})
+	}
+}
+
+// FuzzFaultSpec fuzzes the -faults parser: it must never panic, and
+// anything it accepts must validate and carry a printable name (the
+// same contract the CLI relies on).
+func FuzzFaultSpec(f *testing.F) {
+	for _, seed := range []string{
+		"", "off", "crash", "chaos", "slowdb",
+		"crash-peer:1@5s+10s,etimeout=2s",
+		"partition:1@2s+3s",
+		"loss:0@1s+4s:0.2",
+		"straggler:2@1s+2s:100ms~10ms",
+		"slowdb@1s+2s:4",
+		"crash-orderer@1s+2s,stimeout=4s",
+		"bogus", "crash-peer@5s", "loss@1s+2s:2", ",", "etimeout=",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		flt, err := ParseFaults(s)
+		if err != nil {
+			if flt != nil {
+				t.Errorf("ParseFaults(%q) returned both a schedule and %v", s, err)
+			}
+			return
+		}
+		if flt == nil {
+			return // disabled
+		}
+		if verr := flt.Validate(); verr != nil {
+			t.Errorf("ParseFaults(%q) accepted a schedule that fails Validate: %v", s, verr)
+		}
+		if flt.Name() == "" {
+			t.Errorf("ParseFaults(%q): empty schedule name", s)
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package fabric
+
+// NodeState is a node's position in the crash/restart lifecycle that
+// the fault scheduler drives. Every node starts NodeUp; a crash window
+// moves it to NodeCrashed (in-flight work is dropped and the netem
+// layer black-holes its unreliable traffic); the window's end restarts
+// it — a peer with missed blocks passes through NodeRestarting while
+// it replays the ledger suffix it missed, everything else returns to
+// NodeUp directly.
+type NodeState int
+
+const (
+	// NodeUp is the healthy steady state.
+	NodeUp NodeState = iota
+	// NodeCrashed means the process is gone: queued and in-flight work
+	// died with it, and new unreliable messages are dropped.
+	NodeCrashed
+	// NodeRestarting means the process is back but still replaying the
+	// ledger suffix it missed while down; it turns NodeUp when the
+	// replay commits.
+	NodeRestarting
+)
+
+// String names the state for diagnostics.
+func (s NodeState) String() string {
+	switch s {
+	case NodeUp:
+		return "up"
+	case NodeCrashed:
+		return "crashed"
+	case NodeRestarting:
+		return "restarting"
+	default:
+		return "unknown"
+	}
+}
+
+// lifecycleNode is the node-lifecycle interface the fault scheduler
+// operates on: peers and ordering services implement it. crash drops
+// all in-flight work (epoch-guarded closures die silently); restart
+// resumes from durable state — the peer replays missed blocks from
+// the deliver stream, the orderer continues its hash chain at the
+// retained block number. The central validator deliberately does not
+// implement it: it is a network-wide memoization of the deterministic
+// validation outcome, not a process that can crash.
+type lifecycleNode interface {
+	// NodeID is the node's primary network name.
+	NodeID() string
+	// State reports the current lifecycle state.
+	State() NodeState
+	crash()
+	restart()
+}
+
+var (
+	_ lifecycleNode = (*Peer)(nil)
+	_ lifecycleNode = (*OrderingService)(nil)
+)

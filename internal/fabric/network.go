@@ -61,6 +61,14 @@ type Network struct {
 	// hintSrc is the resolved hint producer (Config.HintSource; the
 	// zero value resolves to the orderer, the PR-4 behaviour).
 	hintSrc HintSource
+	// faults is the resolved fault schedule (scenario expanded into
+	// events), nil when Config.Faults is unset — the subsystem is then
+	// fully inert: no events are scheduled, no rng is drawn, and the
+	// lifecycle state of every node stays NodeUp forever.
+	faults *Faults
+	// savedDBCosts holds the pre-window cost profile during a slowdb
+	// fault window.
+	savedDBCosts costmodel.DBCosts
 	// tracking reports whether clients track pending transactions and
 	// receive commit events — true when a real retry policy or the
 	// closed-loop mode is configured. When false the commit-event
@@ -228,6 +236,17 @@ func NewNetwork(cfg Config) (*Network, error) {
 			first += n
 		}
 	}
+
+	// Fault schedule last: the topology is known, so scenarios expand
+	// against the real peer/org/channel counts. The target rng is
+	// seed-derived but separate from the engine stream; with
+	// Config.Faults nil this block is skipped entirely and the run is
+	// byte-identical to a build without the subsystem.
+	if cfg.Faults != nil {
+		f := cfg.Faults.resolve(cfg.Seed, cfg.Duration, len(nw.peers), cfg.Orgs, nw.channels)
+		nw.faults = &f
+		nw.scheduleFaults()
+	}
 	return nw, nil
 }
 
@@ -323,6 +342,10 @@ func (nw *Network) Orderer() *OrderingService { return nw.orderers[0] }
 // Orderers returns every channel's ordering service, indexed by
 // channel.
 func (nw *Network) Orderers() []*OrderingService { return nw.orderers }
+
+// Faults returns the resolved fault schedule (scenario expanded into
+// concrete events), or nil when fault injection is off.
+func (nw *Network) Faults() *Faults { return nw.faults }
 
 // Collector returns the metrics collector.
 func (nw *Network) Collector() *metrics.Collector { return nw.col }

@@ -56,6 +56,13 @@ type OrderingService struct {
 
 	// names of the orderer nodes, for network addressing.
 	nodeNames []string
+
+	// state is the lifecycle state (see lifecycle.go; always NodeUp
+	// without Config.Faults). A crash drops the volatile pending batch
+	// and everything in flight; blockNum and prevHash survive — the
+	// cut chain is durable — so the restarted service extends the same
+	// hash chain and the peers' Append continuity is never violated.
+	state NodeState
 }
 
 func newOrderingService(nw *Network, cons consensus.Consenter, channel int) *OrderingService {
@@ -86,6 +93,13 @@ func (os *OrderingService) Consenter() consensus.Consenter { return os.cons }
 // Submit receives a transaction envelope from a client (already on
 // the orderer node — the client paid the network hop).
 func (os *OrderingService) Submit(tx *ledger.Transaction) {
+	if os.state == NodeCrashed {
+		// The service is down; the envelope is silently lost (the
+		// netem layer already drops client traffic to the node — this
+		// guards direct calls). The client's submission deadline is
+		// the recovery path.
+		return
+	}
 	accept, cost := os.nw.variant.OnSubmit(tx)
 	if cost > 0 {
 		os.occupy(cost)
@@ -122,6 +136,13 @@ func (os *OrderingService) OrderedCount() uint64 { return os.orderedCount }
 
 // ordered consumes the total-order stream and feeds the block cutter.
 func (os *OrderingService) ordered(tx *ledger.Transaction) {
+	if os.state == NodeCrashed {
+		// Consensus keeps running (the substrate is a separate node
+		// set), but deliveries to a crashed service are lost with its
+		// in-flight state; affected clients recover via the submission
+		// deadline.
+		return
+	}
 	os.occupy(os.nw.cfg.OrdererCosts.PerTx)
 	os.orderedCount++
 	os.pending = append(os.pending, tx)
@@ -284,6 +305,36 @@ func (os *OrderingService) serviceRate() float64 {
 		return 0
 	}
 	return float64(time.Second) / float64(perTx)
+}
+
+// NodeID implements lifecycleNode: the service's first orderer node
+// name.
+func (os *OrderingService) NodeID() string { return os.nodeNames[0] }
+
+// State reports the service's lifecycle state.
+func (os *OrderingService) State() NodeState { return os.state }
+
+// crash implements lifecycleNode: the ordering service dies. The
+// volatile pending batch is lost and the armed cut timer dies with
+// the process (epoch bump); transactions in the consensus pipeline
+// are dropped on delivery. blockNum and prevHash are retained — the
+// cut chain is durable state.
+func (os *OrderingService) crash() {
+	os.state = NodeCrashed
+	os.pending = nil
+	os.pendingBytes = 0
+	os.timerArmed = false
+	os.timerEpoch++
+}
+
+// restart implements lifecycleNode: the service resumes with an empty
+// batch, idle (pre-crash serial work is gone), extending the durable
+// chain at the retained block number.
+func (os *OrderingService) restart() {
+	os.state = NodeUp
+	if now := os.nw.eng.Now(); os.busyUntil > now {
+		os.busyUntil = now
+	}
 }
 
 // occupy charges d of serial ordering-service time and returns the

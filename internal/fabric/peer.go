@@ -1,6 +1,8 @@
 package fabric
 
 import (
+	"time"
+
 	"repro/internal/chaincode"
 	"repro/internal/costmodel"
 	"repro/internal/fabcrypto"
@@ -39,6 +41,23 @@ type Peer struct {
 
 	// committedBlocks counts applied blocks (diagnostics).
 	committedBlocks int
+
+	// Lifecycle state (see lifecycle.go; always NodeUp without
+	// Config.Faults). epoch increments at every crash: closures
+	// scheduled before it — queued endorsements, their responses,
+	// in-flight commits — capture the epoch they were created under
+	// and die silently when it is stale. inflight tracks blocks
+	// delivered but not yet committed; backlog accumulates blocks
+	// delivered while crashed (the missed ledger suffix the restart
+	// replays). catchup counts replayed blocks still uncommitted
+	// during NodeRestarting and recoverStart stamps the restart for
+	// the recovery-latency metric.
+	state        NodeState
+	epoch        uint64
+	inflight     []*ledger.Block
+	backlog      []*ledger.Block
+	catchup      int
+	recoverStart sim.Time
 }
 
 func newPeer(nw *Network, org, name string, dbs []statedb.VersionedDB) *Peer {
@@ -76,6 +95,11 @@ func (p *Peer) CommittedBlocks() int { return p.committedBlocks }
 // simulations (CouchDB range scans) saturate the pool and the queue
 // grows — the §5.1.2 collapse.
 func (p *Peer) Endorse(inv workload.Invocation, channel int, respond func(*ledger.Endorsement, error)) {
+	if p.state == NodeCrashed {
+		// The process is gone; the proposal is silently lost (the
+		// client's endorsement deadline is the recovery path).
+		return
+	}
 	// The proposal starts executing when a worker frees up; the
 	// snapshot it reads is taken at that point.
 	slot := 0
@@ -88,7 +112,11 @@ func (p *Peer) Endorse(inv workload.Invocation, channel int, respond func(*ledge
 	if now := p.nw.eng.Now(); now > start {
 		start = now
 	}
+	epoch := p.epoch
 	run := func() {
+		if p.epoch != epoch {
+			return // the peer crashed; queued proposals died with it
+		}
 		stub := chaincode.NewStub(p.dbs[channel])
 		err := p.nw.cfg.Chaincode.Invoke(stub, inv.Function, inv.Args)
 		var end *ledger.Endorsement
@@ -106,7 +134,12 @@ func (p *Peer) Endorse(inv workload.Invocation, channel int, respond func(*ledge
 		}
 		cost = p.nw.eng.Jittered(cost, p.nw.cfg.PeerCosts.Jitter)
 		p.endorserSlots[slot] = p.nw.eng.Now() + sim.Time(cost)
-		p.nw.eng.After(cost, func() { respond(end, err) })
+		p.nw.eng.After(cost, func() {
+			if p.epoch != epoch {
+				return // crashed mid-endorsement; the response is lost
+			}
+			respond(end, err)
+		})
 	}
 	if start <= p.nw.eng.Now() {
 		p.endorserSlots[slot] = p.nw.eng.Now() // claimed; updated in run
@@ -123,6 +156,13 @@ func (p *Peer) Endorse(inv workload.Invocation, channel int, respond func(*ledge
 // once network-wide (it is deterministic); each peer pays its own
 // virtual service time and applies the batch at its own commit time.
 func (p *Peer) DeliverBlock(b *ledger.Block) {
+	if p.state == NodeCrashed {
+		// The deliver stream is reliable (netem.SendOrdered), but the
+		// process is not there to commit: the block queues as the
+		// missed ledger suffix and the restart replays it.
+		p.backlog = append(p.backlog, b)
+		return
+	}
 	res := p.nw.vals[b.Channel].result(b)
 	// Jitter applies to the fixed per-block part only: per-transaction
 	// work averages out across a block (CLT), so the commit-time skew
@@ -140,7 +180,15 @@ func (p *Peer) DeliverBlock(b *ledger.Block) {
 	}
 	done := start + sim.Time(service)
 	p.busyUntil = done
-	p.nw.eng.At(done, func() { p.commit(b, res) })
+	p.inflight = append(p.inflight, b)
+	epoch := p.epoch
+	p.nw.eng.At(done, func() {
+		if p.epoch != epoch {
+			return // crashed mid-commit; the block is replayed on restart
+		}
+		p.inflight = p.inflight[1:]
+		p.commit(b, res)
+	})
 }
 
 // commit applies the block's update batch to the replica and, on the
@@ -162,6 +210,13 @@ func (p *Peer) commit(b *ledger.Block, res *valResult) {
 		p.dbs[b.Channel].ApplyUpdates(res.batch, b.Number)
 	}
 	p.committedBlocks++
+	if p.state == NodeRestarting {
+		p.catchup--
+		if p.catchup == 0 {
+			p.state = NodeUp
+			p.nw.col.RecordRecovery(time.Duration(p.nw.eng.Now() - p.recoverStart))
+		}
+	}
 
 	if p != p.nw.metricsPeer() {
 		return
@@ -192,6 +247,50 @@ func (p *Peer) commit(b *ledger.Block, res *valResult) {
 		if p.nw.cfg.StripAfterCommit {
 			stripTx(tx)
 		}
+	}
+}
+
+// NodeID implements lifecycleNode.
+func (p *Peer) NodeID() string { return p.name }
+
+// State reports the peer's lifecycle state.
+func (p *Peer) State() NodeState { return p.state }
+
+// crash implements lifecycleNode: the peer process dies. Queued
+// endorsements, in-flight responses and scheduled commits all carry
+// the pre-crash epoch and die silently; blocks that were delivered
+// but not yet committed become the start of the missed ledger suffix
+// (the deliver stream keeps appending to it while the peer is down).
+func (p *Peer) crash() {
+	p.state = NodeCrashed
+	p.epoch++
+	p.backlog = p.inflight
+	p.inflight = nil
+}
+
+// restart implements lifecycleNode: the process comes back with its
+// replica intact (state databases are durable) and replays the block
+// suffix it missed through the normal commit path — validation
+// results are memoized network-wide, so the replay is deterministic.
+// With missed blocks the peer passes through NodeRestarting until the
+// replay commits; with none it is NodeUp immediately.
+func (p *Peer) restart() {
+	now := p.nw.eng.Now()
+	p.busyUntil = now
+	for i := range p.endorserSlots {
+		p.endorserSlots[i] = now
+	}
+	backlog := p.backlog
+	p.backlog = nil
+	if len(backlog) == 0 {
+		p.state = NodeUp
+		return
+	}
+	p.state = NodeRestarting
+	p.recoverStart = now
+	p.catchup = len(backlog)
+	for _, b := range backlog {
+		p.DeliverBlock(b)
 	}
 }
 

@@ -120,6 +120,20 @@ type Collector struct {
 	gossipUses     int
 	gossipStaleSum time.Duration
 	gossipStaleMax time.Duration
+
+	// Fault-injection accounting (Config.Faults): opened fault
+	// windows, node crashes and their scheduled downtime, client-side
+	// deadline expiries, orphaned transactions (committed after their
+	// client timed out), and peer catch-up latency after restarts.
+	faultWindows    int
+	crashes         int
+	downtime        time.Duration
+	endorseTimeouts int
+	submitTimeouts  int
+	orphans         int
+	recoveries      int
+	recoverySum     time.Duration
+	recoveryMax     time.Duration
 }
 
 // NewCollector returns an empty collector.
@@ -313,6 +327,37 @@ func (c *Collector) RecordGossipUse(staleness time.Duration) {
 	}
 }
 
+// RecordFaultWindow counts one fault window opening (any kind).
+func (c *Collector) RecordFaultWindow() { c.faultWindows++ }
+
+// RecordNodeDown counts one node crash with its scheduled downtime
+// (the window length — recorded at crash onset, since the schedule
+// fixes the restart time).
+func (c *Collector) RecordNodeDown(d time.Duration) {
+	c.crashes++
+	c.downtime += d
+}
+
+// RecordEndorseTimeout counts one client endorsement deadline expiry.
+func (c *Collector) RecordEndorseTimeout() { c.endorseTimeouts++ }
+
+// RecordSubmitTimeout counts one client submission deadline expiry.
+func (c *Collector) RecordSubmitTimeout() { c.submitTimeouts++ }
+
+// RecordOrphan counts one orphaned transaction: it committed as valid
+// after its submitting client had already timed out and moved on.
+func (c *Collector) RecordOrphan() { c.orphans++ }
+
+// RecordRecovery records one peer finishing its post-restart ledger
+// replay, d after the restart.
+func (c *Collector) RecordRecovery(d time.Duration) {
+	c.recoveries++
+	c.recoverySum += d
+	if d > c.recoveryMax {
+		c.recoveryMax = d
+	}
+}
+
 // RecordJob records the final resolution of a tracked logical
 // transaction: after `attempts` submissions it either committed
 // (success) or was abandoned by the retry policy. firstSubmit/done
@@ -456,6 +501,25 @@ type Report struct {
 	GossipUses          int
 	GossipStalenessAvg  time.Duration
 	GossipStalenessMax  time.Duration
+
+	// Fault-injection summary (Config.Faults runs only; zero
+	// otherwise). FaultWindows counts opened windows; NodeCrashes and
+	// NodeDowntime tally crash events and their scheduled downtime;
+	// EndorseTimeouts/SubmitTimeouts count client deadline expiries
+	// (each also a CLIENT_TIMEOUT attempt on the retry path);
+	// OrphanedTxs counts transactions that committed as valid after
+	// their client timed out — duplicate-effect risk at the
+	// application layer; Recoveries and RecoveryAvg/RecoveryMax
+	// summarize peer post-restart ledger replays.
+	FaultWindows    int
+	NodeCrashes     int
+	NodeDowntime    time.Duration
+	EndorseTimeouts int
+	SubmitTimeouts  int
+	OrphanedTxs     int
+	Recoveries      int
+	RecoveryAvg     time.Duration
+	RecoveryMax     time.Duration
 }
 
 // Report computes the summary.
@@ -552,6 +616,17 @@ func (c *Collector) Report() Report {
 	if c.gossipUses > 0 {
 		r.GossipStalenessAvg = c.gossipStaleSum / time.Duration(c.gossipUses)
 		r.GossipStalenessMax = c.gossipStaleMax
+	}
+	r.FaultWindows = c.faultWindows
+	r.NodeCrashes = c.crashes
+	r.NodeDowntime = c.downtime
+	r.EndorseTimeouts = c.endorseTimeouts
+	r.SubmitTimeouts = c.submitTimeouts
+	r.OrphanedTxs = c.orphans
+	r.Recoveries = c.recoveries
+	if c.recoveries > 0 {
+		r.RecoveryAvg = c.recoverySum / time.Duration(c.recoveries)
+		r.RecoveryMax = c.recoveryMax
 	}
 	return r
 }

@@ -1,7 +1,15 @@
 // Package netem models the cluster network: per-link latency with
-// jitter, plus targeted delay injection in the style of Pumba, the
-// Docker chaos tool the paper uses to emulate a geographically remote
-// organization (§4.5, §5.1.7: an additional 100 ± 10 ms for one org).
+// jitter, targeted delay injection in the style of Pumba, the Docker
+// chaos tool the paper uses to emulate a geographically remote
+// organization (§4.5, §5.1.7: an additional 100 ± 10 ms for one org),
+// and the fault primitives of the adversity pack — node down states,
+// partitions and probabilistic message loss — that the fabric layer's
+// fault scheduler drives (Config.Faults).
+//
+// All fault state is inert by default: a model on which no fault
+// primitive has ever been used draws exactly the rng stream and
+// schedules exactly the events of the pre-fault implementation, so
+// fault-free runs stay byte-identical.
 package netem
 
 import (
@@ -24,6 +32,20 @@ type Model struct {
 	injected map[string]Link // node id -> extra delay on all its links
 	// lastArrival enforces FIFO per directed link for SendOrdered.
 	lastArrival map[string]sim.Time
+
+	// Fault state (all empty by default — see faulty). down nodes drop
+	// every unreliable message they send or receive; island, when
+	// non-nil, is the current partition's island set (messages crossing
+	// the island boundary are dropped); loss maps a node to the
+	// probability that an unreliable message touching it is dropped.
+	down   map[string]bool
+	island map[string]bool
+	loss   map[string]float64
+	// faulty caches whether any fault state is active, so the
+	// fault-free fast path costs one boolean test and draws no rng.
+	faulty bool
+	// drops counts unreliable messages dropped by faults (diagnostics).
+	drops int
 }
 
 // New returns a model with the given LAN profile. A Kubernetes-pod
@@ -35,6 +57,8 @@ func New(eng *sim.Engine, lan Link) *Model {
 		lan:         lan,
 		injected:    map[string]Link{},
 		lastArrival: map[string]sim.Time{},
+		down:        map[string]bool{},
+		loss:        map[string]float64{},
 	}
 }
 
@@ -44,14 +68,107 @@ func DefaultLAN() Link {
 }
 
 // Inject adds an extra delay distribution to every link that touches
-// node (Pumba's `netem delay`). Injecting again replaces the previous
-// value; a zero Link removes the injection.
+// node (Pumba's `netem delay`), in both directions: the extra is
+// sampled once per message for which node is the source and once per
+// message for which it is the destination, on top of the base LAN
+// sample — a message between two injected nodes therefore pays both
+// extras. Injections do not stack: injecting the same node again
+// replaces the previous Link (the last call wins), and a zero Link
+// removes the injection entirely. The fault scheduler relies on
+// exactly these semantics for straggler windows: Inject(node, extra)
+// at the window start, Inject(node, Link{}) at the end.
 func (m *Model) Inject(node string, extra Link) {
 	if extra == (Link{}) {
 		delete(m.injected, node)
 		return
 	}
 	m.injected[node] = extra
+}
+
+// SetDown marks a node crashed (down=true) or recovered (down=false).
+// While down, every unreliable message (Send) from or to the node is
+// dropped — in-flight RPCs die with the process. Ordered streams
+// (SendOrdered) still deliver; see SendOrdered for why.
+func (m *Model) SetDown(node string, down bool) {
+	if down {
+		m.down[node] = true
+	} else {
+		delete(m.down, node)
+	}
+	m.refault()
+}
+
+// Partition installs a network partition: island is the set of node
+// names cut off from the rest of the cluster. Unreliable messages with
+// exactly one endpoint inside the island are dropped; traffic within
+// the island, and among the remaining nodes, flows normally. A new
+// call replaces the previous partition; an empty set heals it.
+func (m *Model) Partition(island []string) {
+	if len(island) == 0 {
+		m.Heal()
+		return
+	}
+	m.island = make(map[string]bool, len(island))
+	for _, n := range island {
+		m.island[n] = true
+	}
+	m.refault()
+}
+
+// Heal removes the current partition.
+func (m *Model) Heal() {
+	m.island = nil
+	m.refault()
+}
+
+// SetLoss sets the probability in (0,1] that an unreliable message
+// from or to node is dropped (Pumba's `netem loss`). Each endpoint's
+// probability is drawn independently. p <= 0 removes the loss regime
+// from the node.
+func (m *Model) SetLoss(node string, p float64) {
+	if p <= 0 {
+		delete(m.loss, node)
+	} else {
+		m.loss[node] = p
+	}
+	m.refault()
+}
+
+// Drops reports how many unreliable messages faults have dropped.
+func (m *Model) Drops() int { return m.drops }
+
+// refault recomputes the fast-path flag after a fault mutation.
+func (m *Model) refault() {
+	m.faulty = len(m.down) > 0 || m.island != nil || len(m.loss) > 0
+}
+
+// dropped decides whether an unreliable message from->to is lost to
+// the active fault state. The decision is made at send time — down
+// and partition windows are orders of magnitude longer than a link
+// delay, so the difference from a delivery-time check is negligible
+// and the FIFO bookkeeping stays untouched. Loss probabilities draw
+// from the engine rng, like every other random decision; with no
+// fault state active the method returns before any map lookup or rng
+// draw.
+func (m *Model) dropped(from, to string) bool {
+	if !m.faulty {
+		return false
+	}
+	if m.down[from] || m.down[to] {
+		m.drops++
+		return true
+	}
+	if m.island != nil && m.island[from] != m.island[to] {
+		m.drops++
+		return true
+	}
+	for _, n := range [2]string{from, to} {
+		if p := m.loss[n]; p > 0 && m.eng.Rand().Float64() < p {
+			m.drops++
+			return true
+		}
+	}
+	return false
 }
 
 // sample draws one latency for a link between from and to.
@@ -75,8 +192,15 @@ func (m *Model) one(l Link) time.Duration {
 
 // Send schedules fn on the engine after one sampled link delay from
 // from to to. It is the only way components talk to each other, so
-// every hop pays a latency.
+// every hop pays a latency. Send is the *unreliable* datagram/RPC
+// path — endorsement requests and responses, envelope submissions,
+// commit events, gossip — and is subject to the fault primitives:
+// a down endpoint, a partition boundary or a loss regime silently
+// drops the message.
 func (m *Model) Send(from, to string, fn func()) {
+	if m.dropped(from, to) {
+		return
+	}
 	m.eng.After(m.sample(from, to), fn)
 }
 
@@ -84,6 +208,13 @@ func (m *Model) Send(from, to string, fn func()) {
 // directed link never overtake each other, like frames on one TCP
 // connection. Use it for ordered protocols — producer → broker
 // submission and orderer → peer block delivery.
+//
+// SendOrdered deliberately ignores the fault primitives: it models
+// Fabric's deliver service, where a peer's client re-fetches any block
+// range it missed, so the stream is reliable end-to-end even across
+// crashes and partitions. Crash semantics for block delivery live at
+// the receiving node instead — a crashed peer queues delivered blocks
+// as its missed ledger suffix and replays them on restart.
 func (m *Model) SendOrdered(from, to string, fn func()) {
 	key := from + "\x00" + to
 	at := m.eng.Now() + sim.Time(m.sample(from, to))

@@ -102,6 +102,146 @@ func TestSendOrderedFIFO(t *testing.T) {
 	}
 }
 
+func TestInjectReplacesInsteadOfStacking(t *testing.T) {
+	// Documented semantics: a second Inject on the same node replaces
+	// the first — the extras never accumulate.
+	eng := sim.NewEngine(20)
+	m := New(eng, Link{Base: time.Millisecond})
+	m.Inject("n", Link{Base: 100 * time.Millisecond})
+	m.Inject("n", Link{Base: 30 * time.Millisecond})
+	if d := m.sample("n", "x"); d != 31*time.Millisecond {
+		t.Errorf("after re-inject: %v, want 31ms (replace, not 131ms stack)", d)
+	}
+}
+
+func TestInjectBothEndpointsPayBothExtras(t *testing.T) {
+	// Documented semantics: the extra applies to the node as source AND
+	// destination, so a link between two injected nodes pays both.
+	eng := sim.NewEngine(21)
+	m := New(eng, Link{Base: time.Millisecond})
+	m.Inject("a", Link{Base: 10 * time.Millisecond})
+	m.Inject("b", Link{Base: 20 * time.Millisecond})
+	if d := m.sample("a", "b"); d != 31*time.Millisecond {
+		t.Errorf("between two injected nodes: %v, want 31ms", d)
+	}
+}
+
+func TestSetDownDropsBothDirections(t *testing.T) {
+	eng := sim.NewEngine(22)
+	m := New(eng, Link{Base: time.Millisecond})
+	m.SetDown("peer", true)
+	delivered := 0
+	m.Send("client", "peer", func() { delivered++ })
+	m.Send("peer", "client", func() { delivered++ })
+	m.Send("client", "other", func() { delivered++ })
+	eng.Run()
+	if delivered != 1 {
+		t.Errorf("delivered %d messages with peer down, want 1 (the untouched link)", delivered)
+	}
+	if m.Drops() != 2 {
+		t.Errorf("Drops() = %d, want 2", m.Drops())
+	}
+	m.SetDown("peer", false)
+	m.Send("client", "peer", func() { delivered++ })
+	eng.Run()
+	if delivered != 2 {
+		t.Errorf("message to recovered node dropped")
+	}
+}
+
+func TestPartitionCutsIslandBoundaryOnly(t *testing.T) {
+	eng := sim.NewEngine(23)
+	m := New(eng, Link{Base: time.Millisecond})
+	m.Partition([]string{"p0", "p1"})
+	var got []string
+	send := func(from, to string) {
+		m.Send(from, to, func() { got = append(got, from+">"+to) })
+	}
+	send("p0", "p1")          // intra-island: flows
+	send("client", "client2") // outside the island: flows
+	send("client", "p0")      // crosses the boundary: dropped
+	send("p1", "orderer0")    // crosses the boundary: dropped
+	eng.Run()
+	if len(got) != 2 {
+		t.Fatalf("delivered %v, want intra-island and outside traffic only", got)
+	}
+	m.Heal()
+	send("client", "p0")
+	eng.Run()
+	if len(got) != 3 {
+		t.Errorf("message after Heal dropped")
+	}
+}
+
+func TestSetLossDropsFraction(t *testing.T) {
+	eng := sim.NewEngine(24)
+	m := New(eng, Link{Base: time.Millisecond})
+	m.SetLoss("p", 0.5)
+	delivered := 0
+	for i := 0; i < 1000; i++ {
+		m.Send("client", "p", func() { delivered++ })
+	}
+	eng.Run()
+	if delivered < 350 || delivered > 650 {
+		t.Errorf("delivered %d/1000 at 50%% loss", delivered)
+	}
+	m.SetLoss("p", 0)
+	before := delivered
+	for i := 0; i < 100; i++ {
+		m.Send("client", "p", func() { delivered++ })
+	}
+	eng.Run()
+	if delivered != before+100 {
+		t.Errorf("loss regime not removed: %d/100 delivered", delivered-before)
+	}
+}
+
+func TestSendOrderedIgnoresFaults(t *testing.T) {
+	// The block-delivery stream models Fabric's re-fetching deliver
+	// service: reliable end-to-end even across down nodes and
+	// partitions.
+	eng := sim.NewEngine(25)
+	m := New(eng, Link{Base: time.Millisecond})
+	m.SetDown("peer", true)
+	m.Partition([]string{"orderer0"})
+	delivered := 0
+	m.SendOrdered("orderer0", "peer", func() { delivered++ })
+	eng.Run()
+	if delivered != 1 {
+		t.Errorf("ordered stream dropped by faults")
+	}
+}
+
+func TestFaultFreeFastPathDrawsNoRng(t *testing.T) {
+	// A model whose fault primitives were used and then cleared must
+	// behave exactly like a fresh model: same samples, no drops.
+	engA := sim.NewEngine(26)
+	a := New(engA, Link{Base: 5 * time.Millisecond, Jitter: 2 * time.Millisecond})
+	engB := sim.NewEngine(26)
+	b := New(engB, Link{Base: 5 * time.Millisecond, Jitter: 2 * time.Millisecond})
+	b.SetDown("x", true)
+	b.SetLoss("y", 0.5)
+	b.Partition([]string{"z"})
+	b.SetDown("x", false)
+	b.SetLoss("y", 0)
+	b.Heal()
+	var arrA, arrB []sim.Time
+	for i := 0; i < 50; i++ {
+		a.Send("m", "n", func() { arrA = append(arrA, engA.Now()) })
+		b.Send("m", "n", func() { arrB = append(arrB, engB.Now()) })
+	}
+	engA.Run()
+	engB.Run()
+	if len(arrA) != len(arrB) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(arrA), len(arrB))
+	}
+	for i := range arrA {
+		if arrA[i] != arrB[i] {
+			t.Fatalf("arrival %d differs: %v vs %v (cleared fault state perturbs rng)", i, arrA[i], arrB[i])
+		}
+	}
+}
+
 func TestSendOrderedIndependentLinks(t *testing.T) {
 	eng := sim.NewEngine(8)
 	m := New(eng, Link{Base: time.Millisecond})
