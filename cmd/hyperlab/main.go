@@ -25,6 +25,10 @@
 //	hyperlab -adhoc -retry hinted -backpressure on -gossip 2:500ms -hintsource gossip
 //	                                    ad-hoc run paced by the gossiped
 //	                                    client-to-client congestion signal
+//	hyperlab -adhoc -retry hinted -backpressure on -gossip on -hintsource gossip -split on
+//	                                    same stack with the signal split:
+//	                                    conflicts drive backoff, congestion
+//	                                    drives pacing
 //	hyperlab -run scale                 cohort drivers x multi-channel sharding,
 //	                                    10^2..10^6 simulated clients
 //	hyperlab -adhoc -clients 100000 -cohort 1000 -channels 4 -crosschannel 0.1
@@ -77,10 +81,11 @@ func main() {
 		seed       = flag.Int64("seed", 1, "ad-hoc run: random seed")
 		dump       = flag.Int("dump", 0, "ad-hoc run: print JSON summaries of the first N blocks")
 		retry      = flag.String("retry", "none", "ad-hoc run: retry policy none|immediate|backoff|adaptive|hinted")
-		budget     = flag.String("budget", "", "ad-hoc run: retry budget 'rate:burst[:drop|defer]', e.g. 1:3, 2:5:drop (empty = unlimited; default mode defer)")
+		budget     = flag.String("budget", "", "ad-hoc run: retry budget 'rate:burst[:drop|defer][:adaptive]', e.g. 1:3, 2:5:drop, 1:3:drop:adaptive (empty = unlimited; default mode defer)")
 		backpress  = flag.String("backpressure", "", "ad-hoc run: orderer congestion hints off|on|'smoothing:gain[:maxpause]', e.g. 0.5:1s:2s (empty = off)")
 		gossip     = flag.String("gossip", "", "ad-hoc run: client-to-client congestion gossip off|on|'fanout:period[:decay]', e.g. 2:500ms:0.5 (empty = off)")
 		hintSource = flag.String("hintsource", "", "ad-hoc run: congestion hint producer orderer|gossip|both (empty = orderer)")
+		split      = flag.String("split", "", "ad-hoc run: split conflict/congestion signal off|on|<latency>, e.g. 3s sets the congestion-latency threshold (empty = off)")
 		closedLoop = flag.Bool("closedloop", false, "ad-hoc run: closed-loop clients instead of Poisson arrivals")
 		inflight   = flag.Int("inflight", 1, "ad-hoc run: closed-loop in-flight window per client")
 		think      = flag.String("think", "none", "ad-hoc run: closed-loop think time none|fixed:<dur>|exp:<dur>|lognormal:<dur>[:sigma]")
@@ -121,6 +126,7 @@ func main() {
 			duration: *duration, seed: *seed, dump: *dump,
 			retry: *retry, budget: *budget, think: *think,
 			backpressure: *backpress, gossip: *gossip, hintSource: *hintSource,
+			split:      *split,
 			closedLoop: *closedLoop, inflight: *inflight,
 			clients: *clients, cohort: *cohort,
 			channels: *channels, crossChannel: *crossCh,
@@ -178,7 +184,7 @@ func runExperiments(id string, full, smoke, verbose bool, parallel int) {
 type adhocOptions struct {
 	ccName, db, system, cluster, retry string
 	budget, think, backpressure        string
-	gossip, hintSource, faults         string
+	gossip, hintSource, faults, split  string
 	rate, skew, crossChannel           float64
 	blockSize, dump, inflight          int
 	clients, cohort, channels          int
@@ -187,15 +193,16 @@ type adhocOptions struct {
 	closedLoop                         bool
 }
 
-// parseBudget parses the -budget syntax "rate:burst[:drop]" into a
-// RetryBudget ("" = no budget).
+// parseBudget parses the -budget syntax
+// "rate:burst[:drop|defer][:adaptive]" into a RetryBudget ("" = no
+// budget).
 func parseBudget(s string) (*fabric.RetryBudget, error) {
 	if s == "" {
 		return nil, nil
 	}
 	parts := strings.Split(s, ":")
-	if len(parts) < 2 || len(parts) > 3 {
-		return nil, fmt.Errorf("budget %q: want rate:burst[:drop]", s)
+	if len(parts) < 2 || len(parts) > 4 {
+		return nil, fmt.Errorf("budget %q: want rate:burst[:drop|defer][:adaptive]", s)
 	}
 	var b fabric.RetryBudget
 	rate, err := strconv.ParseFloat(parts[0], 64)
@@ -214,13 +221,15 @@ func parseBudget(s string) (*fabric.RetryBudget, error) {
 		return nil, fmt.Errorf("budget burst must be > 0 (got %g)", burst)
 	}
 	b.Burst = burst
-	if len(parts) == 3 {
-		switch parts[2] {
+	for _, part := range parts[2:] {
+		switch part {
 		case "drop":
 			b.DropOnEmpty = true
 		case "defer":
+		case "adaptive":
+			b.Adaptive = true
 		default:
-			return nil, fmt.Errorf("budget mode %q: want drop or defer", parts[2])
+			return nil, fmt.Errorf("budget mode %q: want drop, defer or adaptive", part)
 		}
 	}
 	return &b, b.Validate()
@@ -299,6 +308,11 @@ func adhoc(o adhocOptions) {
 		fatal(err)
 	}
 	cfg.HintSource = src
+	sp, err := fabric.ParseSplitSignal(o.split)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.SplitSignal = sp
 	// The hinted policy needs a signal that actually reaches the hint
 	// path: the orderer's (requires -backpressure) or the gossip
 	// estimate (requires -gossip AND a -hintsource that uses it).
@@ -397,6 +411,12 @@ func adhoc(o adhocOptions) {
 			rep.GossipEstimateAvg, rep.GossipEstimateMax, rep.GossipEstimateFinal,
 			rep.GossipStalenessAvg.Round(time.Millisecond),
 			rep.GossipStalenessMax.Round(time.Millisecond))
+	}
+	if cfg.SplitSignal != nil {
+		fmt.Printf("split %s: conflict avg=%.3f max=%.3f final=%.3f congestion avg=%.3f max=%.3f final=%.3f\n",
+			cfg.SplitSignal.Name(), rep.ConflictEstAvg, rep.ConflictEstMax,
+			rep.ConflictEstFinal, rep.CongestEstAvg, rep.CongestEstMax,
+			rep.CongestEstFinal)
 	}
 	if cfg.Faults != nil {
 		fmt.Printf("faults %s: windows=%d crashes=%d downtime=%v eto=%d sto=%d orphans=%d recoveries=%d recov avg=%v max=%v\n",

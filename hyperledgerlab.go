@@ -51,8 +51,14 @@
 // decentralized alternative — clients gossip their own windowed
 // failure-rate estimates to sampled peers, merged by max-with-decay —
 // and Config.HintSource selects which producer (orderer, gossip or
-// their max) feeds the shared-hint path. Config.ClosedLoop switches
-// from
+// their max) feeds the shared-hint path. Config.SplitSignal splits
+// that scalar estimate into a conflict component (MVCC, phantom and
+// endorsement failures — the backoff signal) and a congestion
+// component (client timeouts, slow commits, orderer pressure — the
+// pacing signal), so a contention-bound workload no longer paces
+// against an idle orderer; RetryBudget.Adaptive calibrates the token
+// bucket per workload from the same classes. Config.ClosedLoop
+// switches from
 // open-loop Poisson arrivals to a closed loop with
 // Config.InFlightPerClient outstanding transactions per client and an
 // optional Config.ThinkTime distribution (fixed, exponential or
@@ -189,6 +195,7 @@ const (
 	PhantomReadConflict      = ledger.PhantomReadConflict
 	EndorsementPolicyFailure = ledger.EndorsementPolicyFailure
 	AbortedInOrdering        = ledger.AbortedInOrdering
+	ClientTimeout            = ledger.ClientTimeout
 )
 
 // Database backends (§5.1.2).
@@ -239,6 +246,17 @@ type (
 	// HintSource selects which producer feeds the congestion hint
 	// (Config.HintSource): orderer, gossip, or their max.
 	HintSource = fabric.HintSource
+	// SplitSignal splits the client-side outcome estimate into a
+	// conflict component (drives backoff) and a congestion component
+	// (drives pacing) — see Config.SplitSignal; nil keeps the scalar
+	// signal byte-identically.
+	SplitSignal = fabric.SplitSignal
+	// SignalClass is the control-theoretic class of a transaction
+	// outcome: none (success), conflict, or congestion.
+	SignalClass = fabric.SignalClass
+	// SplitEstimate is a two-component windowed estimate (conflict,
+	// congestion) gossiped and merged component-wise.
+	SplitEstimate = fabric.SplitEstimate
 	// ThinkTime is the closed-loop think-time distribution
 	// (Config.ThinkTime): fixed, exponential or log-normal.
 	ThinkTime = fabric.ThinkTime
@@ -298,6 +316,19 @@ const (
 	HintBoth    = fabric.HintBoth
 )
 
+// Signal classes for SplitSignal (ClassifyOutcome).
+const (
+	SignalNone       = fabric.SignalNone
+	SignalConflict   = fabric.SignalConflict
+	SignalCongestion = fabric.SignalCongestion
+)
+
+// ClassifyOutcome maps a transaction outcome to its control class:
+// Valid is SignalNone, CLIENT_TIMEOUT is SignalCongestion, and every
+// chain-reported failure (MVCC, phantom, endorsement, ordering abort)
+// is SignalConflict.
+func ClassifyOutcome(code ValidationCode) SignalClass { return fabric.ClassifyOutcome(code) }
+
 // GiveUpAfter truncates any retry policy to at most n submissions.
 func GiveUpAfter(inner RetryPolicy, n int) RetryPolicy { return fabric.GiveUpAfter(inner, n) }
 
@@ -339,6 +370,12 @@ func ParseGossip(s string) (*Gossip, error) { return fabric.ParseGossip(s) }
 // ParseHintSource parses a hint-source spec (the CLI's -hintsource
 // syntax): "orderer" (also ""), "gossip" or "both".
 func ParseHintSource(s string) (HintSource, error) { return fabric.ParseHintSource(s) }
+
+// ParseSplitSignal parses a split-signal spec (the CLI's -split
+// syntax): "on"/"default" enables the split with the default
+// congestion-latency threshold, a duration such as "3s" overrides it,
+// and "off"/"" return nil (scalar signal, byte-identical).
+func ParseSplitSignal(s string) (*SplitSignal, error) { return fabric.ParseSplitSignal(s) }
 
 // ParseFaults parses a fault spec (the CLI's -faults syntax): a
 // scenario name ("crash", "chaos", ...), or comma-separated event

@@ -17,12 +17,18 @@ import (
 // HintSource=orderer run must not change when the gossip subsystem
 // merely exists in the build.
 func goldenCoordinationLine(pol CoordinationPolicy, r Result) string {
-	return fmt.Sprintf(
+	line := fmt.Sprintf(
 		"ehr/%s/bs100: goodput=%.4f tput=%.4f amp=%.4f e2e=%.6f paced=%.0f pacedsec=%.6f hintavg=%.6f hint=%.6f gmsgs=%.0f gmerges=%.0f gest=%.6f gstale=%.6f gaveup=%.4f fail=%.4f",
 		pol.Label, r.Goodput, r.Throughput, r.RetryAmp, r.EndToEndSec,
 		r.Paced, r.PacedSec, r.HintAvg, r.HintFinal,
 		r.GossipMsgs, r.GossipMerges, r.GossipEstFinal, r.GossipStaleSec,
 		r.GaveUpPct, r.FailurePct)
+	// Split rungs carry the two estimate components; scalar rungs keep
+	// the exact pre-split line so their golden rows never move.
+	if pol.Split != nil {
+		line += fmt.Sprintf(" cflt=%.6f cngst=%.6f", r.ConflictEstFinal, r.CongestEstFinal)
+	}
+	return line
 }
 
 // TestGoldenCoordinationRow locks one retry-coordination row per

@@ -20,6 +20,11 @@ type CoordinationPolicy struct {
 	Backpressure *fabric.Backpressure
 	Gossip       *fabric.Gossip
 	HintSource   fabric.HintSource
+	// Split, when non-nil, classifies outcomes into conflict vs
+	// congestion components instead of the scalar failed/ok signal
+	// (Config.SplitSignal): conflict drives backoff, congestion drives
+	// pacing.
+	Split *fabric.SplitSignal
 }
 
 // CoordinationPolicies returns the retry-control strategies the
@@ -37,13 +42,23 @@ type CoordinationPolicy struct {
 //     no hints, so the clients share only what they each observed
 //     (no privileged source, still a common signal);
 //   - "hinted-both": the max-combination of the two signals — backs
-//     off from whichever view is currently more alarmed.
+//     off from whichever view is currently more alarmed;
+//   - "split-gossip" / "split-both": the same wiring as the matching
+//     hinted rung plus SplitSignal — outcomes are classified into a
+//     conflict component (MVCC/phantom failures, drives backoff) and
+//     a congestion component (ordering backlog and slow commits,
+//     drives pacing) instead of one scalar estimate. These rungs pin
+//     the fix for the scalar signal's mis-pacing: on contention-bound
+//     workloads with an idle orderer, the scalar rungs pace heavily
+//     from pure conflict failures while the split rungs keep pacing
+//     near zero and let backoff absorb the conflicts.
 //
 // Comparing the three hinted rungs isolates the ROADMAP question of
 // whether the coordination win comes from the signal's *source* (the
 // orderer's global view) or its *sharing* (any common signal). The
 // "hinted-orderer" rung is configuration-identical to PR 4's "hinted"
-// rung, so its rows are byte-identical to that baseline.
+// rung, so its rows are byte-identical to that baseline; the split
+// rungs likewise leave every pre-existing row byte-identical.
 func CoordinationPolicies() []CoordinationPolicy {
 	hinted := fabric.BackpressurePolicy{
 		Floor:       100 * time.Millisecond,
@@ -53,6 +68,7 @@ func CoordinationPolicies() []CoordinationPolicy {
 	}
 	signal := &fabric.Backpressure{} // documented defaults: s0.5, 1s gain, 2s max pause
 	mesh := &fabric.Gossip{}         // documented defaults: fanout 2, 500ms period, decay 0.5
+	split := &fabric.SplitSignal{}   // documented default: congestion latency 2×block timeout
 	return []CoordinationPolicy{
 		{"aimd", fabric.AdaptivePolicy{
 			Floor:       100 * time.Millisecond,
@@ -63,10 +79,12 @@ func CoordinationPolicies() []CoordinationPolicy {
 			Target:      0.1,
 			MaxAttempts: 5,
 			Jitter:      0.2,
-		}, nil, nil, nil, ""},
-		{"hinted-orderer", hinted, nil, signal, nil, fabric.HintOrderer},
-		{"hinted-gossip", hinted, nil, signal, mesh, fabric.HintGossip},
-		{"hinted-both", hinted, nil, signal, mesh, fabric.HintBoth},
+		}, nil, nil, nil, "", nil},
+		{"hinted-orderer", hinted, nil, signal, nil, fabric.HintOrderer, nil},
+		{"hinted-gossip", hinted, nil, signal, mesh, fabric.HintGossip, nil},
+		{"hinted-both", hinted, nil, signal, mesh, fabric.HintBoth, nil},
+		{"split-gossip", hinted, nil, signal, mesh, fabric.HintGossip, split},
+		{"split-both", hinted, nil, signal, mesh, fabric.HintBoth, split},
 	}
 }
 
@@ -119,6 +137,7 @@ func coordinationConfig(cc CCFactory, c coordinationCell) Builder {
 		cfg.Backpressure = c.pol.Backpressure
 		cfg.Gossip = c.pol.Gossip
 		cfg.HintSource = c.pol.HintSource
+		cfg.SplitSignal = c.pol.Split
 		return cfg
 	}
 }
@@ -139,7 +158,8 @@ func coordinationConfig(cc CCFactory, c coordinationCell) Builder {
 // Columns: goodput (first-submission success throughput), committed
 // throughput, retry amplification, end-to-end latency including
 // resubmissions and pacing, time spent paced by the shared signal,
-// the final smoothed orderer hint, the final gossip estimate, gossip
+// the final smoothed orderer hint, the final gossip estimate, the
+// final conflict and congestion components (split rungs only), gossip
 // messages exchanged, give-up rate and chain-level failure rate. All
 // cells fan out across the worker pool; the table is byte-for-byte
 // identical at any Options.Parallelism.
@@ -159,12 +179,14 @@ func RetryCoordinationExp(o Options) (string, error) {
 	}
 	t := metrics.NewTable("chaincode", "system", "control", "block",
 		"goodput (tps)", "tput (tps)", "amp", "e2e lat (s)",
-		"paced (s)", "hint", "gest", "gmsg", "gave up %", "failures %")
+		"paced (s)", "hint", "gest", "cflt", "cngst", "gmsg",
+		"gave up %", "failures %")
 	for i, c := range cells {
 		res := results[i]
 		t.AddRow(c.ccName, c.sys, c.pol.Label, c.bs,
 			res.Goodput, res.Throughput, res.RetryAmp, res.EndToEndSec,
-			res.PacedSec, res.HintFinal, res.GossipEstFinal, res.GossipMsgs,
+			res.PacedSec, res.HintFinal, res.GossipEstFinal,
+			res.ConflictEstFinal, res.CongestEstFinal, res.GossipMsgs,
 			res.GaveUpPct, res.FailurePct)
 	}
 	return t.String(), nil

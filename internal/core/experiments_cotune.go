@@ -16,7 +16,7 @@ type CotunePolicy struct {
 	Budget *fabric.RetryBudget
 }
 
-// CotunePolicies returns the four retry-control strategies the
+// CotunePolicies returns the five retry-control strategies the
 // co-tuning study compares, all capped at 5 submissions so grids stay
 // comparable:
 //
@@ -29,7 +29,12 @@ type CotunePolicy struct {
 //     price of abandoning transactions when the budget runs dry;
 //   - "paced": the same bucket in defer mode — no transaction is
 //     dropped, but retries beyond the budget queue up and drain into
-//     the network at the refill rate.
+//     the network at the refill rate;
+//   - "budgeted-adaptive": the drop-mode bucket with adaptive refill
+//     calibration (RetryBudget.Adaptive) — conflict-class demand on an
+//     empty bucket doubles the refill rate so hot chaincodes like DV
+//     stop burning thousands of drops against a rate tuned for EHR,
+//     while an idle full bucket decays back to the base rate.
 func CotunePolicies() []CotunePolicy {
 	staticBackoff := fabric.ExponentialBackoff{
 		Initial:     200 * time.Millisecond,
@@ -53,6 +58,8 @@ func CotunePolicies() []CotunePolicy {
 			&fabric.RetryBudget{RefillPerSec: 1, Burst: 3, DropOnEmpty: true}},
 		{"paced", staticBackoff,
 			&fabric.RetryBudget{RefillPerSec: 1, Burst: 3}},
+		{"budgeted-adaptive", staticBackoff,
+			&fabric.RetryBudget{RefillPerSec: 1, Burst: 3, DropOnEmpty: true, Adaptive: true}},
 	}
 }
 

@@ -250,6 +250,12 @@ type Result struct {
 	GossipEstFinal float64 // final sampled gossip estimate, [0,1]
 	GossipStaleSec float64 // mean staleness of the estimate at use, seconds
 
+	// Split-signal metrics (zero without Config.SplitSignal).
+	ConflictEstAvg   float64 // mean conflict estimate over rounds, [0,1]
+	ConflictEstFinal float64 // final sampled conflict estimate, [0,1]
+	CongestEstAvg    float64 // mean congestion estimate over rounds, [0,1]
+	CongestEstFinal  float64 // final sampled congestion estimate, [0,1]
+
 	// Fault-injection metrics (zero without Config.Faults).
 	FaultWindows float64 // fault windows opened over the run
 	DowntimeSec  float64 // scheduled node downtime, seconds
@@ -273,39 +279,43 @@ func (o Options) Run(build func(seed int64) fabric.Config) (Result, error) {
 
 func fromReport(r metrics.Report) Result {
 	res := Result{
-		Total:           float64(r.Total),
-		Committed:       float64(r.Committed),
-		FailurePct:      r.FailurePct,
-		EndorsementPct:  r.EndorsementPct,
-		IntraPct:        r.IntraBlockPct,
-		InterPct:        r.InterBlockPct,
-		MVCCPct:         r.MVCCPct,
-		PhantomPct:      r.PhantomPct,
-		AbortedPct:      r.AbortedPct,
-		LatencySec:      r.AvgLatency.Seconds(),
-		Throughput:      r.Throughput,
-		Goodput:         r.Goodput,
-		RetryAmp:        r.RetryAmplification,
-		EndToEndSec:     r.AvgEndToEnd.Seconds(),
-		BudgetExhausted: float64(r.BudgetExhausted),
-		DeferredRetries: float64(r.DeferredRetries),
-		MaxDeferred:     float64(r.MaxDeferredDepth),
-		AdaptiveBackSec: r.AdaptiveBackoffFinal.Seconds(),
-		HintAvg:         r.BackpressureHintAvg,
-		HintFinal:       r.BackpressureHintFinal,
-		Paced:           float64(r.PacedSubmissions),
-		PacedSec:        r.TimePaced.Seconds(),
-		GossipMsgs:      float64(r.GossipMessages),
-		GossipMerges:    float64(r.GossipMerges),
-		GossipEstAvg:    r.GossipEstimateAvg,
-		GossipEstFinal:  r.GossipEstimateFinal,
-		GossipStaleSec:  r.GossipStalenessAvg.Seconds(),
-		FaultWindows:    float64(r.FaultWindows),
-		DowntimeSec:     r.NodeDowntime.Seconds(),
-		EndorseTOs:      float64(r.EndorseTimeouts),
-		SubmitTOs:       float64(r.SubmitTimeouts),
-		Orphans:         float64(r.OrphanedTxs),
-		RecoverySec:     r.RecoveryAvg.Seconds(),
+		Total:            float64(r.Total),
+		Committed:        float64(r.Committed),
+		FailurePct:       r.FailurePct,
+		EndorsementPct:   r.EndorsementPct,
+		IntraPct:         r.IntraBlockPct,
+		InterPct:         r.InterBlockPct,
+		MVCCPct:          r.MVCCPct,
+		PhantomPct:       r.PhantomPct,
+		AbortedPct:       r.AbortedPct,
+		LatencySec:       r.AvgLatency.Seconds(),
+		Throughput:       r.Throughput,
+		Goodput:          r.Goodput,
+		RetryAmp:         r.RetryAmplification,
+		EndToEndSec:      r.AvgEndToEnd.Seconds(),
+		BudgetExhausted:  float64(r.BudgetExhausted),
+		DeferredRetries:  float64(r.DeferredRetries),
+		MaxDeferred:      float64(r.MaxDeferredDepth),
+		AdaptiveBackSec:  r.AdaptiveBackoffFinal.Seconds(),
+		HintAvg:          r.BackpressureHintAvg,
+		HintFinal:        r.BackpressureHintFinal,
+		Paced:            float64(r.PacedSubmissions),
+		PacedSec:         r.TimePaced.Seconds(),
+		GossipMsgs:       float64(r.GossipMessages),
+		GossipMerges:     float64(r.GossipMerges),
+		GossipEstAvg:     r.GossipEstimateAvg,
+		GossipEstFinal:   r.GossipEstimateFinal,
+		GossipStaleSec:   r.GossipStalenessAvg.Seconds(),
+		ConflictEstAvg:   r.ConflictEstAvg,
+		ConflictEstFinal: r.ConflictEstFinal,
+		CongestEstAvg:    r.CongestEstAvg,
+		CongestEstFinal:  r.CongestEstFinal,
+		FaultWindows:     float64(r.FaultWindows),
+		DowntimeSec:      r.NodeDowntime.Seconds(),
+		EndorseTOs:       float64(r.EndorseTimeouts),
+		SubmitTOs:        float64(r.SubmitTimeouts),
+		Orphans:          float64(r.OrphanedTxs),
+		RecoverySec:      r.RecoveryAvg.Seconds(),
 	}
 	if r.Jobs > 0 {
 		res.GaveUpPct = 100 * float64(r.GaveUp) / float64(r.Jobs)
@@ -342,6 +352,10 @@ func (r Result) add(o Result) Result {
 	r.GossipEstAvg += o.GossipEstAvg
 	r.GossipEstFinal += o.GossipEstFinal
 	r.GossipStaleSec += o.GossipStaleSec
+	r.ConflictEstAvg += o.ConflictEstAvg
+	r.ConflictEstFinal += o.ConflictEstFinal
+	r.CongestEstAvg += o.CongestEstAvg
+	r.CongestEstFinal += o.CongestEstFinal
 	r.FaultWindows += o.FaultWindows
 	r.DowntimeSec += o.DowntimeSec
 	r.EndorseTOs += o.EndorseTOs
@@ -380,6 +394,10 @@ func (r Result) scale(f float64) Result {
 	r.GossipEstAvg *= f
 	r.GossipEstFinal *= f
 	r.GossipStaleSec *= f
+	r.ConflictEstAvg *= f
+	r.ConflictEstFinal *= f
+	r.CongestEstAvg *= f
+	r.CongestEstFinal *= f
 	r.FaultWindows *= f
 	r.DowntimeSec *= f
 	r.EndorseTOs *= f

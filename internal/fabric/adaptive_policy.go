@@ -202,6 +202,14 @@ type adaptiveState struct {
 
 	// window holds the last cfg.Window outcomes behind FailureRate.
 	window outcomeWindow
+
+	// split enables per-class windows (Config.SplitSignal): the AIMD
+	// increase gates on the conflict window only, so congestion-class
+	// failures (CLIENT_TIMEOUT) stop inflating the backoff a conflict
+	// controller is supposed to manage — pacing handles them instead.
+	split       bool
+	conflictWin outcomeWindow
+	congestWin  outcomeWindow
 }
 
 // Name implements RetryPolicy.
@@ -235,13 +243,51 @@ func (s *adaptiveState) observe(failed bool) {
 	s.window.observe(failed)
 	if failed {
 		if s.FailureRate() >= s.cfg.Target {
-			s.cur = time.Duration(float64(s.cur) * s.cfg.Increase)
-			if s.cur > s.cfg.Ceiling {
-				s.cur = s.cfg.Ceiling
-			}
+			s.increase()
 		}
 		return
 	}
+	s.decrease()
+}
+
+// enableSplit implements splitAware: outcomes arrive classified via
+// observeClass, with the AIMD increase gated on the conflict window.
+func (s *adaptiveState) enableSplit() {
+	s.split = true
+	s.conflictWin = newOutcomeWindow(s.cfg.Window)
+	s.congestWin = newOutcomeWindow(s.cfg.Window)
+}
+
+// observeClass implements classObserver (split mode): every outcome
+// slides both per-class windows, but only a conflict-class failure at
+// or above the Target conflict rate runs the multiplicative increase.
+// A congestion-class failure (CLIENT_TIMEOUT) leaves the level alone —
+// backing off one client cannot drain a backlog; the pacing path
+// handles it — and a commit decreases additively as in scalar mode.
+func (s *adaptiveState) observeClass(class SignalClass) {
+	s.conflictWin.observe(class == SignalConflict)
+	s.congestWin.observe(class == SignalCongestion)
+	switch class {
+	case SignalConflict:
+		if s.conflictWin.failureRate() >= s.cfg.Target {
+			s.increase()
+		}
+	case SignalNone:
+		s.decrease()
+	}
+}
+
+// increase runs the multiplicative backoff increase, capped at the
+// ceiling.
+func (s *adaptiveState) increase() {
+	s.cur = time.Duration(float64(s.cur) * s.cfg.Increase)
+	if s.cur > s.cfg.Ceiling {
+		s.cur = s.cfg.Ceiling
+	}
+}
+
+// decrease runs the additive backoff decrease, floored.
+func (s *adaptiveState) decrease() {
 	s.cur -= s.cfg.Decrease
 	if s.cur < s.cfg.Floor {
 		s.cur = s.cfg.Floor
@@ -252,8 +298,14 @@ func (s *adaptiveState) observe(failed bool) {
 func (s *adaptiveState) currentBackoff() time.Duration { return s.cur }
 
 // FailureRate reports the failure fraction over the sliding window
-// (see outcomeWindow for the fill-phase denominator convention).
+// (see outcomeWindow for the fill-phase denominator convention). In
+// split mode it is the sum of the per-class rates — the classes
+// partition the failure codes, so the sum equals the scalar rate the
+// same outcome stream would have produced.
 func (s *adaptiveState) FailureRate() float64 {
+	if s.split {
+		return s.conflictWin.failureRate() + s.congestWin.failureRate()
+	}
 	return s.window.failureRate()
 }
 

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/sim"
@@ -42,6 +43,27 @@ type RetryBudget struct {
 	// the default defer semantics (wait for a token) when the bucket
 	// is empty.
 	DropOnEmpty bool
+
+	// Adaptive calibrates the budget to the workload instead of
+	// trusting one fixed number to fit every chaincode: a conflict-bound
+	// storm (DV's phantom conflicts) that finds the bucket empty doubles
+	// the refill rate, capped at MaxRefillPerSec, with the bucket
+	// capacity scaling along (Burst × rate/RefillPerSec) so the raised
+	// rate can actually be banked against the bursty block-commit
+	// arrival of failures; the raised rate relaxes exponentially back
+	// toward the configured base with a 10 virtual-second half-life
+	// once the storm subsides. The rule is driven purely by take-time
+	// bucket state, elapsed virtual time and the outcome's SignalClass,
+	// so it draws no rng and stays deterministic. Congestion-class
+	// demand (CLIENT_TIMEOUT) never raises the rate: granting more
+	// retry budget to a backlogged network is exactly the wrong
+	// response — pacing, not budget, handles congestion.
+	Adaptive bool
+
+	// MaxRefillPerSec caps the adaptive refill rate. 0 defaults to
+	// 64 × RefillPerSec; negative, or positive but below the (resolved)
+	// base rate, is a validation error. Ignored without Adaptive.
+	MaxRefillPerSec float64
 }
 
 // withDefaults resolves the documented zero-value defaults.
@@ -63,16 +85,25 @@ func (b RetryBudget) Validate() error {
 	if b.Burst < 0 {
 		return fmt.Errorf("fabric: retry budget burst must be >= 0, got %g", b.Burst)
 	}
+	if b.MaxRefillPerSec < 0 {
+		return fmt.Errorf("fabric: retry budget max refill rate must be >= 0, got %g", b.MaxRefillPerSec)
+	}
+	if base := b.withDefaults().RefillPerSec; b.MaxRefillPerSec > 0 && b.MaxRefillPerSec < base {
+		return fmt.Errorf("fabric: retry budget max refill rate %g below base rate %g", b.MaxRefillPerSec, base)
+	}
 	return nil
 }
 
-// Name labels the budget in experiment tables, e.g. "budget(1/s,b3)"
-// or "budget(2/s,b5,drop)".
+// Name labels the budget in experiment tables, e.g. "budget(1/s,b3)",
+// "budget(2/s,b5,drop)" or "budget(1/s,b3,drop,adapt)".
 func (b RetryBudget) Name() string {
 	b = b.withDefaults()
 	mode := ""
 	if b.DropOnEmpty {
 		mode = ",drop"
+	}
+	if b.Adaptive {
+		mode += ",adapt"
 	}
 	return fmt.Sprintf("budget(%g/s,b%g%s)", b.RefillPerSec, b.Burst, mode)
 }
@@ -81,38 +112,95 @@ func (b RetryBudget) Name() string {
 // time and is driven only from simulation events, so it needs no
 // locking and stays deterministic.
 type tokenBucket struct {
-	rate   float64 // tokens per second
+	rate   float64 // tokens per second (current; adaptive mode moves it)
 	burst  float64 // capacity
 	drop   bool
 	tokens float64  // may go negative in defer mode (borrowed tokens)
 	last   sim.Time // time of the last refill
+
+	// Adaptive calibration (RetryBudget.Adaptive): rate moves between
+	// base and maxRate per the take-time rule in take.
+	adaptive bool
+	base     float64 // configured refill rate, the relaxation target
+	maxRate  float64 // adaptive rate cap
 }
 
 // newTokenBucket builds a full bucket from a (defaulted) config.
 func newTokenBucket(b RetryBudget) *tokenBucket {
 	b = b.withDefaults()
-	return &tokenBucket{rate: b.RefillPerSec, burst: b.Burst, tokens: b.Burst, drop: b.DropOnEmpty}
+	tb := &tokenBucket{rate: b.RefillPerSec, burst: b.Burst, tokens: b.Burst, drop: b.DropOnEmpty,
+		adaptive: b.Adaptive, base: b.RefillPerSec, maxRate: b.MaxRefillPerSec}
+	if tb.maxRate <= 0 {
+		tb.maxRate = 64 * tb.base
+	}
+	return tb
+}
+
+// adaptiveRelaxHalfLife is the half-life (virtual seconds) at which an
+// adaptive bucket's raised refill rate decays back toward its base: a
+// persistent conflict storm re-doubles the rate far faster than the
+// decay erodes it, while a storm that ends lets the rate relax within
+// a few tens of seconds. A per-take relax rule (halve on a full
+// bucket) was tried first and misreads success as overshoot: once the
+// raised rate absorbs the storm the bucket is full at every take, and
+// the rate collapses while the storm still rages.
+const adaptiveRelaxHalfLife = 10.0
+
+// cap is the bucket's current capacity. In adaptive mode the capacity
+// scales with the calibrated rate (burst × rate/base): failures arrive
+// in bursts at block-commit instants, so a raised refill rate is
+// useless unless the bucket can bank it between storms — with a fixed
+// cap the doubled rate tops the bucket up in a blink and the next
+// storm still drops everything past the configured burst.
+func (tb *tokenBucket) cap() float64 {
+	if tb.adaptive && tb.base > 0 {
+		return tb.burst * tb.rate / tb.base
+	}
+	return tb.burst
 }
 
 // refill accrues tokens for the virtual time elapsed since the last
-// call, capped at the burst size.
+// call, capped at the bucket capacity. In adaptive mode it also
+// relaxes a raised rate exponentially toward the base (tokens accrue
+// at the pre-decay rate for the elapsed slice — a deterministic
+// overestimate of at most one decay step).
 func (tb *tokenBucket) refill(now sim.Time) {
 	if now > tb.last {
-		tb.tokens += time.Duration(now-tb.last).Seconds() * tb.rate
-		if tb.tokens > tb.burst {
-			tb.tokens = tb.burst
+		dt := time.Duration(now - tb.last).Seconds()
+		tb.tokens += dt * tb.rate
+		if tb.adaptive && tb.rate > tb.base {
+			tb.rate = tb.base + (tb.rate-tb.base)*math.Pow(0.5, dt/adaptiveRelaxHalfLife)
+		}
+		if c := tb.cap(); tb.tokens > c {
+			tb.tokens = c
 		}
 		tb.last = now
 	}
 }
 
-// take charges one token at virtual time now. ok=false means the
-// retry must be dropped — the caller records it as a budget
-// exhaustion, never as a deferral, and no token is consumed. A
-// positive wait means the retry is deferred: the token was lent and
-// becomes available only wait from now.
-func (tb *tokenBucket) take(now sim.Time) (wait time.Duration, ok bool) {
+// take charges one token at virtual time now, for a retry demanded by
+// an outcome of the given signal class. ok=false means the retry must
+// be dropped — the caller records it as a budget exhaustion, never as
+// a deferral, and no token is consumed. A positive wait means the
+// retry is deferred: the token was lent and becomes available only
+// wait from now.
+//
+// In adaptive mode the bucket recalibrates its refill rate first:
+// conflict-class demand on an empty bucket doubles the rate (capped at
+// maxRate) — the base rate is undersized for this workload's failure
+// volume — while the raised rate relaxes back toward base on a fixed
+// half-life (see refill). Congestion-class demand never raises the
+// rate (see RetryBudget.Adaptive). The rate change applies from now
+// on; it never retroactively refills, so determinism and the burst
+// cap hold.
+func (tb *tokenBucket) take(now sim.Time, class SignalClass) (wait time.Duration, ok bool) {
 	tb.refill(now)
+	if tb.adaptive && tb.tokens < 1 && class == SignalConflict {
+		tb.rate *= 2
+		if tb.rate > tb.maxRate {
+			tb.rate = tb.maxRate
+		}
+	}
 	if tb.tokens < 1 && (tb.drop || tb.rate <= 0) {
 		// Drop mode refuses on an empty bucket by design. Defer mode
 		// refuses too when there is no refill stream to repay a loan

@@ -19,7 +19,7 @@ func TestTokenBucketRefillMath(t *testing.T) {
 	}
 	// Drain it.
 	for i := 0; i < 4; i++ {
-		if wait, ok := tb.take(0); !ok || wait != 0 {
+		if wait, ok := tb.take(0, SignalConflict); !ok || wait != 0 {
 			t.Fatalf("take %d: wait=%v ok=%v, want immediate grant", i, wait, ok)
 		}
 	}
@@ -38,37 +38,37 @@ func TestTokenBucketRefillMath(t *testing.T) {
 
 func TestTokenBucketDropMode(t *testing.T) {
 	tb := newTokenBucket(RetryBudget{RefillPerSec: 1, Burst: 2, DropOnEmpty: true})
-	if _, ok := tb.take(0); !ok {
+	if _, ok := tb.take(0, SignalConflict); !ok {
 		t.Fatal("full bucket refused a token")
 	}
-	if _, ok := tb.take(0); !ok {
+	if _, ok := tb.take(0, SignalConflict); !ok {
 		t.Fatal("second token refused with burst 2")
 	}
 	// Empty: drop mode refuses instead of lending.
-	if _, ok := tb.take(0); ok {
+	if _, ok := tb.take(0, SignalConflict); ok {
 		t.Fatal("empty drop-mode bucket granted a token")
 	}
 	// A second refusal must not consume anything: after 1s exactly one
 	// token accrued and is grantable.
-	if _, ok := tb.take(0); ok {
+	if _, ok := tb.take(0, SignalConflict); ok {
 		t.Fatal("repeat take on empty bucket granted")
 	}
-	if wait, ok := tb.take(sec(1)); !ok || wait != 0 {
+	if wait, ok := tb.take(sec(1), SignalConflict); !ok || wait != 0 {
 		t.Fatalf("after 1s refill: wait=%v ok=%v, want immediate grant", wait, ok)
 	}
-	if _, ok := tb.take(sec(1)); ok {
+	if _, ok := tb.take(sec(1), SignalConflict); ok {
 		t.Fatal("bucket granted a second token after refilling only one")
 	}
 }
 
 func TestTokenBucketDeferMode(t *testing.T) {
 	tb := newTokenBucket(RetryBudget{RefillPerSec: 2, Burst: 1})
-	if wait, ok := tb.take(0); !ok || wait != 0 {
+	if wait, ok := tb.take(0, SignalConflict); !ok || wait != 0 {
 		t.Fatalf("initial take: wait=%v ok=%v", wait, ok)
 	}
 	// Empty: defer mode lends the token; at 2 tokens/s the loan is
 	// repaid in 500ms.
-	wait, ok := tb.take(0)
+	wait, ok := tb.take(0, SignalConflict)
 	if !ok {
 		t.Fatal("defer-mode bucket refused")
 	}
@@ -77,12 +77,12 @@ func TestTokenBucketDeferMode(t *testing.T) {
 	}
 	// Deferred retries serialize: the next loan waits its own 500ms on
 	// top of the outstanding one.
-	wait, ok = tb.take(0)
+	wait, ok = tb.take(0, SignalConflict)
 	if !ok || wait != time.Second {
 		t.Errorf("second deferred wait %v ok=%v, want 1s", wait, ok)
 	}
 	// After the debt is repaid the bucket grants immediately again.
-	if wait, ok := tb.take(sec(2)); !ok || wait != 0 {
+	if wait, ok := tb.take(sec(2), SignalConflict); !ok || wait != 0 {
 		t.Errorf("post-repayment take: wait=%v ok=%v, want immediate", wait, ok)
 	}
 }
@@ -96,12 +96,12 @@ func TestTokenBucketDeferModeWithoutRefillDrops(t *testing.T) {
 	// client's exhaustion/deferral split depends on.
 	tb := &tokenBucket{rate: 0, burst: 2, tokens: 2}
 	for i := 0; i < 2; i++ {
-		if wait, ok := tb.take(0); !ok || wait != 0 {
+		if wait, ok := tb.take(0, SignalConflict); !ok || wait != 0 {
 			t.Fatalf("take %d: wait=%v ok=%v, want the burst granted immediately", i, wait, ok)
 		}
 	}
 	for i := 0; i < 3; i++ {
-		wait, ok := tb.take(sec(float64(i)))
+		wait, ok := tb.take(sec(float64(i)), SignalConflict)
 		if ok {
 			t.Fatalf("take %d on an unrefillable bucket granted a loan", i)
 		}

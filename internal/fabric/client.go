@@ -51,8 +51,12 @@ type clientCore struct {
 	// stateless ones are shared with the network.
 	policy RetryPolicy
 	// observer/reporter are the optional adaptive facets of policy,
-	// resolved once at construction.
+	// resolved once at construction. classObs is the split-mode variant
+	// of observer: outcomes arrive classified per SignalClass instead
+	// of as a scalar failed bit. When the split is on and the policy
+	// supports it, classObs supersedes observer.
 	observer outcomeObserver
+	classObs classObserver
 	reporter backoffReporter
 	// bucket is the retry budget (nil = unlimited). A cohort shares
 	// one bucket across its members with refill rate and burst scaled
@@ -79,6 +83,11 @@ type clientCore struct {
 	gossip  *gossipState
 	hintSrc HintSource
 
+	// split is the resolved split-signal mode (nil = scalar): outcome
+	// classification per SignalClass, a two-component gossip estimate,
+	// and conflict→backoff / congestion→pacing signal routing.
+	split *SplitSignal
+
 	// resubmissions counts retry submissions issued (diagnostics).
 	resubmissions int
 }
@@ -92,6 +101,7 @@ type pendingTx struct {
 	inv         workload.Invocation
 	attempts    int      // submissions so far (1 = first attempt)
 	firstSubmit sim.Time // first submission, end-to-end latency start
+	lastSubmit  sim.Time // current attempt's submission (congestion evidence)
 	member      int      // driven member this job belongs to
 
 	// channels[:legs] are the channels this transaction spans (legs is
@@ -132,6 +142,13 @@ func (c *clientCore) init(nw *Network, index, firstID, members int, name string)
 	}
 	c.observer, _ = base.(outcomeObserver)
 	c.reporter, _ = base.(backoffReporter)
+	c.split = nw.split
+	if c.split != nil {
+		if sa, ok := base.(splitAware); ok {
+			sa.enableSplit()
+			c.classObs, _ = base.(classObserver)
+		}
+	}
 	if nw.tracking && nw.cfg.RetryBudget != nil {
 		b := *nw.cfg.RetryBudget
 		if members > 1 {
@@ -141,6 +158,9 @@ func (c *clientCore) init(nw *Network, index, firstID, members int, name string)
 			b = b.withDefaults()
 			b.RefillPerSec *= float64(members)
 			b.Burst *= float64(members)
+			if b.MaxRefillPerSec > 0 {
+				b.MaxRefillPerSec *= float64(members)
+			}
 		}
 		c.bucket = newTokenBucket(b)
 	}
@@ -149,7 +169,7 @@ func (c *clientCore) init(nw *Network, index, firstID, members int, name string)
 		c.pacer = nw.bp
 	}
 	if nw.gossip != nil {
-		c.gossip = newGossipState(*nw.gossip)
+		c.gossip = newGossipState(*nw.gossip, c.split != nil)
 	}
 	if c.pacer != nil || c.gossip != nil {
 		c.hintObs, _ = base.(hintObserver)
@@ -217,6 +237,7 @@ func (c *clientCore) submitJob(member int) {
 // against current state).
 func (c *clientCore) submitAttempt(j *pendingTx) {
 	j.attempts++
+	j.lastSubmit = c.nw.eng.Now()
 	j.legsLeft = j.legs
 	j.legFailed = false
 	for l := 0; l < j.legs; l++ {
@@ -356,7 +377,11 @@ func (c *clientCore) assemble(j *pendingTx, tx *ledger.Transaction, channel int,
 func (c *clientCore) onOutcome(txID string, code ledger.ValidationCode, hint float64, channel int) {
 	if c.pacer != nil && c.hintSrc.usesOrderer() {
 		c.hints[channel] = hint
-		if c.hintObs != nil {
+		// In split mode the orderer's hint is pure congestion evidence:
+		// it feeds pacing via currentSignals but must not slide the
+		// hint-consuming policies' backoff, which the conflict estimate
+		// drives instead.
+		if c.hintObs != nil && c.split == nil {
 			c.hintObs.observeHint(hint)
 		}
 	}
@@ -404,8 +429,8 @@ func (c *clientCore) legDone(j *pendingTx, txID string, code ledger.ValidationCo
 // read).
 func (c *clientCore) attemptResolved(j *pendingTx) {
 	c.nw.col.RecordAttempt(j.attempts, ledger.Valid)
-	c.observe(false)
-	c.gossipObserve(false)
+	c.observe(ledger.Valid)
+	c.gossipObserve(ledger.Valid, j)
 	c.nw.col.RecordJob(j.attempts, true, j.firstSubmit, c.nw.eng.Now())
 	c.jobDone(j.member)
 }
@@ -422,19 +447,32 @@ func (c *clientCore) attemptResolved(j *pendingTx) {
 // paced backoff (in part or in full) absorbs that much of the pause.
 func (c *clientCore) attemptFailed(j *pendingTx, code ledger.ValidationCode) {
 	c.nw.col.RecordAttempt(j.attempts, code)
-	c.observe(true)
-	c.gossipObserve(true)
-	// The gossip estimate is pulled, not pushed: consult the hint once
+	c.observe(code)
+	c.gossipObserve(code, j)
+	// The gossip estimate is pulled, not pushed: consult the signal once
 	// per failure, refresh the policy's view right before it decides
 	// the backoff (so the delay reflects the fleet's current alarm,
 	// decay included), and reuse the same value for the pacer below.
+	// In split mode the consultation yields two values routed apart:
+	// the conflict estimate slides the hint-consuming policy's backoff,
+	// the congestion estimate (orderer hints included) drives the pacer.
 	gossipFeeds := c.hintObs != nil && c.gossip != nil && c.hintSrc.usesGossip()
 	var hint float64
-	if gossipFeeds || c.pacer != nil {
-		hint = c.currentHint()
-	}
-	if gossipFeeds {
-		c.hintObs.observeHint(hint)
+	if c.split != nil {
+		if gossipFeeds || c.pacer != nil {
+			conflict, congestion := c.currentSignals()
+			if gossipFeeds {
+				c.hintObs.observeHint(conflict)
+			}
+			hint = congestion
+		}
+	} else {
+		if gossipFeeds || c.pacer != nil {
+			hint = c.currentHint()
+		}
+		if gossipFeeds {
+			c.hintObs.observeHint(hint)
+		}
 	}
 	if delay, ok := c.policy.NextDelay(j.attempts, c.nw.eng.Rand()); ok {
 		var pause time.Duration
@@ -443,7 +481,7 @@ func (c *clientCore) attemptFailed(j *pendingTx, code ledger.ValidationCode) {
 		}
 		delay += pause
 		if c.bucket != nil {
-			wait, granted := c.bucket.take(c.nw.eng.Now())
+			wait, granted := c.bucket.take(c.nw.eng.Now(), ClassifyOutcome(code))
 			if !granted {
 				c.nw.col.RecordBudgetExhausted()
 				c.nw.col.RecordJob(j.attempts, false, j.firstSubmit, c.nw.eng.Now())
@@ -484,10 +522,15 @@ func (c *clientCore) attemptFailed(j *pendingTx, code ledger.ValidationCode) {
 // the backpressure pacer adds to the next submission: hint×Gain,
 // capped at MaxPause. Zero without backpressure or when the selected
 // producer reports no congestion, so the default configuration never
-// alters scheduling.
+// alters scheduling. In split mode only the congestion component
+// paces — a conflict storm no longer throttles fresh load.
 func (c *clientCore) pacePause() time.Duration {
 	if c.pacer == nil {
 		return 0
+	}
+	if c.split != nil {
+		_, congestion := c.currentSignals()
+		return c.pacer.pause(congestion)
 	}
 	return c.pacer.pause(c.currentHint())
 }
@@ -516,12 +559,46 @@ func (c *clientCore) currentHint() float64 {
 	return h
 }
 
-// gossipObserve slides one attempt outcome into the gossip window
-// (no-op without Config.Gossip).
-func (c *clientCore) gossipObserve(failed bool) {
-	if c.gossip != nil {
-		c.gossip.observe(failed)
+// currentSignals resolves the two split-mode signals from the
+// configured producer(s): the conflict estimate (gossip only — the
+// orderer has no conflict view) and the congestion estimate (the max
+// of the per-channel orderer hints and the gossiped congestion
+// component, per HintSource). Consultations of the gossip estimate
+// record staleness-at-use exactly like the scalar path.
+func (c *clientCore) currentSignals() (conflict, congestion float64) {
+	if c.hintSrc.usesOrderer() {
+		for _, ch := range c.hints {
+			if ch > congestion {
+				congestion = ch
+			}
+		}
 	}
+	if c.gossip != nil && c.hintSrc.usesGossip() {
+		e, stale := c.gossip.splitEstimate(c.nw.eng.Now())
+		c.nw.col.RecordGossipUse(stale)
+		conflict = e.Conflict
+		if e.Congestion > congestion {
+			congestion = e.Congestion
+		}
+	}
+	return conflict, congestion
+}
+
+// gossipObserve slides one attempt outcome into the gossip window
+// (no-op without Config.Gossip). In split mode the outcome lands in
+// the per-class windows, with the attempt's submit→resolution latency
+// checked against the CongestLatency threshold as congestion evidence.
+func (c *clientCore) gossipObserve(code ledger.ValidationCode, j *pendingTx) {
+	if c.gossip == nil {
+		return
+	}
+	if c.split != nil {
+		latency := time.Duration(c.nw.eng.Now() - j.lastSubmit)
+		congested := c.split.CongestLatency > 0 && latency >= c.split.CongestLatency
+		c.gossip.observeSplit(ClassifyOutcome(code), congested)
+		return
+	}
+	c.gossip.observe(code != ledger.Valid)
 }
 
 // startGossip schedules this driver's gossip rounds: every Period the
@@ -552,7 +629,15 @@ func (c *clientCore) startGossip() {
 // driver count, not the simulated client count.
 func (c *clientCore) gossipRound() {
 	now := c.nw.eng.Now()
-	est, _ := c.gossip.estimate(now)
+	var est float64
+	var se SplitEstimate
+	if c.split != nil {
+		se, _ = c.gossip.splitEstimate(now)
+		c.nw.col.RecordSplitSample(se.Conflict, se.Congestion)
+		est = se.Max()
+	} else {
+		est, _ = c.gossip.estimate(now)
+	}
 	c.nw.col.RecordGossipSample(est)
 	n := len(c.nw.drivers)
 	fanout := c.gossip.cfg.Fanout
@@ -571,7 +656,11 @@ func (c *clientCore) gossipRound() {
 		}
 		peer := c.nw.drivers[p]
 		c.nw.col.RecordGossipMessage()
-		c.nw.net.Send(c.name, peer.Name(), func() { peer.onGossip(est, now) })
+		if c.split != nil {
+			c.nw.net.Send(c.name, peer.Name(), func() { peer.onGossipSplit(se, now) })
+		} else {
+			c.nw.net.Send(c.name, peer.Name(), func() { peer.onGossip(est, now) })
+		}
 	}
 }
 
@@ -588,15 +677,32 @@ func (c *clientCore) onGossip(value float64, sentAt sim.Time) {
 	}
 }
 
-// observe feeds an attempt outcome to an adaptive policy and samples
-// its resulting backoff level for the trajectory summary. Inert (and
-// rng-neutral) for stateless policies.
-func (c *clientCore) observe(failed bool) {
-	if c.observer == nil {
+// onGossipSplit receives one peer driver's two-component estimate
+// (split mode) and merges it component-wise by max-with-decay.
+func (c *clientCore) onGossipSplit(e SplitEstimate, sentAt sim.Time) {
+	if c.gossip == nil || !c.gossip.split {
 		return
 	}
-	c.observer.observe(failed)
-	if c.reporter != nil {
+	if c.gossip.mergeSplit(e, sentAt, c.nw.eng.Now()) {
+		c.nw.col.RecordGossipMerge()
+	}
+}
+
+// observe feeds an attempt outcome to an adaptive policy and samples
+// its resulting backoff level for the trajectory summary. Inert (and
+// rng-neutral) for stateless policies. In split mode the outcome
+// arrives classified per SignalClass when the policy supports it, so
+// the controller can gate its increase on conflict-class failures.
+func (c *clientCore) observe(code ledger.ValidationCode) {
+	fed := false
+	if c.classObs != nil {
+		c.classObs.observeClass(ClassifyOutcome(code))
+		fed = true
+	} else if c.observer != nil {
+		c.observer.observe(code != ledger.Valid)
+		fed = true
+	}
+	if fed && c.reporter != nil {
 		c.nw.col.RecordBackoffSample(c.reporter.currentBackoff())
 	}
 }

@@ -163,6 +163,21 @@ type Config struct {
 	// max-combine the two. "gossip" and "both" require Config.Gossip.
 	HintSource HintSource
 
+	// SplitSignal splits the client-side outcome signal into a conflict
+	// estimate and a congestion estimate and routes each to the control
+	// it can help: conflict (MVCC/phantom/endorsement failures) drives
+	// backoff — AdaptivePolicy's AIMD increase gates on the conflict
+	// rate, and the hint-consuming policies (BackpressurePolicy,
+	// AdaptivePolicy.HintWeight) slide on the gossiped conflict
+	// estimate — while congestion (CLIENT_TIMEOUT, slow attempts past
+	// CongestLatency, the orderer's hint) drives the backpressure
+	// pacing path. The gossip mesh then carries a two-component
+	// estimate with per-component decay and max-merge. Nil (the
+	// default) keeps the scalar signal: runs are byte-identical to
+	// builds without the field. Like the signals it routes, the split
+	// requires outcome tracking (a retry policy or closed-loop mode).
+	SplitSignal *SplitSignal
+
 	// ClosedLoop switches clients from open-loop Poisson arrivals to
 	// a closed loop: each client keeps InFlightPerClient logical
 	// transactions outstanding and submits the next one as soon as one
@@ -302,6 +317,11 @@ func (c *Config) Validate() error {
 	}
 	if c.HintSource.usesGossip() && c.Gossip == nil {
 		return fmt.Errorf("fabric: hint source %q needs Config.Gossip", string(c.HintSource))
+	}
+	if c.SplitSignal != nil {
+		if err := c.SplitSignal.Validate(); err != nil {
+			return err
+		}
 	}
 	if err := c.ThinkTime.Validate(); err != nil {
 		return err

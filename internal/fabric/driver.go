@@ -36,6 +36,9 @@ type ClientDriver interface {
 	onOutcome(txID string, code ledger.ValidationCode, hint float64, channel int)
 	// onGossip delivers one peer driver's congestion estimate.
 	onGossip(value float64, sentAt sim.Time)
+	// onGossipSplit delivers one peer driver's two-component estimate
+	// (split-signal mode, Config.SplitSignal).
+	onGossipSplit(e SplitEstimate, sentAt sim.Time)
 }
 
 var (

@@ -228,8 +228,16 @@ func MergeEstimates(a, b float64) float64 {
 // gossipState is one client's view of the gossiped congestion signal:
 // the sliding outcome window behind its local estimate, plus the most
 // alarmed remote estimate it has adopted (timestamped so it decays).
+//
+// In split-signal mode (Config.SplitSignal) the scalar window and
+// remote view are replaced by a per-class pair: a conflict window and
+// a congestion window feed a SplitEstimate whose components merge and
+// decay independently. The scalar fields stay untouched in that mode
+// and vice versa, so scalar-mode runs are byte-identical to builds
+// without the split machinery.
 type gossipState struct {
-	cfg Gossip // defaults resolved
+	cfg   Gossip // defaults resolved
+	split bool   // two-component mode (Config.SplitSignal)
 
 	// window holds the last cfg.Window outcomes behind the local
 	// estimate — the same outcomeWindow ring adaptiveState uses.
@@ -241,10 +249,22 @@ type gossipState struct {
 	remote    float64
 	remoteAt  sim.Time
 	hasRemote bool
+
+	// Split mode: one window and one adopted remote component per
+	// signal class.
+	conflictWin outcomeWindow
+	congestWin  outcomeWindow
+	remoteCflt  remoteComponent
+	remoteCngst remoteComponent
 }
 
-func newGossipState(cfg Gossip) *gossipState {
-	return &gossipState{cfg: cfg, window: newOutcomeWindow(cfg.Window)}
+func newGossipState(cfg Gossip, split bool) *gossipState {
+	g := &gossipState{cfg: cfg, split: split, window: newOutcomeWindow(cfg.Window)}
+	if split {
+		g.conflictWin = newOutcomeWindow(cfg.Window)
+		g.congestWin = newOutcomeWindow(cfg.Window)
+	}
+	return g
 }
 
 // observe slides one attempt outcome into the window.
@@ -290,4 +310,85 @@ func (g *gossipState) merge(value float64, sentAt, now sim.Time) bool {
 	g.remoteAt = sentAt
 	g.hasRemote = true
 	return true
+}
+
+// remoteComponent is one adopted remote component of the split
+// estimate: its value as of the sender's send time, so it decays from
+// there. has distinguishes "no estimate yet" from zero.
+type remoteComponent struct {
+	value float64
+	at    sim.Time
+	has   bool
+}
+
+// decayed returns the component's current value at now and the age of
+// the information behind it (zero when nothing was ever adopted).
+func (r *remoteComponent) decayed(now sim.Time, decayPerSec float64) (float64, time.Duration) {
+	if !r.has {
+		return 0, 0
+	}
+	age := time.Duration(now - r.at)
+	return DecayEstimate(r.value, age, decayPerSec), age
+}
+
+// merge folds one received component value (worth value at sentAt)
+// into the view by max-with-decay, exactly like the scalar merge:
+// adopted iff its decayed value beats the current decayed view, and a
+// zero is never adopted into an empty view.
+func (r *remoteComponent) merge(value float64, sentAt, now sim.Time, decayPerSec float64) bool {
+	incoming := DecayEstimate(value, time.Duration(now-sentAt), decayPerSec)
+	if r.has {
+		cur, _ := r.decayed(now, decayPerSec)
+		if incoming <= cur {
+			return false
+		}
+	} else if incoming <= 0 {
+		return false
+	}
+	r.value = ClampEstimate(value)
+	r.at = sentAt
+	r.has = true
+	return true
+}
+
+// observeSplit slides one classified attempt outcome into the
+// per-class windows (split mode). congested marks latency-based
+// congestion evidence — the attempt resolved only after the configured
+// CongestLatency threshold, whatever its validation code — so a jammed
+// orderer raises the congestion estimate even while commits (slowly)
+// succeed and no deadline ever expires.
+func (g *gossipState) observeSplit(class SignalClass, congested bool) {
+	g.conflictWin.observe(class == SignalConflict)
+	g.congestWin.observe(class == SignalCongestion || congested)
+}
+
+// splitEstimate returns the client's current two-component estimate at
+// now — each component the max of its live local window rate and its
+// age-decayed remote view — together with the age of the oldest remote
+// information that produced a dominating component (zero when the
+// local windows dominate both).
+func (g *gossipState) splitEstimate(now sim.Time) (est SplitEstimate, staleness time.Duration) {
+	est.Conflict = ClampEstimate(g.conflictWin.failureRate())
+	if rem, age := g.remoteCflt.decayed(now, g.cfg.Decay); rem > est.Conflict {
+		est.Conflict = rem
+		staleness = age
+	}
+	est.Congestion = ClampEstimate(g.congestWin.failureRate())
+	if rem, age := g.remoteCngst.decayed(now, g.cfg.Decay); rem > est.Congestion {
+		est.Congestion = rem
+		if age > staleness {
+			staleness = age
+		}
+	}
+	return est, staleness
+}
+
+// mergeSplit folds one received split estimate into the view,
+// component by component: a peer's conflict storm can raise only the
+// conflict view, its backlog alarm only the congestion view. Reports
+// whether either component advanced.
+func (g *gossipState) mergeSplit(e SplitEstimate, sentAt, now sim.Time) bool {
+	cflt := g.remoteCflt.merge(e.Conflict, sentAt, now, g.cfg.Decay)
+	cngst := g.remoteCngst.merge(e.Congestion, sentAt, now, g.cfg.Decay)
+	return cflt || cngst
 }

@@ -121,7 +121,7 @@ func TestDecayAndMergeMath(t *testing.T) {
 }
 
 func TestGossipStateWindowAndEstimate(t *testing.T) {
-	g := newGossipState(Gossip{Window: 4}.withDefaults())
+	g := newGossipState(Gossip{Window: 4}.withDefaults(), false)
 	if est, stale := g.estimate(0); est != 0 || stale != 0 {
 		t.Fatalf("fresh state estimate = %g stale=%v", est, stale)
 	}
@@ -140,7 +140,7 @@ func TestGossipStateWindowAndEstimate(t *testing.T) {
 }
 
 func TestGossipStateMergeMaxWithDecay(t *testing.T) {
-	g := newGossipState(Gossip{Decay: math.Ln2}.withDefaults()) // half-life 1s
+	g := newGossipState(Gossip{Decay: math.Ln2}.withDefaults(), false) // half-life 1s
 	now := sim.Time(10 * time.Second)
 	if !g.merge(0.8, now-sim.Time(time.Second), now) {
 		t.Fatal("first estimate not adopted")
@@ -170,7 +170,7 @@ func TestGossipStateMergeMaxWithDecay(t *testing.T) {
 			est, stale, g.localRate())
 	}
 	// Zero estimates are never "adopted" into an empty view.
-	fresh := newGossipState(Gossip{}.withDefaults())
+	fresh := newGossipState(Gossip{}.withDefaults(), false)
 	if fresh.merge(0, now, now) {
 		t.Error("zero estimate adopted into an empty view")
 	}
@@ -313,7 +313,10 @@ func TestGossipBothSourceCombinesSignals(t *testing.T) {
 // estimate stays in [0,1], the max-merge is monotone (never below
 // either clamped input), decay never increases an estimate and is
 // monotone in age, and a gossipState fed the same sequence keeps its
-// own view in range.
+// own view in range. The same laws are checked component-wise on the
+// two-component split algebra (SplitEstimate), with the inputs
+// crossed so the conflict and congestion components exercise
+// different values.
 func FuzzGossipMerge(f *testing.F) {
 	f.Add(0.5, 0.25, int64(time.Second), 0.5)
 	f.Add(0.0, 1.0, int64(0), 0.0)
@@ -345,12 +348,40 @@ func FuzzGossipMerge(f *testing.F) {
 			}
 		}
 
+		// The split algebra must obey the same laws component-wise.
+		sa := SplitEstimate{Conflict: a, Congestion: b}
+		sb := SplitEstimate{Conflict: b, Congestion: a}
+		sm := MergeSplitEstimates(sa, sb)
+		for _, c := range []float64{sm.Conflict, sm.Congestion} {
+			if c < 0 || c > 1 || math.IsNaN(c) {
+				t.Fatalf("split merge component %g out of [0,1] (merge %+v + %+v)", c, sa, sb)
+			}
+		}
+		if sm.Conflict != merged || sm.Congestion != merged {
+			t.Fatalf("split merge %+v != scalar merge %g of the same inputs", sm, merged)
+		}
+		sd := DecaySplitEstimate(sm, age, decay)
+		if sd.Conflict > sm.Conflict || sd.Congestion > sm.Congestion {
+			t.Fatalf("split decay grew a component: %+v from %+v", sd, sm)
+		}
+		for _, c := range []float64{sd.Conflict, sd.Congestion} {
+			if c < 0 || c > 1 || math.IsNaN(c) {
+				t.Fatalf("split decay component %g out of [0,1]", c)
+			}
+		}
+		if sd.Conflict != d || sd.Congestion != d {
+			t.Fatalf("split decay %+v != scalar decay %g of the same inputs", sd, d)
+		}
+		if mx := sm.Max(); mx != merged {
+			t.Fatalf("SplitEstimate.Max() = %g, scalar merge = %g", mx, merged)
+		}
+
 		// A state fed the same raw inputs must keep its view in range.
 		decayCfg := decay
 		if decayCfg < 0 || math.IsNaN(decayCfg) || math.IsInf(decayCfg, 0) {
 			decayCfg = 0.5 // state configs are validated; clamp for the harness
 		}
-		g := newGossipState(Gossip{Decay: decayCfg}.withDefaults())
+		g := newGossipState(Gossip{Decay: decayCfg}.withDefaults(), false)
 		now := sim.Time(2 * time.Hour)
 		sent := now - sim.Time(age)
 		if sent > now {
@@ -361,6 +392,18 @@ func FuzzGossipMerge(f *testing.F) {
 		g.observe(true)
 		if est, stale := g.estimate(now); est < 0 || est > 1 || math.IsNaN(est) || stale < 0 {
 			t.Fatalf("state estimate = %g stale=%v out of range", est, stale)
+		}
+
+		// And a split state fed the same sequence keeps both components
+		// in range.
+		gs := newGossipState(Gossip{Decay: decayCfg}.withDefaults(), true)
+		gs.mergeSplit(sa, sent, now)
+		gs.mergeSplit(sb, now, now)
+		gs.observeSplit(SignalConflict, true)
+		se, stale := gs.splitEstimate(now)
+		if se.Conflict < 0 || se.Conflict > 1 || math.IsNaN(se.Conflict) ||
+			se.Congestion < 0 || se.Congestion > 1 || math.IsNaN(se.Congestion) || stale < 0 {
+			t.Fatalf("split state estimate %+v stale=%v out of range", se, stale)
 		}
 	})
 }

@@ -202,6 +202,30 @@ func hintModes() []struct {
 			cfg.HintSource = HintGossip
 			return cfg
 		}},
+		{"split-gossip", func(s int64) Config {
+			cfg := congest(retryConfig(s, BackpressurePolicy{MaxAttempts: 5, Jitter: 0.2}))
+			cfg.Backpressure = &Backpressure{}
+			cfg.Gossip = &Gossip{}
+			cfg.HintSource = HintGossip
+			cfg.SplitSignal = &SplitSignal{}
+			return cfg
+		}},
+		{"split-both", func(s int64) Config {
+			cfg := congest(retryConfig(s, BackpressurePolicy{MaxAttempts: 5, Jitter: 0.2}))
+			cfg.Backpressure = &Backpressure{}
+			cfg.Gossip = &Gossip{}
+			cfg.HintSource = HintBoth
+			cfg.SplitSignal = &SplitSignal{}
+			return cfg
+		}},
+		{"split-adaptive-orderer", func(s int64) Config {
+			cfg := congest(retryConfig(s, AdaptivePolicy{MaxAttempts: 5, HintWeight: 0.5}))
+			cfg.Backpressure = &Backpressure{}
+			cfg.Gossip = &Gossip{}
+			cfg.HintSource = HintOrderer
+			cfg.SplitSignal = &SplitSignal{}
+			return cfg
+		}},
 	}
 }
 
@@ -222,8 +246,22 @@ func checkHintRange(t *testing.T, name string, cfg Config, rep metrics.Report) {
 	inUnit("gossip est avg", rep.GossipEstimateAvg)
 	inUnit("gossip est max", rep.GossipEstimateMax)
 	inUnit("gossip est final", rep.GossipEstimateFinal)
+	inUnit("conflict est avg", rep.ConflictEstAvg)
+	inUnit("conflict est max", rep.ConflictEstMax)
+	inUnit("conflict est final", rep.ConflictEstFinal)
+	inUnit("congestion est avg", rep.CongestEstAvg)
+	inUnit("congestion est max", rep.CongestEstMax)
+	inUnit("congestion est final", rep.CongestEstFinal)
 	if rep.BackpressureHintAvg > rep.BackpressureHintMax || rep.GossipEstimateAvg > rep.GossipEstimateMax {
 		t.Errorf("%s: trajectory average above its max", name)
+	}
+	if rep.ConflictEstAvg > rep.ConflictEstMax || rep.CongestEstAvg > rep.CongestEstMax {
+		t.Errorf("%s: split trajectory average above its max", name)
+	}
+	if cfg.SplitSignal == nil && (rep.ConflictEstAvg != 0 || rep.ConflictEstMax != 0 ||
+		rep.ConflictEstFinal != 0 || rep.CongestEstAvg != 0 || rep.CongestEstMax != 0 ||
+		rep.CongestEstFinal != 0) {
+		t.Errorf("%s: split signal off but component trajectories non-zero: %+v", name, rep)
 	}
 
 	if cfg.Backpressure != nil {

@@ -61,6 +61,11 @@ type Network struct {
 	// hintSrc is the resolved hint producer (Config.HintSource; the
 	// zero value resolves to the orderer, the PR-4 behaviour).
 	hintSrc HintSource
+	// split is the resolved split-signal mode (CongestLatency
+	// defaulted against the block timeout), nil when Config.SplitSignal
+	// is unset or the run does not track outcomes — the scalar signal
+	// path then runs byte-identically to builds without the split.
+	split *SplitSignal
 	// faults is the resolved fault schedule (scenario expanded into
 	// events), nil when Config.Faults is unset — the subsystem is then
 	// fully inert: no events are scheduled, no rng is drawn, and the
@@ -125,6 +130,10 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if cfg.Gossip != nil && nw.tracking {
 		g := cfg.Gossip.withDefaults()
 		nw.gossip = &g
+	}
+	if cfg.SplitSignal != nil && nw.tracking {
+		s := cfg.SplitSignal.withDefaults(cfg.BlockTimeout)
+		nw.split = &s
 	}
 	nw.net = netem.New(nw.eng, cfg.LAN)
 	nw.applySpeedFactor()

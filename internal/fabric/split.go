@@ -1,0 +1,202 @@
+package fabric
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/ledger"
+)
+
+// SignalClass partitions attempt outcomes by which control can
+// actually help against them. The coordination stack's scalar estimate
+// (PR 5) folded every failure into one number, so on contention-bound
+// workloads — where MVCC and phantom conflicts dominate — clients
+// paced hard even when the orderer was idle. The split keeps the two
+// phenomena apart:
+//
+//   - conflict-class failures (MVCC intra/inter-block, phantom reads,
+//     endorsement divergence, early aborts of doomed transactions) are
+//     caused by data contention: pacing the orderer does nothing for
+//     them; *backing off* until the hot key cools does;
+//   - congestion-class failures (client-side deadline expiries) are
+//     caused by backlog: backing off a single client does little;
+//     *pacing* the fleet drains the queue.
+//
+// Valid outcomes carry no alarm in either direction.
+type SignalClass int
+
+const (
+	// SignalNone is a Valid outcome: evidence against both alarms.
+	SignalNone SignalClass = iota
+	// SignalConflict is a contention-caused failure: drives backoff.
+	SignalConflict
+	// SignalCongestion is a backlog-caused failure: drives pacing.
+	SignalCongestion
+)
+
+// String names the class for diagnostics.
+func (s SignalClass) String() string {
+	switch s {
+	case SignalConflict:
+		return "conflict"
+	case SignalCongestion:
+		return "congestion"
+	}
+	return "none"
+}
+
+// ClassifyOutcome maps a validation code to its signal class. The
+// mapping is total: every failure code lands in exactly one class, and
+// codes this build does not know yet default to conflict — the
+// conservative direction, since backoff only costs the one client
+// while mis-pacing throttles fresh load fleet-wide.
+//
+// CLIENT_TIMEOUT is the one congestion-class code: a deadline expiry
+// means the attempt's envelope (or its commit event) is stuck behind a
+// backlog or a fault window, which retrying harder cannot fix but
+// pacing can relieve. Everything else — MVCC inter/intra-block,
+// phantom reads, endorsement divergence, and ordering-phase early
+// aborts of doomed transactions — is contention showing up at
+// different pipeline stages.
+func ClassifyOutcome(code ledger.ValidationCode) SignalClass {
+	switch code {
+	case ledger.Valid:
+		return SignalNone
+	case ledger.ClientTimeout:
+		return SignalCongestion
+	default:
+		return SignalConflict
+	}
+}
+
+// SplitSignal enables the two-component client signal
+// (Config.SplitSignal): the gossip estimate, the adaptive window and
+// the budget calibration all classify outcomes per SignalClass instead
+// of collapsing them into a scalar failure rate, and the two resulting
+// estimates route to the controls they can help — conflict to backoff
+// (AdaptivePolicy's AIMD gate, the hint-consuming policies' slide),
+// congestion to pacing (the backpressure pacer, whatever HintSource
+// feeds it).
+//
+// Nil (the default) keeps the scalar behaviour byte-identical to
+// builds without the field.
+type SplitSignal struct {
+	// CongestLatency is the attempt-latency threshold at or above
+	// which an outcome counts as congestion evidence in the gossiped
+	// congestion estimate, whatever its validation code: an attempt
+	// that took this long from submission to resolution waded through
+	// backlog. This is what lets the congestion estimate rise on a
+	// jammed orderer even before any client deadline (Config.Faults)
+	// expires — commits still happen, just slowly. 0 defaults to
+	// 2 × Config.BlockTimeout at network build (an idle pipeline
+	// resolves well under one block timeout plus cutting slack);
+	// negative is a validation error.
+	CongestLatency time.Duration
+}
+
+// withDefaults resolves the documented zero value against the run's
+// block timeout.
+func (s SplitSignal) withDefaults(blockTimeout time.Duration) SplitSignal {
+	if s.CongestLatency == 0 {
+		s.CongestLatency = 2 * blockTimeout
+	}
+	return s
+}
+
+// Validate reports configuration errors.
+func (s SplitSignal) Validate() error {
+	if s.CongestLatency < 0 {
+		return fmt.Errorf("fabric: split-signal congestion latency must be >= 0, got %v", s.CongestLatency)
+	}
+	return nil
+}
+
+// Name labels the mode in experiment tables, e.g. "split(4s)" (the
+// resolved threshold is only known at network build, so the zero value
+// prints as "split(auto)").
+func (s SplitSignal) Name() string {
+	if s.CongestLatency == 0 {
+		return "split(auto)"
+	}
+	return fmt.Sprintf("split(%v)", s.CongestLatency)
+}
+
+// ParseSplitSignal parses the CLI syntax for the split-signal mode:
+// "off" (or "") disables it, "on" enables it with the documented
+// defaults, and a duration — e.g. "3s" — sets the congestion-latency
+// threshold explicitly.
+func ParseSplitSignal(s string) (*SplitSignal, error) {
+	switch strings.ToLower(s) {
+	case "", "off":
+		return nil, nil
+	case "on", "default":
+		return &SplitSignal{}, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: split signal %q: want off, on or a latency threshold duration", s)
+	}
+	sp := SplitSignal{CongestLatency: d}
+	return &sp, sp.Validate()
+}
+
+// SplitEstimate is the two-component client signal the split mode
+// gossips: the conflict and congestion estimates, each in [0,1] and
+// each merged and decayed independently — a fleet-wide conflict storm
+// must not manufacture congestion alarm, and vice versa.
+type SplitEstimate struct {
+	Conflict   float64
+	Congestion float64
+}
+
+// Max collapses the estimate to its more alarmed component — the
+// scalar view used for the shared gossip-estimate trajectory metric.
+func (e SplitEstimate) Max() float64 {
+	return MergeEstimates(e.Conflict, e.Congestion)
+}
+
+// ClampSplitEstimate bounds both components to [0,1] (NaN maps to 0),
+// component-wise ClampEstimate.
+func ClampSplitEstimate(e SplitEstimate) SplitEstimate {
+	return SplitEstimate{
+		Conflict:   ClampEstimate(e.Conflict),
+		Congestion: ClampEstimate(e.Congestion),
+	}
+}
+
+// DecaySplitEstimate ages both components by age at the given
+// per-second decay rate, component-wise DecayEstimate: the result
+// never exceeds the undecayed (clamped) estimate in either component.
+func DecaySplitEstimate(e SplitEstimate, age time.Duration, decayPerSec float64) SplitEstimate {
+	return SplitEstimate{
+		Conflict:   DecayEstimate(e.Conflict, age, decayPerSec),
+		Congestion: DecayEstimate(e.Congestion, age, decayPerSec),
+	}
+}
+
+// MergeSplitEstimates is the split-mode gossip merge operator:
+// component-wise max of the clamped estimates, so a merged view is
+// never less alarmed than either input in either component — and never
+// more alarmed in one component because of the other.
+func MergeSplitEstimates(a, b SplitEstimate) SplitEstimate {
+	return SplitEstimate{
+		Conflict:   MergeEstimates(a.Conflict, b.Conflict),
+		Congestion: MergeEstimates(a.Congestion, b.Congestion),
+	}
+}
+
+// classObserver is implemented by policy state that wants outcomes
+// classified per SignalClass when the split-signal mode is on
+// (adaptiveState): conflict-class failures gate the AIMD increase,
+// congestion-class failures leave the backoff level alone.
+type classObserver interface {
+	observeClass(class SignalClass)
+}
+
+// splitAware is implemented by per-client policy state whose windows
+// split per signal class; the network flips it on after instantiation
+// when Config.SplitSignal is set.
+type splitAware interface {
+	enableSplit()
+}

@@ -1,0 +1,297 @@
+package fabric
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/ledger"
+	"repro/internal/statedb"
+)
+
+// TestClassifyOutcome pins the class of every validation code the
+// ledger defines: the regression the split exists to enforce is that
+// CLIENT_TIMEOUT — and only CLIENT_TIMEOUT — reads as congestion
+// wherever an outcome feeds an estimator, while every contention-born
+// failure reads as conflict. An unknown future code must land in
+// conflict, the conservative direction.
+func TestClassifyOutcome(t *testing.T) {
+	cases := []struct {
+		code ledger.ValidationCode
+		want SignalClass
+	}{
+		{ledger.Valid, SignalNone},
+		{ledger.MVCCConflictInterBlock, SignalConflict},
+		{ledger.MVCCConflictIntraBlock, SignalConflict},
+		{ledger.PhantomReadConflict, SignalConflict},
+		{ledger.EndorsementPolicyFailure, SignalConflict},
+		{ledger.AbortedInOrdering, SignalConflict},
+		{ledger.ClientTimeout, SignalCongestion},
+		{ledger.ValidationCode(999), SignalConflict}, // unknown: conservative
+	}
+	for _, c := range cases {
+		if got := ClassifyOutcome(c.code); got != c.want {
+			t.Errorf("ClassifyOutcome(%v) = %v, want %v", c.code, got, c.want)
+		}
+	}
+	if SignalNone.String() != "none" || SignalConflict.String() != "conflict" ||
+		SignalCongestion.String() != "congestion" {
+		t.Error("SignalClass names drifted")
+	}
+}
+
+func TestSplitSignalValidateAndParse(t *testing.T) {
+	if err := (SplitSignal{CongestLatency: -time.Second}).Validate(); err == nil {
+		t.Error("negative congestion latency validated")
+	}
+	if got := (SplitSignal{}).Name(); got != "split(auto)" {
+		t.Errorf("zero-value name = %q", got)
+	}
+	if got := (SplitSignal{CongestLatency: 4 * time.Second}).Name(); got != "split(4s)" {
+		t.Errorf("name = %q", got)
+	}
+	if got := (SplitSignal{}).withDefaults(2 * time.Second); got.CongestLatency != 4*time.Second {
+		t.Errorf("default congestion latency = %v, want 2×block timeout", got.CongestLatency)
+	}
+	for _, off := range []string{"", "off"} {
+		if sp, err := ParseSplitSignal(off); err != nil || sp != nil {
+			t.Errorf("ParseSplitSignal(%q) = %v, %v, want nil, nil", off, sp, err)
+		}
+	}
+	if sp, err := ParseSplitSignal("on"); err != nil || sp == nil || sp.CongestLatency != 0 {
+		t.Errorf("ParseSplitSignal(on) = %v, %v", sp, err)
+	}
+	if sp, err := ParseSplitSignal("3s"); err != nil || sp == nil || sp.CongestLatency != 3*time.Second {
+		t.Errorf("ParseSplitSignal(3s) = %v, %v", sp, err)
+	}
+	if _, err := ParseSplitSignal("wat"); err == nil {
+		t.Error("garbage split mode parsed")
+	}
+	cfg := testConfig(1)
+	cfg.SplitSignal = &SplitSignal{CongestLatency: -time.Second}
+	if _, err := NewNetwork(cfg); err == nil {
+		t.Error("network accepted an invalid split signal")
+	}
+}
+
+// TestAdaptiveSplitGatesOnConflictOnly unit-tests the split AIMD
+// controller: congestion-class failures (CLIENT_TIMEOUT) must leave
+// the backoff level at the floor no matter how many arrive — pacing,
+// not backoff, is their remedy — while the same volume of
+// conflict-class failures multiplies the level up as before.
+func TestAdaptiveSplitGatesOnConflictOnly(t *testing.T) {
+	mk := func() *adaptiveState {
+		p := AdaptivePolicy{Floor: 100 * time.Millisecond, Ceiling: 4 * time.Second,
+			Increase: 2, Decrease: 50 * time.Millisecond, Window: 4, Target: 0.25}
+		s := p.perClient().(*adaptiveState)
+		s.enableSplit()
+		return s
+	}
+
+	s := mk()
+	for i := 0; i < 16; i++ {
+		s.observeClass(SignalCongestion)
+	}
+	if s.currentBackoff() != 100*time.Millisecond {
+		t.Errorf("congestion-class failures moved the backoff to %v, want floor", s.currentBackoff())
+	}
+	if got := s.congestWin.failureRate(); got != 1 {
+		t.Errorf("congestion window rate = %g, want 1", got)
+	}
+	if got := s.conflictWin.failureRate(); got != 0 {
+		t.Errorf("conflict window rate = %g, want 0", got)
+	}
+
+	s = mk()
+	for i := 0; i < 16; i++ {
+		s.observeClass(SignalConflict)
+	}
+	if s.currentBackoff() != 4*time.Second {
+		t.Errorf("conflict-class failures left the backoff at %v, want the ceiling", s.currentBackoff())
+	}
+	// FailureRate partitions: with only conflict failures the split sum
+	// equals the scalar rate the same stream would produce.
+	if got := s.FailureRate(); got != 1 {
+		t.Errorf("split failure rate = %g, want 1", got)
+	}
+
+	// Commits decrease additively in split mode exactly as in scalar.
+	s.observeClass(SignalNone)
+	if want := 4*time.Second - 50*time.Millisecond; s.currentBackoff() != want {
+		t.Errorf("commit decreased to %v, want %v", s.currentBackoff(), want)
+	}
+}
+
+// TestAdaptiveBucketClassRule unit-tests the calibration rule: only
+// conflict-class demand on an empty bucket raises the refill rate;
+// congestion-class demand never does; and a full bucket relaxes the
+// rate back toward the configured base.
+func TestAdaptiveBucketClassRule(t *testing.T) {
+	tb := newTokenBucket(RetryBudget{RefillPerSec: 1, Burst: 1, DropOnEmpty: true,
+		Adaptive: true, MaxRefillPerSec: 4})
+	if _, ok := tb.take(0, SignalConflict); !ok {
+		t.Fatal("full bucket refused")
+	}
+	// Empty + congestion: the rate must not move.
+	if _, ok := tb.take(0, SignalCongestion); ok || tb.rate != 1 {
+		t.Fatalf("congestion-class demand moved the rate to %g (ok=%v), want 1", tb.rate, ok)
+	}
+	// Empty + conflict: doubles per demand, capped at MaxRefillPerSec.
+	for i, want := range []float64{2, 4, 4} {
+		if _, ok := tb.take(0, SignalConflict); ok {
+			t.Fatalf("take %d on empty drop bucket granted", i)
+		}
+		if tb.rate != want {
+			t.Fatalf("take %d: rate %g, want %g", i, tb.rate, want)
+		}
+	}
+	// Refill at the raised rate: a token arrives well inside 1/4 s
+	// (the decay over 250ms erodes the rate only marginally).
+	if wait, ok := tb.take(sec(0.25), SignalConflict); !ok || wait != 0 {
+		t.Fatalf("raised-rate refill did not grant: wait=%v ok=%v", wait, ok)
+	}
+	if tb.rate > 4 || tb.rate < 3.9 {
+		t.Fatalf("rate after 250ms of decay = %g, want just under 4", tb.rate)
+	}
+	// Once the storm stops the raised rate relaxes toward base on the
+	// 10s half-life: base 1 + excess 3 halves each 10 idle seconds.
+	tb.refill(sec(0.25 + 10))
+	if tb.rate < 2.4 || tb.rate > 2.6 {
+		t.Fatalf("rate one half-life after the storm = %g, want ~2.5", tb.rate)
+	}
+	tb.refill(sec(0.25 + 100))
+	if tb.rate < 1 || tb.rate > 1.01 {
+		t.Fatalf("rate ten half-lives after the storm = %g, want ~base 1", tb.rate)
+	}
+}
+
+func TestRetryBudgetAdaptiveValidation(t *testing.T) {
+	if err := (RetryBudget{RefillPerSec: 2, Adaptive: true, MaxRefillPerSec: 1}).Validate(); err == nil {
+		t.Error("max refill below base validated")
+	}
+	if err := (RetryBudget{MaxRefillPerSec: -1}).Validate(); err == nil {
+		t.Error("negative max refill validated")
+	}
+	if got := (RetryBudget{RefillPerSec: 1, Burst: 3, DropOnEmpty: true, Adaptive: true}).Name(); got != "budget(1/s,b3,drop,adapt)" {
+		t.Errorf("name = %q", got)
+	}
+}
+
+// splitStackConfig is the contention-bound coordination stack on an
+// idle orderer: EHR's MVCC conflicts supply a steady conflict-class
+// failure stream while the default orderer costs leave no backlog for
+// the congestion component to see.
+func splitStackConfig(seed int64, src HintSource) Config {
+	cfg := retryConfig(seed, BackpressurePolicy{MaxAttempts: 5, Jitter: 0.2})
+	cfg.Backpressure = &Backpressure{}
+	cfg.Gossip = &Gossip{}
+	cfg.HintSource = src
+	cfg.SplitSignal = &SplitSignal{}
+	return cfg
+}
+
+// insertOnlyCongestedConfig is the opposite corner: a conflict-free
+// insert-only workload pushed through an orderer that cannot keep up
+// (25ms per transaction against 50 tps), so every commit wades through
+// a growing backlog. The congestion estimate must rise on commit
+// latency alone — there are no failures to classify.
+func insertOnlyCongestedConfig(seed int64, src HintSource) Config {
+	cfg := splitStackConfig(seed, src)
+	spec := gen.GenChainSpec()
+	spec.Keys = 2000
+	cfg.Chaincode = gen.MustChaincode(spec)
+	cfg.Workload = gen.NewWorkload(spec, gen.Mix{Insert: 100}, 0)
+	cfg.DBKind = statedb.LevelDB
+	cfg.OrdererCosts.PerTx = 25 * time.Millisecond
+	return cfg
+}
+
+// TestSplitSeparatesConflictFromCongestion is the satellite property
+// test: on a contention-bound run with an idle orderer the congestion
+// component stays (near) zero while the conflict component alarms; on
+// a conflict-free congested run the roles swap. Both directions hold
+// under every hint source.
+func TestSplitSeparatesConflictFromCongestion(t *testing.T) {
+	for _, src := range []HintSource{HintOrderer, HintGossip, HintBoth} {
+		src := src
+		t.Run("contention/"+string(src.resolve()), func(t *testing.T) {
+			cfg := splitStackConfig(31, src)
+			_, rep := run(t, cfg)
+			if rep.ConflictEstMax < 0.2 {
+				t.Errorf("conflict estimate max %g under EHR contention, want alarmed", rep.ConflictEstMax)
+			}
+			if rep.CongestEstMax > 0.05 {
+				t.Errorf("congestion estimate max %g with an idle orderer, want ~0", rep.CongestEstMax)
+			}
+		})
+		t.Run("congestion/"+string(src.resolve()), func(t *testing.T) {
+			cfg := insertOnlyCongestedConfig(32, src)
+			_, rep := run(t, cfg)
+			if rep.CongestEstMax < 0.2 {
+				t.Errorf("congestion estimate max %g behind a 25ms/tx orderer, want alarmed", rep.CongestEstMax)
+			}
+			if rep.ConflictEstMax > 0.05 {
+				t.Errorf("conflict estimate max %g on an insert-only workload, want ~0", rep.ConflictEstMax)
+			}
+			if rep.FailurePct > 1 {
+				t.Errorf("failure rate %g%% on insert-only: the workload is supposed to be conflict-free", rep.FailurePct)
+			}
+		})
+	}
+}
+
+// TestSplitGossipFixesMisPacing pins the tentpole bugfix end-to-end:
+// with the scalar signal, a gossip-paced contention-bound run pours
+// conflict failures into the pacer and stalls fresh load even though
+// the orderer is idle; the split signal routes conflicts to backoff
+// and keeps the pacer quiet.
+func TestSplitGossipFixesMisPacing(t *testing.T) {
+	scalar := splitStackConfig(33, HintGossip)
+	scalar.SplitSignal = nil
+	_, scalarRep := run(t, scalar)
+	if scalarRep.TimePaced < 10*time.Second {
+		t.Fatalf("scalar gossip pacing spent only %v paced: the mis-pacing this PR fixes should dwarf that", scalarRep.TimePaced)
+	}
+
+	_, splitRep := run(t, splitStackConfig(33, HintGossip))
+	if splitRep.TimePaced > scalarRep.TimePaced/100 {
+		t.Errorf("split gossip still paced %v (scalar %v): conflicts are driving the pacer",
+			splitRep.TimePaced, scalarRep.TimePaced)
+	}
+	if splitRep.AvgEndToEnd >= scalarRep.AvgEndToEnd {
+		t.Errorf("split end-to-end %v did not improve on scalar %v",
+			splitRep.AvgEndToEnd, scalarRep.AvgEndToEnd)
+	}
+}
+
+// TestSplitRunsDeterministic repeats a split-signal run and requires
+// identical reports: the split path must draw only from the seeded rng
+// like every other subsystem.
+func TestSplitRunsDeterministic(t *testing.T) {
+	_, a := run(t, splitStackConfig(34, HintBoth))
+	_, b := run(t, splitStackConfig(34, HintBoth))
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("identical split runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestSplitNilIsByteIdentical asserts the zero-config guarantee: a
+// build that never sets SplitSignal produces byte-identical reports to
+// one that sets it to nil explicitly, and a scalar coordination run
+// leaves the split trajectories at exactly zero.
+func TestSplitNilIsByteIdentical(t *testing.T) {
+	base := splitStackConfig(35, HintGossip)
+	base.SplitSignal = nil
+	explicit := splitStackConfig(35, HintGossip)
+	explicit.SplitSignal = nil
+	_, a := run(t, base)
+	_, b := run(t, explicit)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("nil split-signal configs diverged")
+	}
+	if a.ConflictEstMax != 0 || a.CongestEstMax != 0 || a.ConflictEstAvg != 0 ||
+		a.CongestEstAvg != 0 || a.ConflictEstFinal != 0 || a.CongestEstFinal != 0 {
+		t.Errorf("scalar run left split trajectories non-zero: %+v", a)
+	}
+}

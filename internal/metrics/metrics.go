@@ -121,6 +121,17 @@ type Collector struct {
 	gossipStaleSum time.Duration
 	gossipStaleMax time.Duration
 
+	// Split-signal accounting (Config.SplitSignal): the two-component
+	// estimate trajectory sampled once per gossip round, conflict and
+	// congestion components tracked separately.
+	splitSamples int
+	conflictSum  float64
+	conflictMax  float64
+	conflictLast float64
+	congestSum   float64
+	congestMax   float64
+	congestLast  float64
+
 	// Fault-injection accounting (Config.Faults): opened fault
 	// windows, node crashes and their scheduled downtime, client-side
 	// deadline expiries, orphaned transactions (committed after their
@@ -315,6 +326,24 @@ func (c *Collector) RecordGossipSample(e float64) {
 	c.gossipLast = e
 }
 
+// RecordSplitSample records one client's two-component signal
+// estimate at the start of one of its gossip rounds (split-signal
+// mode). The report summarizes the streams as the conflict and
+// congestion estimate trajectories.
+func (c *Collector) RecordSplitSample(conflict, congestion float64) {
+	c.splitSamples++
+	c.conflictSum += conflict
+	if conflict > c.conflictMax {
+		c.conflictMax = conflict
+	}
+	c.conflictLast = conflict
+	c.congestSum += congestion
+	if congestion > c.congestMax {
+		c.congestMax = congestion
+	}
+	c.congestLast = congestion
+}
+
 // RecordGossipUse records one consultation of a client's gossip
 // estimate (for pacing or a hint-driven backoff) together with the
 // age of the remote information behind it — zero when the client's
@@ -502,6 +531,19 @@ type Report struct {
 	GossipStalenessAvg  time.Duration
 	GossipStalenessMax  time.Duration
 
+	// Split-signal summary (Config.SplitSignal runs only; zero
+	// otherwise): the conflict and congestion estimate trajectories
+	// sampled once per client gossip round, each in [0,1]. On a
+	// contention-bound workload with an idle orderer the conflict
+	// trajectory should be alarmed and the congestion trajectory ≈ 0 —
+	// the mis-pacing signature the split exists to remove.
+	ConflictEstAvg   float64
+	ConflictEstMax   float64
+	ConflictEstFinal float64
+	CongestEstAvg    float64
+	CongestEstMax    float64
+	CongestEstFinal  float64
+
 	// Fault-injection summary (Config.Faults runs only; zero
 	// otherwise). FaultWindows counts opened windows; NodeCrashes and
 	// NodeDowntime tally crash events and their scheduled downtime;
@@ -611,6 +653,14 @@ func (c *Collector) Report() Report {
 		r.GossipEstimateAvg = c.gossipSum / float64(c.gossipSamples)
 		r.GossipEstimateMax = c.gossipMax
 		r.GossipEstimateFinal = c.gossipLast
+	}
+	if c.splitSamples > 0 {
+		r.ConflictEstAvg = c.conflictSum / float64(c.splitSamples)
+		r.ConflictEstMax = c.conflictMax
+		r.ConflictEstFinal = c.conflictLast
+		r.CongestEstAvg = c.congestSum / float64(c.splitSamples)
+		r.CongestEstMax = c.congestMax
+		r.CongestEstFinal = c.congestLast
 	}
 	r.GossipUses = c.gossipUses
 	if c.gossipUses > 0 {
